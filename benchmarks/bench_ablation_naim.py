@@ -1,0 +1,36 @@
+"""NAIM ablations (paper §4.3): loader cache sizing and the inliner's
+module-pair scheduling.
+
+Paper claims: a larger expanded-pool cache reduces reload work; the
+inliner deliberately processes "cross-module inlines from the same pair
+of modules one after another" to maximize loader-cache reuse.
+
+Run: ``pytest benchmarks/bench_ablation_naim.py --benchmark-only -s``
+"""
+
+from conftest import save_result
+
+from repro.bench.figures import run_naim_ablation
+
+
+def test_naim_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_naim_ablation(scale=2.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    save_result("ablation_naim", result.render())
+
+    series = result.data["series"]
+    by_label = {point["label"]: point for point in series}
+    small = by_label["cache=2 pools"]
+    big = by_label["cache=32 pools"]
+    # Bigger cache -> less reload churn.
+    assert big["uncompactions"] <= small["uncompactions"]
+
+    paired = by_label["dispatcher, pair scheduling"]
+    unpaired = by_label["dispatcher, no pair scheduling"]
+    # Pair scheduling clusters callee modules in the inline trace and
+    # keeps callee pools cached across consecutive splices.
+    assert paired["locality"] > unpaired["locality"]
+    assert paired["uncompactions"] <= unpaired["uncompactions"]

@@ -1,0 +1,49 @@
+"""Figure 1: speedups of PBO / CMO / CMO+PBO over default optimization.
+
+Paper shape: all programs benefit; CMO+PBO is the best configuration;
+the mcad-like ISV applications see among the largest gains; pure CMO is
+not attempted on the mcad apps (the paper could not compile them
+without selectivity).
+
+Run: ``pytest benchmarks/bench_figure1.py --benchmark-only -s``
+"""
+
+import math
+
+from conftest import save_result
+
+from repro.bench.figures import run_figure1
+
+
+def test_figure1(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure1(quick=False, mcad_scale=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result("figure1", result.render())
+
+    data = result.data
+    # Shape assertions (the paper's qualitative claims).
+    for name, row in data.items():
+        assert row["CMO+PBO"] > 0.9, (name, "CMO+PBO should not regress")
+    # CMO+PBO is the best (or ties) on a clear majority of programs.
+    wins = sum(
+        1
+        for row in data.values()
+        if row["CMO+PBO"] >= row["PBO"] - 0.02
+        and (math.isnan(row["CMO"]) or row["CMO+PBO"] >= row["CMO"] - 0.02)
+    )
+    assert wins >= int(0.7 * len(data))
+    # The mcad apps gain at least as much as the median SPEC-like app.
+    mcad_gain = [
+        row["CMO+PBO"] for name, row in data.items() if "mcad" in name
+    ]
+    spec_gain = sorted(
+        row["CMO+PBO"] for name, row in data.items() if "mcad" not in name
+    )
+    assert mcad_gain, "mcad rows present"
+    median_spec = spec_gain[len(spec_gain) // 2]
+    assert max(mcad_gain) >= median_spec

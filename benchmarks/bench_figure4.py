@@ -1,0 +1,37 @@
+"""Figure 4: compiler & HLO memory vs lines compiled under CMO.
+
+Paper shape: with NAIM, HLO memory grows sub-linearly in the lines of
+code being cross-module optimized; overall compiler memory grows
+faster (LLO's quadratic working set on post-inlining routines).
+
+Run: ``pytest benchmarks/bench_figure4.py --benchmark-only -s``
+"""
+
+from conftest import save_result
+
+from repro.bench.figures import run_figure4
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure4(points=5, scale=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result("figure4", result.render())
+
+    series = result.data["series"]
+    assert len(series) == 5
+    first, last = series[0], series[-1]
+    lines_growth = last["cmo_lines"] / first["cmo_lines"]
+    hlo_growth = last["hlo_bytes"] / first["hlo_bytes"]
+    # Sub-linear: memory grows far slower than code volume.
+    assert hlo_growth < 0.6 * lines_growth, (
+        "HLO memory should grow sub-linearly under NAIM "
+        "(lines x%.1f, memory x%.1f)" % (lines_growth, hlo_growth)
+    )
+    # Overall compiler >= HLO at every point.
+    for point in series:
+        assert point["overall_bytes"] >= point["hlo_bytes"]

@@ -1,0 +1,37 @@
+"""Figure 5: HLO compile time vs memory across NAIM levels (gcc-like).
+
+Paper shape: each successive NAIM level (IR compaction, +symbol-table
+compaction, disk offload) trades compile time for lower memory.
+
+Run: ``pytest benchmarks/bench_figure5.py --benchmark-only -s``
+"""
+
+from conftest import save_result
+
+from repro.bench.figures import run_figure5
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure5(scale=3.0, cache_pools=12),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result("figure5", result.render())
+
+    series = {point["level"]: point for point in result.data["series"]}
+    off = series["NAIM off"]
+    ir = series["IR compaction"]
+    st = series["+ST compaction"]
+    disk = series["offload to disk"]
+
+    # Memory monotonically non-increasing down the levels.
+    assert ir["bytes"] < off["bytes"]
+    assert st["bytes"] <= ir["bytes"]
+    assert disk["bytes"] <= st["bytes"]
+    # NAIM machinery costs time relative to everything-expanded.
+    assert min(ir["seconds"], st["seconds"], disk["seconds"]) >= (
+        0.8 * off["seconds"]
+    )

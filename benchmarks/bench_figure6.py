@@ -1,0 +1,40 @@
+"""Figure 6: compile time and run time vs selectivity (mcad1-like).
+
+Paper shape: run-time benefit saturates once a modest fraction of the
+code is compiled with CMO+PBO (paper: ~20% of lines, ~5% of sites);
+compile time keeps growing as more code is selected.
+
+Run: ``pytest benchmarks/bench_figure6.py --benchmark-only -s``
+"""
+
+from conftest import save_result
+
+from repro.bench.figures import run_figure6
+
+
+def test_figure6(benchmark):
+    percents = [2.0, 5.0, 15.0, 35.0, 70.0, 100.0]
+    result = benchmark.pedantic(
+        lambda: run_figure6(percents=percents, scale=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result("figure6", result.render())
+
+    series = result.data["series"]
+    pbo_only = series[0]
+    full = series[-1]
+    assert full["percent"] == 100.0
+
+    full_gain = pbo_only["cycles"] - full["cycles"]
+    assert full_gain > 0, "CMO+PBO must beat PBO alone"
+
+    # Saturation: a mid-range selectivity captures most of the benefit.
+    mid = next(p for p in series if p["percent"] == 35.0)
+    mid_gain = pbo_only["cycles"] - mid["cycles"]
+    assert mid_gain >= 0.7 * full_gain
+
+    # Compile time grows with the amount of code optimized.
+    assert full["compile_seconds"] > pbo_only["compile_seconds"]

@@ -1,0 +1,98 @@
+"""Microbenchmarks for the pipeline's hot components.
+
+These are conventional pytest-benchmark timings (multiple rounds) for
+the pieces whose speed determines overall compile time: compaction,
+the scalar pipeline, inlining, code generation and the VM itself.
+
+Run: ``pytest benchmarks/bench_micro.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.frontend import compile_sources
+from repro.hlo.analysis.modref import ModRefAnalysis
+from repro.hlo.driver import standard_pipeline
+from repro.hlo.passes import OptContext
+from repro.interp import run_program
+from repro.naim.compaction import compact_routine, uncompact_routine
+from repro.synth import WorkloadConfig, generate
+
+
+@pytest.fixture(scope="module")
+def app():
+    return generate(
+        WorkloadConfig("micro", n_modules=12, routines_per_module=6,
+                       n_features=4, dispatch_count=150, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def program(app):
+    return compile_sources(app.sources)
+
+
+@pytest.fixture(scope="module")
+def profile(app):
+    return train(app.sources, [app.make_input(seed=1)])
+
+
+def test_frontend_throughput(benchmark, app):
+    benchmark(lambda: compile_sources(app.sources))
+
+
+def test_compaction_round_trip(benchmark, program):
+    symtab = program.symtab
+    routines = program.all_routines()
+
+    def round_trip():
+        for routine in routines:
+            uncompact_routine(compact_routine(routine, symtab), symtab)
+
+    benchmark(round_trip)
+
+
+def test_scalar_pipeline(benchmark, app):
+    def optimize_all():
+        program = compile_sources(app.sources)
+        ctx = OptContext(program.symtab)
+        ctx.modref = ModRefAnalysis.analyze(program.all_routines())
+        pipeline = standard_pipeline()
+        for routine in program.all_routines():
+            pipeline.run_routine(routine, ctx)
+
+    benchmark.pedantic(optimize_all, rounds=3, iterations=1)
+
+
+def test_full_o2_build(benchmark, app):
+    compiler = Compiler(CompilerOptions(opt_level=2))
+    benchmark.pedantic(
+        lambda: compiler.build(app.sources), rounds=3, iterations=1
+    )
+
+
+def test_full_cmo_build(benchmark, app, profile):
+    compiler = Compiler(CompilerOptions(opt_level=4, pbo=True))
+    benchmark.pedantic(
+        lambda: compiler.build(app.sources, profile_db=profile),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_vm_throughput(benchmark, app, profile):
+    build = Compiler(
+        CompilerOptions(opt_level=4, pbo=True)
+    ).build(app.sources, profile_db=profile)
+    inputs = app.make_input(seed=2)
+    benchmark.pedantic(
+        lambda: build.run(inputs=inputs), rounds=3, iterations=1
+    )
+
+
+def test_interpreter_throughput(benchmark, program, app):
+    inputs = app.make_input(seed=2)
+    benchmark.pedantic(
+        lambda: run_program(program, inputs=inputs), rounds=3, iterations=1
+    )

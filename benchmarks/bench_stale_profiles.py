@@ -1,0 +1,29 @@
+"""Stale-profile ablation (paper §6.2): PBO+selectivity trained on
+unrepresentative data loses part -- but not all -- of its benefit.
+
+Run: ``pytest benchmarks/bench_stale_profiles.py --benchmark-only -s``
+"""
+
+from conftest import save_result
+
+from repro.bench.figures import run_stale_profiles
+
+
+def test_stale_profiles(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_stale_profiles(scale=0.5), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    save_result("stale_profiles", result.render())
+
+    series = {p["training"]: p["cycles"] for p in result.data["series"]}
+    baseline = series["baseline"]
+    good = series["representative (Zipf)"]
+    stale = series["unrepresentative (uniform)"]
+    # Representative training must beat the baseline.
+    assert good < baseline
+    # Stale training costs performance relative to representative
+    # training (allowing a little noise), yet still helps vs baseline.
+    assert stale >= good * 0.995
+    assert stale < baseline * 1.02

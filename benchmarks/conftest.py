@@ -1,0 +1,13 @@
+"""Benchmark-suite helpers: result capture for EXPERIMENTS.md."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered figure table for later inspection."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate the paper's data figures at a quick scale.
+
+Thin CLI over :mod:`repro.bench.figures` -- the same harness the
+benchmark suite uses, sized for an interactive run (a few minutes).
+For the full-scale numbers recorded in EXPERIMENTS.md, use
+``python -m repro.bench all``.
+
+Run: ``python examples/figure_tour.py [figure1|figure4|figure5|figure6|history|all]``
+"""
+
+import sys
+
+from repro.bench.figures import (
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_history,
+)
+
+QUICK = {
+    "figure1": lambda: run_figure1(quick=True, mcad_scale=0.3),
+    "figure4": lambda: run_figure4(points=4, scale=0.4),
+    "figure5": lambda: run_figure5(scale=1.5),
+    "figure6": lambda: run_figure6(
+        percents=[5.0, 20.0, 60.0, 100.0], scale=0.4
+    ),
+    "history": lambda: run_history(scale=1.0),
+}
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    names = list(QUICK) if which == "all" else [which]
+    for name in names:
+        if name not in QUICK:
+            raise SystemExit(
+                "unknown figure %r (choose from %s)" % (name, list(QUICK))
+            )
+        print(QUICK[name]().render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A tour of the NAIM (not-all-in-memory) machinery.
+
+Demonstrates, on a gcc-sized synthetic application, the three
+mechanisms of paper section 4:
+
+1. compaction: a routine's expanded IR vs its relocatable byte form
+   (PID-swizzled, derived data dropped);
+2. the loader: pools moving between expanded / compact / offloaded
+   states under a small LRU cache, with live memory accounting;
+3. thresholding: the same compilation under four NAIM levels -- the
+   Figure 5 time/space trade-off.
+
+Run: ``python examples/naim_memory_tour.py``
+"""
+
+import time
+
+from repro import Compiler, CompilerOptions, NaimConfig, NaimLevel, train
+from repro.frontend import compile_sources
+from repro.naim import (
+    Loader,
+    Repository,
+    compact_routine,
+    expanded_routine_bytes,
+    fmt_bytes,
+    uncompact_routine,
+)
+from repro.synth import generate, spec_like_suite
+
+
+def section(title):
+    print("\n== %s ==" % title)
+
+
+def main() -> None:
+    config = next(c for c in spec_like_suite() if c.name == "gcc_like")
+    app = generate(config)
+    program = compile_sources(app.sources)
+    print("application: %s (%d modules, %d lines, %d routines)"
+          % (config.name, len(app.sources), app.source_lines(),
+             len(program.all_routines())))
+
+    # -- 1. Compaction --------------------------------------------------
+    section("compaction (paper 4.2.1-4.2.2)")
+    routine = max(program.all_routines(), key=lambda r: r.instr_count())
+    routine.predecessors()  # populate derived data, like a real pass
+    expanded = expanded_routine_bytes(routine)
+    blob = compact_routine(routine, program.symtab)
+    print("routine %-12s expanded=%-8s relocatable=%-7s ratio=%.0fx"
+          % (routine.name, fmt_bytes(expanded), fmt_bytes(len(blob)),
+             expanded / len(blob)))
+    restored = uncompact_routine(blob, program.symtab)
+    print("round trip: %d blocks -> %d blocks, derived data dropped: %s"
+          % (len(routine.blocks), len(restored.blocks),
+             len(restored.derived) == 0))
+
+    # -- 2. The loader ---------------------------------------------------
+    section("the loader: LRU cache + repository (paper 4.2-4.3)")
+    loader = Loader(
+        NaimConfig.pinned(NaimLevel.OFFLOAD, cache_pools=8),
+        program.symtab,
+        repository=Repository(in_memory=True),
+    )
+    handles = [loader.register_routine(r) for r in program.all_routines()]
+    print("registered %d pools: %s resident"
+          % (len(handles), fmt_bytes(loader.current_bytes())))
+    for handle in handles:
+        handle.request_unload()
+    print("after release-all:  %s resident, states=%s"
+          % (fmt_bytes(loader.current_bytes()), loader.pool_states()))
+    for handle in handles[:20]:
+        handle.get()  # touch back in
+    print("after 20 touches:   %s resident, %s"
+          % (fmt_bytes(loader.current_bytes()), loader.stats))
+
+    # -- 3. Thresholded compilation (Figure 5) ------------------------------
+    section("NAIM levels during a real +O4 +P build (Figure 5)")
+    profile = train(app.sources, [app.make_input(seed=1)])
+    for label, level in [
+        ("NAIM off", NaimLevel.OFF),
+        ("IR compaction", NaimLevel.IR_COMPACT),
+        ("+ST compaction", NaimLevel.ST_COMPACT),
+        ("offload to disk", NaimLevel.OFFLOAD),
+    ]:
+        options = CompilerOptions(
+            opt_level=4, pbo=True,
+            naim=NaimConfig.pinned(level, cache_pools=12),
+        )
+        started = time.perf_counter()
+        build = Compiler(options).build(app.sources, profile_db=profile)
+        seconds = time.perf_counter() - started
+        stats = build.hlo_result.loader.stats
+        print(
+            "%-16s build=%5.2fs  hlo_peak=%-8s compact=%-5d fetches=%d"
+            % (
+                label,
+                seconds,
+                fmt_bytes(build.hlo_result.peak_bytes),
+                stats.compactions,
+                stats.repository_fetches,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

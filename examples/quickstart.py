@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: compile a small multi-module program at every
+optimization level and watch CMO+PBO win.
+
+This walks the paper's whole workflow on a toy program:
+
+1. write MLL sources (three separately compiled modules);
+2. build + run at the default level (+O2) for a baseline;
+3. build an instrumented binary (+O2 +I), run it on training input,
+   and collect a profile database;
+4. rebuild with profile-based optimization (+O2 +P), with cross-module
+   optimization (+O4), and with both (+O4 +P);
+5. compare simulated cycle counts.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Compiler, CompilerOptions, train
+
+SOURCES = {
+    "geometry": """
+static global scale_factor = 7;
+
+func area(w, h) { return w * h; }
+
+func scaled_area(w, h) {
+    return area(w, h) * scale_factor;
+}
+""",
+    "stats": """
+global samples = 0;
+
+func clamp(v, lo, hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+
+func record(v) {
+    samples = samples + 1;
+    return clamp(v, 0, 10000);
+}
+""",
+    "main": """
+func main() {
+    var total = 0;
+    for (var i = 1; i <= 100; i = i + 1) {
+        total = total + record(scaled_area(i % 10, 3));
+    }
+    return total + samples;
+}
+""",
+}
+
+
+def main() -> None:
+    # Step 1-2: baseline build at the default optimization level.
+    baseline = Compiler(CompilerOptions(opt_level=2)).build(SOURCES)
+    base = baseline.run()
+    print("baseline  +O2    : value=%d  cycles=%d  calls=%d"
+          % (base.value, base.cycles, base.calls))
+
+    # Step 3: train -- instrumented build, one training run, profile db.
+    profile = train(SOURCES, [None])
+    hottest = ", ".join(
+        "%s(%d)" % (name, weight)
+        for name, weight in profile.hottest_routines(3)
+    )
+    print("profile trained  : hottest routines: %s" % hottest)
+
+    # Step 4-5: the ladder the paper's Figure 1 compares.
+    for label, options in [
+        ("+O2 +P", CompilerOptions(opt_level=2, pbo=True)),
+        ("+O4", CompilerOptions(opt_level=4)),
+        ("+O4 +P", CompilerOptions(opt_level=4, pbo=True)),
+    ]:
+        build = Compiler(options).build(SOURCES, profile_db=profile)
+        result = build.run()
+        assert result.value == base.value, "optimization changed semantics!"
+        inlines = (build.hlo_result.inline_stats.performed
+                   if build.hlo_result else 0)
+        print(
+            "build     %-7s: value=%d  cycles=%d  calls=%d  "
+            "speedup=%.2fx  inlines=%d"
+            % (label, result.value, result.cycles, result.calls,
+               base.cycles / result.cycles, inlines)
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the wheel
+package (offline environment)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""CLI: regenerate paper figures.
+
+Usage::
+
+    python -m repro.bench figure1 [--quick] [--scale S]
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import FIGURES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's data figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (figure1 only)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor override")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of an aligned table")
+    args = parser.parse_args(argv)
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        runner = FIGURES[name]
+        kwargs = {}
+        if name == "figure1":
+            if args.quick:
+                kwargs["quick"] = True
+            if args.scale is not None:
+                kwargs["mcad_scale"] = args.scale
+        elif args.scale is not None:
+            kwargs["scale"] = args.scale
+        result = runner(**kwargs)
+        print(result.table.to_csv() if args.csv else result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

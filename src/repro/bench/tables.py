@@ -1,0 +1,83 @@
+"""Table/series formatting for the figure-reproduction harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """A simple aligned-column table with a title and footnotes."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "row has %d values, table has %d columns"
+                % (len(values), len(self.columns))
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) if _numericish(cell)
+                          else cell.ljust(widths[i])
+                          for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(row))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[str]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.replace(".", "").replace("-", "").replace("%", "")
+    return stripped.isdigit()
+
+
+def speedup(baseline: float, value: float) -> float:
+    """Baseline/value ratio (>1 means faster than baseline)."""
+    if value == 0:
+        return 0.0
+    return baseline / value
+
+
+def fmt_mb(nbytes: int) -> float:
+    """Bytes -> megabytes (float)."""
+    return nbytes / (1024.0 * 1024.0)

@@ -1,0 +1,18 @@
+"""Compiler driver: user-facing options, builds, selectivity, make."""
+
+from .build import BuildEngine, RebuildReport
+from .compiler import BuildResult, BuildTimings, Compiler, train
+from .options import CompilerOptions
+from .selectivity import SelectivityPlan, plan_selectivity
+
+__all__ = [
+    "BuildEngine",
+    "RebuildReport",
+    "BuildResult",
+    "BuildTimings",
+    "Compiler",
+    "train",
+    "CompilerOptions",
+    "SelectivityPlan",
+    "plan_selectivity",
+]

@@ -1,0 +1,171 @@
+"""mllc: the command-line compiler driver.
+
+HP-UX-flavoured flags over MLL source files::
+
+    python -m repro.driver build prog/*.mll -O4 -P profile.json --run
+    python -m repro.driver train prog/*.mll -o profile.json
+    python -m repro.driver objdump prog/main.mll
+
+Subcommands:
+
+* ``build``  -- compile + link (optionally execute) a set of modules;
+* ``train``  -- build instrumented (+I), run, write a profile database;
+* ``objdump``-- print a module's IL after the frontend.
+
+Module names derive from file stems; a file named ``main.mll`` (or any
+module defining ``main``) provides the entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+from ..frontend import compile_source, detect_language
+from ..ir.printer import format_module
+from ..naim.memory import fmt_bytes
+from .compiler import Compiler, train as train_profile
+from .options import CompilerOptions
+from ..profiles.database import ProfileDatabase
+
+
+def _read_sources(paths: List[str]) -> Dict[str, str]:
+    """Read sources; .mfl files pick the FORTRAN-ish frontend, .mll the
+    C-ish one, anything else is auto-detected."""
+    sources: Dict[str, str] = {}
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name in sources:
+            raise SystemExit("duplicate module name %r" % name)
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[name] = handle.read()
+    if not sources:
+        raise SystemExit("no source files given")
+    return sources
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("files", nargs="+", help="MLL source files")
+    parser.add_argument(
+        "-O", dest="opt_level", type=int, default=2, choices=(0, 1, 2, 4),
+        help="optimization level (4 = link-time CMO)",
+    )
+    parser.add_argument(
+        "-P", dest="profile", default=None, metavar="DB.json",
+        help="profile database to use (+P)",
+    )
+    parser.add_argument(
+        "--selectivity", type=float, default=None, metavar="PCT",
+        help="coarse-grained selectivity percentage (needs -P)",
+    )
+    parser.add_argument("--checked", action="store_true",
+                        help="fail the build on interface mismatches")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    profile_db = None
+    if args.profile:
+        profile_db = ProfileDatabase.load(args.profile)
+    options = CompilerOptions(
+        opt_level=args.opt_level,
+        pbo=profile_db is not None,
+        selectivity_percent=args.selectivity,
+        checked=args.checked,
+    )
+    build = Compiler(options).build(sources, profile_db=profile_db)
+    print("build %s: %d modules, %d lines -> %d machine instrs (%.2fs)"
+          % (options.describe(), len(sources), build.source_lines,
+             build.executable.code_size(), build.timings.total()))
+    if build.interface_problems:
+        for problem in build.interface_problems:
+            print("warning: interface mismatch: %s" % problem,
+                  file=sys.stderr)
+    if build.plan is not None and options.selectivity_percent is not None:
+        print("selectivity: %s" % build.plan)
+    if build.hlo_result is not None:
+        print("hlo: %s, peak memory %s"
+              % (build.hlo_result.inline_stats,
+                 fmt_bytes(build.hlo_result.peak_bytes)))
+    if args.run:
+        result = build.run()
+        print("run: value=%d cycles=%d instrs=%d calls=%d"
+              % (result.value, result.cycles, result.instructions,
+                 result.calls))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    database = train_profile(sources, [None] * args.runs)
+    database.save(args.output)
+    hottest = ", ".join(
+        "%s(%d)" % (name, weight)
+        for name, weight in database.hottest_routines(5)
+    )
+    print("trained %d run(s) -> %s" % (args.runs, args.output))
+    print("hottest: %s" % hottest)
+    return 0
+
+
+def cmd_objdump(args: argparse.Namespace) -> int:
+    for path in args.files:
+        name, extension = os.path.splitext(os.path.basename(path))
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if extension == ".mfl":
+            language = "mfl"
+        elif extension == ".mll":
+            language = "mll"
+        else:
+            language = detect_language(text)
+        module = compile_source(text, name, language)
+        print(format_module(module))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.driver",
+        description="MLL compiler with cross-module optimization",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build_parser = subparsers.add_parser("build", help="compile and link")
+    _add_common(build_parser)
+    build_parser.add_argument("--run", action="store_true",
+                              help="execute the image after linking")
+    build_parser.set_defaults(func=cmd_build)
+
+    train_parser = subparsers.add_parser(
+        "train", help="build +I, run, write a profile database"
+    )
+    train_parser.add_argument("files", nargs="+", help="MLL source files")
+    train_parser.add_argument("-o", dest="output", default="profile.json",
+                              help="output database path")
+    train_parser.add_argument("--runs", type=int, default=1,
+                              help="training runs to merge")
+    train_parser.set_defaults(func=cmd_train)
+
+    objdump_parser = subparsers.add_parser(
+        "objdump", help="print a module's IL"
+    )
+    objdump_parser.add_argument("files", nargs="+", help="MLL source files")
+    objdump_parser.set_defaults(func=cmd_objdump)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,471 @@
+"""The compiler driver: frontend -> objects -> link -> executable.
+
+Mirrors the HP-UX pipeline (paper Figure 2): frontends emit IL; at
++O0/+O1/+O2 modules go straight through LLO into code objects; at +O4
+the frontend dumps IL into fat objects and the *linker* routes them
+through HLO (with NAIM and selectivity) before code generation and
+final layout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from ..frontend import compile_source, detect_language
+from ..hlo.driver import HighLevelOptimizer, HloResult
+from ..hlo.profile_view import ProfileView
+from ..ir.module import Module
+from ..ir.program import ENTRY_NAME, Program
+from ..ir.routine import Routine
+from ..ir.symbols import GlobalVar
+from ..linker.clustering import cluster_routines
+from ..linker.link import build_image, check_interfaces
+from ..linker.objects import KIND_IL, LinkError, ObjectFile
+from ..llo.driver import LloOptions, LloStats, LowLevelOptimizer
+from ..naim.memory import MemoryAccountant
+from ..naim.repository import Repository
+from ..profiles.correlate import correlate
+from ..profiles.database import ProfileDatabase
+from ..profiles.probes import ProbeTable, instrument_program
+from ..vm.image import Executable, MachineRoutine
+from ..vm.machine import MachineResult, run_image
+from .options import CompilerOptions
+from .selectivity import SelectivityPlan, plan_selectivity
+
+Sources = Union[Dict[str, str], Sequence[Module]]
+
+
+class BuildTimings:
+    """Wall-clock seconds per build phase."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "%s=%.3fs" % (name, secs) for name, secs in self.phases.items()
+        )
+        return "<BuildTimings %s>" % inner
+
+
+class _Timer:
+    def __init__(self, timings: BuildTimings, phase: str) -> None:
+        self.timings = timings
+        self.phase = phase
+
+    def __enter__(self) -> "_Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.timings.add(self.phase, time.perf_counter() - self.start)
+
+
+class BuildResult:
+    """Everything a build produces."""
+
+    def __init__(self) -> None:
+        self.executable: Optional[Executable] = None
+        self.objects: List[ObjectFile] = []
+        self.probe_table: Optional[ProbeTable] = None
+        self.hlo_result: Optional[HloResult] = None
+        self.llo_stats: Optional[LloStats] = None
+        self.accountant = MemoryAccountant()
+        self.timings = BuildTimings()
+        self.plan: Optional[SelectivityPlan] = None
+        self.interface_problems: List[str] = []
+        self.source_lines = 0
+        self.options_used = ""
+
+    def run(self, inputs=None, cost_model=None,
+            max_instructions: int = 200_000_000) -> MachineResult:
+        """Execute the built image on the VM."""
+        assert self.executable is not None
+        return run_image(self.executable, inputs, cost_model,
+                         max_instructions=max_instructions)
+
+    def __repr__(self) -> str:
+        code = self.executable.code_size() if self.executable else 0
+        return "<BuildResult %s (%d instrs, %.2fs)>" % (
+            self.options_used,
+            code,
+            self.timings.total(),
+        )
+
+
+class Compiler:
+    """One configured compiler instance."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+        self.options = options or CompilerOptions()
+
+    # -- Frontend --------------------------------------------------------------
+
+    def frontend(self, name: str, source: str,
+                 language: str = "auto") -> Module:
+        """Compile one source file to an IL module.
+
+        ``language``: "mll", "mfl" or "auto" (detected from the text).
+        """
+        if language == "auto":
+            language = detect_language(source)
+        return compile_source(source, name, language)
+
+    def _to_modules(self, sources: Sources) -> List[Module]:
+        if isinstance(sources, dict):
+            return [
+                self.frontend(name, text) for name, text in sources.items()
+            ]
+        return list(sources)
+
+    # -- Separate compilation ------------------------------------------------------
+
+    def compile_object(
+        self,
+        module: Module,
+        profile_db: Optional[ProfileDatabase] = None,
+        fingerprint: str = "",
+    ) -> ObjectFile:
+        """Compile one module to an object file (the `cc -c` step)."""
+        if self.options.is_cmo:
+            # Fat object: IL dumped directly (paper §3).
+            return ObjectFile.from_il_module(module, fingerprint)
+        machines, _stats = self._codegen_module(module, profile_db, None)
+        return ObjectFile.from_machine_routines(
+            module,
+            machines,
+            source_fingerprint=fingerprint,
+            opt_summary=self.options.describe(),
+        )
+
+    def _codegen_module(
+        self,
+        module: Module,
+        profile_db: Optional[ProfileDatabase],
+        accountant: Optional[MemoryAccountant],
+    ):
+        llo = LowLevelOptimizer(
+            LloOptions(
+                self.options.llo_level,
+                use_profile=self.options.pbo and profile_db is not None,
+            ),
+            accountant,
+        )
+        machines = []
+        for routine in module.routine_list():
+            machines.append(
+                llo.compile_routine(routine, self._view_for(routine, profile_db))
+            )
+        return machines, llo.stats
+
+    def _view_for(
+        self, routine: Routine, profile_db: Optional[ProfileDatabase]
+    ) -> Optional[ProfileView]:
+        if not self.options.pbo or profile_db is None:
+            return None
+        profile = correlate(profile_db, routine)
+        if profile is None or not profile.block_counts:
+            return None
+        return ProfileView.from_profile(profile)
+
+    # -- Whole builds --------------------------------------------------------------
+
+    def build(
+        self,
+        sources: Sources,
+        profile_db: Optional[ProfileDatabase] = None,
+    ) -> BuildResult:
+        """Frontend + compile + link in one call."""
+        result = BuildResult()
+        result.options_used = self.options.describe()
+        with _Timer(result.timings, "frontend"):
+            modules = self._to_modules(sources)
+        result.source_lines = sum(m.source_lines for m in modules)
+
+        if self.options.instrument:
+            self._build_instrumented(modules, result)
+            return result
+
+        with _Timer(result.timings, "compile"):
+            objects = [
+                self.compile_object(
+                    module, profile_db,
+                    fingerprint=ObjectFile.fingerprint(module.name),
+                )
+                for module in modules
+            ]
+        result.objects = objects
+        self.link_into(objects, profile_db, result)
+        return result
+
+    def link(
+        self,
+        objects: List[ObjectFile],
+        profile_db: Optional[ProfileDatabase] = None,
+    ) -> BuildResult:
+        """Link previously compiled objects (the `ld` step)."""
+        result = BuildResult()
+        result.options_used = self.options.describe()
+        result.objects = list(objects)
+        result.source_lines = sum(o.source_lines for o in objects)
+        self.link_into(objects, profile_db, result)
+        return result
+
+    # -- The link pipeline -------------------------------------------------------------
+
+    def link_into(
+        self,
+        objects: List[ObjectFile],
+        profile_db: Optional[ProfileDatabase],
+        result: BuildResult,
+    ) -> None:
+        options = self.options
+        accountant = result.accountant
+        use_db = profile_db if options.pbo else None
+
+        il_objects = [o for o in objects if o.kind == KIND_IL]
+        code_objects = [o for o in objects if o.kind != KIND_IL]
+
+        machine_routines: List[MachineRoutine] = []
+        for obj in code_objects:
+            machine_routines.extend(obj.machine_routines)
+        global_vars: List[GlobalVar] = []
+        for obj in objects:
+            global_vars.extend(var.copy() for var in obj.defined_globals())
+
+        if il_objects:
+            # Work on copies: objects must survive relinking unchanged.
+            il_modules = [obj.il_module.copy() for obj in il_objects]
+
+            with _Timer(result.timings, "interface_check"):
+                il_program = Program(il_modules)
+                result.interface_problems = check_interfaces(il_program)
+                if result.interface_problems and options.checked:
+                    raise LinkError(
+                        "interface mismatches: %s"
+                        % "; ".join(result.interface_problems[:5])
+                    )
+
+            with _Timer(result.timings, "selectivity"):
+                result.plan = plan_selectivity(
+                    options.selectivity_percent if use_db else None,
+                    il_modules,
+                    use_db,
+                    multi_layer=options.multi_layer,
+                )
+            if not options.is_cmo:
+                cmo_set = set()
+            elif options.cmo_modules is not None:
+                cmo_set = {m.name for m in il_modules} & options.cmo_modules
+            else:
+                cmo_set = set(result.plan.cmo_modules)
+            cmo_modules = [m for m in il_modules if m.name in cmo_set]
+            plain_modules = [m for m in il_modules if m.name not in cmo_set]
+
+            if options.is_cmo and cmo_modules:
+                machine_routines.extend(
+                    self._link_time_cmo(
+                        cmo_modules,
+                        plain_modules,
+                        code_objects,
+                        use_db,
+                        result,
+                    )
+                )
+
+            # Non-CMO IL modules: default optimization (+O2) with PBO;
+            # in multi-layer mode, never-executed modules drop to +O1
+            # (paper §8: "code that is executed little or not at all may
+            # not be optimized at all").
+            with _Timer(result.timings, "codegen_plain"):
+                default_level = 2 if options.is_cmo else options.llo_level
+                llo_by_level = {}
+
+                def llo_for(level: int) -> LowLevelOptimizer:
+                    if level not in llo_by_level:
+                        llo_by_level[level] = LowLevelOptimizer(
+                            LloOptions(level, use_profile=use_db is not None),
+                            accountant,
+                        )
+                    return llo_by_level[level]
+
+                layer_of = result.plan.layer_of if result.plan else {}
+                for module in plain_modules:
+                    level = default_level
+                    if options.multi_layer and (
+                        layer_of.get(module.name) == "cold"
+                    ):
+                        level = 1
+                    llo = llo_for(level)
+                    for routine in module.routine_list():
+                        machine_routines.append(
+                            llo.compile_routine(
+                                routine, self._view_for(routine, use_db)
+                            )
+                        )
+                for llo in llo_by_level.values():
+                    if result.llo_stats is None:
+                        result.llo_stats = llo.stats
+                    else:
+                        result.llo_stats.routines += llo.stats.routines
+                        result.llo_stats.instructions += llo.stats.instructions
+                        result.llo_stats.spilled += llo.stats.spilled
+
+        # Drop globals defined by routines that no longer exist?  No:
+        # globals live independently of routine liveness.
+
+        with _Timer(result.timings, "layout"):
+            layout_order = None
+            if use_db is not None:
+                weights: Dict[tuple, int] = {}
+                for name, profile in use_db.routines.items():
+                    for (block, idx, callee), count in (
+                        profile.call_counts.items()
+                    ):
+                        key = (name, callee)
+                        weights[key] = weights.get(key, 0) + count
+                layout_order = cluster_routines(
+                    [routine.name for routine in machine_routines],
+                    weights,
+                    entry=ENTRY_NAME,
+                )
+
+        with _Timer(result.timings, "link"):
+            result.executable = build_image(
+                machine_routines,
+                global_vars,
+                layout_order=layout_order,
+                probe_table=result.probe_table,
+            )
+
+    def _link_time_cmo(
+        self,
+        cmo_modules: List[Module],
+        plain_modules: List[Module],
+        code_objects: List[ObjectFile],
+        profile_db: Optional[ProfileDatabase],
+        result: BuildResult,
+    ) -> List[MachineRoutine]:
+        """Route the CMO module set through HLO, then LLO each routine."""
+        options = self.options
+        accountant = result.accountant
+
+        externally_callable: Set[str] = set()
+        externally_visible_globals: Set[str] = set()
+        for obj in code_objects:
+            externally_callable.update(obj.referenced_routines)
+            for machine in obj.machine_routines:
+                for instr in machine.instrs:
+                    if instr.sym is not None and instr.op.value in (
+                        "ldg", "stg", "ldx", "stx"
+                    ):
+                        externally_visible_globals.add(instr.sym)
+        for module in plain_modules:
+            for routine in module.routine_list():
+                externally_callable.update(routine.callees())
+                externally_visible_globals.update(
+                    routine.referenced_globals()
+                )
+
+        cmo_program = Program(cmo_modules)
+        repository = None
+        if options.repository_dir is not None:
+            repository = Repository(directory=options.repository_dir)
+        with _Timer(result.timings, "hlo"):
+            hlo = HighLevelOptimizer(
+                cmo_program,
+                options=options.hlo,
+                profile_db=profile_db,
+                naim_config=options.naim,
+                repository=repository,
+                accountant=accountant,
+                externally_callable=externally_callable,
+                externally_visible_globals=externally_visible_globals,
+            )
+            selected: Optional[Set[str]] = None
+            if result.plan is not None and (
+                options.selectivity_percent is not None
+                and profile_db is not None
+            ):
+                selected = result.plan.selected_routines
+            hlo_result = hlo.optimize(
+                selected_routines=selected, materialize=False
+            )
+        result.hlo_result = hlo_result
+
+        with _Timer(result.timings, "codegen_cmo"):
+            llo = LowLevelOptimizer(
+                LloOptions(2, use_profile=profile_db is not None),
+                accountant,
+            )
+            machines: List[MachineRoutine] = []
+            unit = hlo_result.unit
+            for name in unit.routine_names():
+                routine = unit.routine(name)
+                if routine is None:
+                    continue
+                machines.append(
+                    llo.compile_routine(routine, hlo_result.views.get(name))
+                )
+                unit.unload(name)
+            result.llo_stats = llo.stats
+        return machines
+
+    # -- Instrumented builds (+I) -----------------------------------------------------
+
+    def _build_instrumented(
+        self, modules: List[Module], result: BuildResult
+    ) -> None:
+        with _Timer(result.timings, "instrument"):
+            program = Program(modules)
+            result.probe_table = instrument_program(program)
+        with _Timer(result.timings, "compile"):
+            machines: List[MachineRoutine] = []
+            llo = LowLevelOptimizer(
+                LloOptions(self.options.llo_level, use_profile=False),
+                result.accountant,
+            )
+            for module in modules:
+                for routine in module.routine_list():
+                    machines.append(llo.compile_routine(routine))
+            result.llo_stats = llo.stats
+        global_vars: List[GlobalVar] = []
+        for module in modules:
+            global_vars.extend(module.symtab.globals.values())
+        with _Timer(result.timings, "link"):
+            result.executable = build_image(
+                machines, global_vars, probe_table=result.probe_table
+            )
+
+
+# -- Training convenience -----------------------------------------------------------
+
+
+def train(
+    sources: Sources,
+    training_inputs: Iterable[Optional[Dict[str, List[int]]]],
+    opt_level: int = 2,
+) -> ProfileDatabase:
+    """Build instrumented, run on each training input, merge profiles.
+
+    This is the paper's +I / profile-database workflow in one call.
+    """
+    compiler = Compiler(CompilerOptions(opt_level=opt_level, instrument=True))
+    build = compiler.build(sources)
+    assert build.executable is not None and build.probe_table is not None
+    database = ProfileDatabase()
+    for inputs in training_inputs:
+        outcome = run_image(build.executable, inputs)
+        database.merge(
+            ProfileDatabase.from_probe_list(
+                build.probe_table, outcome.probe_counts
+            )
+        )
+    return database

@@ -1,0 +1,70 @@
+"""Frontends: MLL (C-like) and MFL (FORTRAN-like) onto the common IL."""
+
+from ..ir.module import Module
+from ..ir.program import Program
+from .ast import ModuleAST
+from .errors import FrontendError, SemanticError
+from .lexer import TokKind, Token, tokenize
+from .lower import lower_module
+from .mfl import compile_mfl_source
+from .parser import parse_source
+from .sema import check_module
+
+
+def compile_source(source: str, module_name: str,
+                   language: str = "mll") -> Module:
+    """Compile one source file into an IL module.
+
+    ``language`` selects the frontend ("mll" or "mfl"); the IL is
+    identical either way -- HLO never knows which frontend ran
+    (paper section 3).
+    """
+    if language == "mll":
+        return lower_module(parse_source(source, module_name))
+    if language == "mfl":
+        return compile_mfl_source(source, module_name)
+    raise FrontendError("unknown source language %r" % language)
+
+
+def detect_language(source: str) -> str:
+    """Guess the frontend for a source text (FUNCTION => MFL)."""
+    for line in source.splitlines():
+        stripped = line.split("!", 1)[0].strip()
+        if not stripped:
+            continue
+        upper = stripped.upper()
+        if upper.startswith(("FUNCTION ", "PRIVATE FUNCTION ", "INTEGER ",
+                             "PRIVATE INTEGER ")):
+            return "mfl"
+        return "mll"
+    return "mll"
+
+
+def compile_sources(sources: "dict[str, str]") -> Program:
+    """Compile {module_name: source} into a linked Program.
+
+    The language of each module is auto-detected, so mixed-language
+    programs work out of the box.
+    """
+    return Program(
+        compile_source(text, name, detect_language(text))
+        for name, text in sources.items()
+    )
+
+
+__all__ = [
+    "Module",
+    "ModuleAST",
+    "FrontendError",
+    "SemanticError",
+    "TokKind",
+    "Token",
+    "tokenize",
+    "lower_module",
+    "parse_source",
+    "check_module",
+    "compile_source",
+    "compile_mfl_source",
+    "compile_sources",
+    "detect_language",
+]

@@ -1,0 +1,9 @@
+"""Frontend errors."""
+
+
+class FrontendError(Exception):
+    """Base for lexical, syntactic and semantic frontend errors."""
+
+
+class SemanticError(FrontendError):
+    """Semantic-check failure (undeclared name, arity mismatch...)."""

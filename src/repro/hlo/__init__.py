@@ -1,0 +1,19 @@
+"""HLO: the high-level (interprocedural, cross-module) optimizer."""
+
+from .driver import CmoUnit, HighLevelOptimizer, HloResult, standard_pipeline
+from .options import HloOptions
+from .passes import OptContext, PassPipeline, PassStats, RoutinePass
+from .profile_view import ProfileView
+
+__all__ = [
+    "CmoUnit",
+    "HighLevelOptimizer",
+    "HloResult",
+    "standard_pipeline",
+    "HloOptions",
+    "OptContext",
+    "PassPipeline",
+    "PassStats",
+    "RoutinePass",
+    "ProfileView",
+]

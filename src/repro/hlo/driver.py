@@ -1,0 +1,440 @@
+"""The high-level optimizer driver.
+
+Orchestrates one CMO compilation: pools are registered with the NAIM
+loader, every routine is scanned once ("a minimum amount of analysis
+... to ensure that all information available about data accesses is
+known", §5), interprocedural facts are published, then inlining,
+cloning and the scalar pipeline run over the *selected* routines while
+everything else stays unloaded.
+
+The :class:`CmoUnit` is the authoritative container during optimization
+-- global objects (program symbol table, call graph) hold only
+:class:`Handle` references downward, per Figure 3's object discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..ir.callgraph import CallGraph
+from ..ir.module import Module
+from ..ir.program import Program
+from ..ir.routine import Routine
+from ..naim.config import NaimConfig
+from ..naim.loader import Loader
+from ..naim.memory import MemoryAccountant, callgraph_bytes, program_symtab_bytes
+from ..naim.pools import Handle
+from ..naim.repository import Repository
+from ..profiles.correlate import correlate
+from ..profiles.database import ProfileDatabase
+from .analysis.modref import ModRefAnalysis, direct_modref
+from .options import HloOptions
+from .passes import OptContext, PassPipeline
+from .profile_view import ProfileView
+from .transforms.branch_elim import BranchElimination
+from .transforms.clone import make_clone, plan_clones
+from .transforms.constprop import ConstantPropagation
+from .transforms.dce import DeadCodeElimination
+from .transforms.dfe import eliminate_dead_functions
+from .transforms.inline import InlineEngine, InlineStats
+from .transforms.ipcp import publish_interprocedural_facts
+from .transforms.licm import LoopInvariantCodeMotion
+from .transforms.memopt import MemoryForwarding
+from .transforms.simplify import SimplifyCfg
+
+
+def standard_pipeline() -> PassPipeline:
+    """The scalar optimization pipeline run on each selected routine."""
+    return PassPipeline(
+        [
+            SimplifyCfg(),
+            ConstantPropagation(),
+            MemoryForwarding(),
+            LoopInvariantCodeMotion(),
+            BranchElimination(),
+            DeadCodeElimination(),
+        ]
+    )
+
+
+class CmoUnit:
+    """The set of routines being cross-module optimized, behind handles."""
+
+    def __init__(self, loader: Loader) -> None:
+        self.loader = loader
+        self.routine_handles: Dict[str, Handle] = {}
+        self.symtab_handles: Dict[str, Handle] = {}
+        #: routine name -> defining module (stable ordering preserved).
+        self.routine_module: Dict[str, str] = {}
+
+    # -- Registration ------------------------------------------------------------
+
+    def add_module(self, module: Module) -> None:
+        self.symtab_handles[module.name] = self.loader.register_symtab(
+            module.symtab
+        )
+        for routine in module.routine_list():
+            self.add_routine(routine)
+
+    def add_routine(self, routine: Routine) -> Handle:
+        handle = self.loader.register_routine(routine)
+        self.routine_handles[routine.name] = handle
+        self.routine_module[routine.name] = routine.module_name
+        return handle
+
+    # -- Access -----------------------------------------------------------------
+
+    def routine(self, name: str) -> Optional[Routine]:
+        handle = self.routine_handles.get(name)
+        return handle.get() if handle is not None else None
+
+    def handle(self, name: str) -> Optional[Handle]:
+        return self.routine_handles.get(name)
+
+    def routine_names(self) -> List[str]:
+        return list(self.routine_handles)
+
+    def unload(self, name: str) -> None:
+        handle = self.routine_handles.get(name)
+        if handle is not None:
+            handle.request_unload()
+
+    def each_routine(self) -> Iterator[Routine]:
+        """Touch routines one at a time, requesting unload after each."""
+        for name in self.routine_names():
+            routine = self.routine(name)
+            if routine is None:
+                continue
+            yield routine
+            self.unload(name)
+
+    def build_callgraph(self) -> CallGraph:
+        """Rebuild the call graph by scanning every routine once."""
+        graph = CallGraph()
+        from ..ir.callgraph import CallGraphNode, CallSite
+
+        for name in self.routine_names():
+            graph.nodes[name] = CallGraphNode(name, self.routine_module[name])
+        for routine in self.each_routine():
+            node = graph.nodes[routine.name]
+            for block_label, index, callee in routine.call_sites():
+                node.call_sites.append(
+                    CallSite(routine.name, block_label, index, callee)
+                )
+                target = graph.nodes.get(callee)
+                if target is not None and routine.name not in target.caller_names:
+                    target.caller_names.append(routine.name)
+        return graph
+
+    def materialize(self, program: Program) -> Program:
+        """Write optimized routines back into the Program's modules."""
+        for name, handle in self.routine_handles.items():
+            module = program.modules.get(self.routine_module[name])
+            if module is None:
+                continue
+            routine = handle.get()
+            module.routines[name] = routine
+            if name not in module.symtab.routine_names:
+                module.symtab.routine_names.append(name)
+            handle.request_unload()
+        program.invalidate()
+        return program
+
+
+class HloResult:
+    """Everything downstream stages need from an HLO run."""
+
+    def __init__(
+        self,
+        program: Program,
+        unit: CmoUnit,
+        ctx: OptContext,
+        inline_stats: InlineStats,
+        selected: Set[str],
+        removed_functions: List[str],
+        clones: List[str],
+    ) -> None:
+        self.program = program
+        self.unit = unit
+        self.ctx = ctx
+        self.inline_stats = inline_stats
+        self.selected = selected
+        self.removed_functions = removed_functions
+        self.clones = clones
+        #: Peak modeled bytes observed during the HLO phase.
+        self.peak_bytes = 0
+
+    @property
+    def views(self) -> Dict[str, ProfileView]:
+        return self.ctx.views
+
+    @property
+    def loader(self) -> Loader:
+        return self.unit.loader
+
+    @property
+    def accountant(self) -> MemoryAccountant:
+        return self.unit.loader.accountant
+
+    def __repr__(self) -> str:
+        return "<HloResult inlines=%d clones=%d removed=%d selected=%d>" % (
+            self.inline_stats.performed,
+            len(self.clones),
+            len(self.removed_functions),
+            len(self.selected),
+        )
+
+
+class HighLevelOptimizer:
+    """Runs CMO over a program (or a subset of its routines)."""
+
+    def __init__(
+        self,
+        program: Program,
+        options: Optional[HloOptions] = None,
+        profile_db: Optional[ProfileDatabase] = None,
+        naim_config: Optional[NaimConfig] = None,
+        repository: Optional[Repository] = None,
+        accountant: Optional[MemoryAccountant] = None,
+        externally_callable: Optional[Set[str]] = None,
+        externally_visible_globals: Optional[Set[str]] = None,
+    ) -> None:
+        self.program = program
+        self.options = options or HloOptions()
+        self.profile_db = profile_db
+        self.naim_config = naim_config or NaimConfig()
+        self.repository = repository
+        self.accountant = accountant or MemoryAccountant()
+        #: Routines callable from outside the CMO set (selective mode).
+        self.externally_callable = set(externally_callable or ())
+        self.externally_visible_globals = set(externally_visible_globals or ())
+
+    # -- Main entry ---------------------------------------------------------------
+
+    def optimize(
+        self,
+        selected_routines: Optional[Set[str]] = None,
+        materialize: bool = True,
+    ) -> HloResult:
+        """Run the full HLO phase sequence.
+
+        ``selected_routines`` is the fine-grained selectivity set: only
+        these are inlined into and scalar-optimized; None means all.
+        """
+        program = self.program
+        options = self.options
+
+        # Phase 0: dead-function elimination on the whole-program view.
+        removed: List[str] = []
+        if options.dead_function_elim_enabled and not self.externally_callable:
+            removed = eliminate_dead_functions(program)
+
+        symtab = program.symtab
+        loader = Loader(
+            self.naim_config, symtab, self.accountant, self.repository
+        )
+        unit = CmoUnit(loader)
+        ctx = OptContext(symtab, options)
+        accountant = loader.accountant
+
+        # Global (always-resident) objects are accounted directly.
+        accountant.set_usage("global", "program_symtab",
+                             program_symtab_bytes(symtab))
+        callgraph = program.callgraph(rebuild=True)
+        accountant.set_usage("global", "callgraph", callgraph_bytes(callgraph))
+
+        # Phase 1: register + scan, one module at a time.  "As the code
+        # and data are read in, a minimum amount of analysis ... is done"
+        # (§5); each routine is unloaded right after its scan, so peak
+        # memory tracks the loader's working set, never the whole
+        # program.
+        direct: Dict[str, object] = {}
+        callees: Dict[str, List[str]] = {}
+        for module in program.module_list():
+            unit.add_module(module)
+            for routine in module.routine_list():
+                direct[routine.name] = direct_modref(routine)
+                callees[routine.name] = routine.callees()
+                ctx.views[routine.name] = self._initial_view(routine)
+                unit.unload(routine.name)
+            unit.symtab_handles[module.name].request_unload()
+        ctx.modref = ModRefAnalysis.from_direct(direct, callees)
+        accountant.mark("scanned")
+
+        # Attach call-site weights for inline ranking.  Weights come from
+        # the per-routine views (measured or static): a call executes as
+        # often as its containing block, and views stay correct across
+        # transforms (cloning, inlining) where raw database keys do not.
+        self._attach_view_weights(callgraph, ctx)
+
+        all_names = unit.routine_names()
+        if selected_routines is None:
+            selected = set(all_names)
+        else:
+            selected = set(selected_routines) & set(all_names)
+
+        # Phase 2: interprocedural constant facts.
+        publish_interprocedural_facts(
+            ctx,
+            all_names,
+            unit.routine,
+            symtab.all_global_names(),
+            externally_callable=frozenset(self.externally_callable),
+            externally_visible_globals=frozenset(
+                self.externally_visible_globals
+            ),
+        )
+        for name in all_names:
+            unit.unload(name)
+        accountant.mark("ipcp")
+
+        # Phase 3: procedure cloning (selected callers only).
+        clones = self._run_cloning(unit, ctx, program, callgraph, selected)
+        if clones:
+            callgraph = unit.build_callgraph()
+            self._attach_view_weights(callgraph, ctx)
+            accountant.set_usage("global", "callgraph",
+                                 callgraph_bytes(callgraph))
+        accountant.mark("cloned")
+
+        # Phase 4: inlining over selected callers.
+        def _pin(name: str) -> None:
+            handle = unit.handle(name)
+            if handle is not None:
+                loader.pin(handle)
+
+        def _release(name: str) -> None:
+            handle = unit.handle(name)
+            if handle is not None:
+                loader.unpin(handle)
+                loader.reaccount(handle)
+                handle.request_unload()
+
+        engine = InlineEngine(
+            ctx,
+            callgraph,
+            unit.routine,
+            has_profiles=self.profile_db is not None,
+            pin=_pin,
+            release=_release,
+        )
+        inline_order = sorted(selected | set(clones))
+        inline_stats = engine.run(inline_order)
+        accountant.mark("inlined")
+
+        # Phase 5: scalar pipeline over selected routines (fine-grained
+        # selectivity: everything else stays unloaded).
+        pipeline = standard_pipeline()
+        for name in all_names + clones:
+            if name not in selected and name not in clones:
+                continue
+            routine = unit.routine(name)
+            if routine is None:
+                continue
+            handle = unit.handle(name)
+            loader.pin(handle)
+            pipeline.run_routine(routine, ctx)
+            loader.unpin(handle)
+            loader.reaccount(handle)
+            handle.request_unload()
+        accountant.mark("optimized")
+
+        hlo_peak = accountant.peak
+        if materialize:
+            unit.materialize(program)
+
+        result = HloResult(
+            program=program,
+            unit=unit,
+            ctx=ctx,
+            inline_stats=inline_stats,
+            selected=selected,
+            removed_functions=removed,
+            clones=clones,
+        )
+        result.peak_bytes = hlo_peak
+        return result
+
+    # -- Helpers ---------------------------------------------------------------------
+
+    def _initial_view(self, routine: Routine) -> ProfileView:
+        if self.profile_db is not None:
+            profile = correlate(self.profile_db, routine)
+            if profile is not None and profile.block_counts:
+                return ProfileView.from_profile(profile)
+        return ProfileView.static_estimate(routine)
+
+    def _attach_view_weights(self, callgraph: CallGraph, ctx: OptContext) -> None:
+        """Weight every call site by its block's view count."""
+        for node in callgraph.nodes.values():
+            view = ctx.views.get(node.name)
+            if view is None:
+                continue
+            for site in node.call_sites:
+                site.weight = view.count(site.block_label)
+
+    def _run_cloning(
+        self,
+        unit: CmoUnit,
+        ctx: OptContext,
+        program: Program,
+        callgraph: CallGraph,
+        selected: Set[str],
+    ) -> List[str]:
+        if not ctx.options.clone_enabled:
+            return []
+
+        def selected_callers() -> Iterator[Routine]:
+            for name in unit.routine_names():
+                if name in selected:
+                    routine = unit.routine(name)
+                    if routine is not None:
+                        yield routine
+                        unit.unload(name)
+
+        decisions = plan_clones(ctx, selected_callers(), unit.routine)
+        created: List[str] = []
+        serial = 0
+        for decision in decisions:
+            if len(created) >= 64:
+                break
+            callee = unit.routine(decision.callee)
+            if callee is None:
+                continue
+            module = program.modules.get(callee.module_name)
+            if module is None:
+                continue
+            clone_name = "%s::cl%d" % (decision.callee, serial)
+            serial += 1
+            clone = make_clone(callee, decision.bindings, clone_name)
+            # Register with program structures and the loader.
+            symtab_obj = unit.symtab_handles[module.name].get()
+            symtab_obj.add_routine(clone_name)
+            ctx.symtab.define_routine(clone_name, module.name)
+            unit.add_routine(clone)
+            created.append(clone_name)
+            ctx.stats.bump("clone")
+            callee_view = ctx.views.get(decision.callee)
+            if callee_view is not None:
+                ctx.views[clone_name] = ProfileView(
+                    clone_name,
+                    block_counts=callee_view.block_counts,
+                    edge_counts=callee_view.edge_counts,
+                    is_static_estimate=callee_view.is_static_estimate,
+                )
+            # Clone's effects mirror the original's.
+            if ctx.modref is not None:
+                ctx.modref.info[clone_name] = ctx.modref.for_routine(
+                    decision.callee
+                )
+            for caller_name, block_label, index in decision.sites:
+                caller = unit.routine(caller_name)
+                if caller is None:
+                    continue
+                call = caller.block(block_label).instrs[index]
+                from ..ir.instructions import Opcode
+
+                if call.op is Opcode.CALL and call.sym == decision.callee:
+                    call.sym = clone_name
+                    caller.invalidate()
+        return created

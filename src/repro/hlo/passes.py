@@ -1,0 +1,104 @@
+"""The HLO phase framework (paper §3: "HLO optimizes code through a
+series of transformation phases").
+
+A :class:`RoutinePass` transforms one routine; :class:`PassPipeline`
+iterates a pass list to a fixed point (bounded).  The shared
+:class:`OptContext` carries the global objects every phase may consult:
+the program symbol table, mod/ref analysis, profile views and options.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.routine import Routine
+from ..ir.symbols import ProgramSymbolTable
+from ..ir.verifier import assert_valid_routine
+from .analysis.modref import ModRefAnalysis
+from .options import HloOptions
+from .profile_view import ProfileView
+
+
+class PassStats:
+    """Counts of transformations applied, per pass name."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def bump(self, pass_name: str, amount: int = 1) -> None:
+        if amount:
+            self.counts[pass_name] = self.counts.get(pass_name, 0) + amount
+
+    def get(self, pass_name: str) -> int:
+        return self.counts.get(pass_name, 0)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "%s=%d" % (name, count) for name, count in sorted(self.counts.items())
+        )
+        return "<PassStats %s>" % inner
+
+
+class OptContext:
+    """Shared state for one HLO run."""
+
+    def __init__(
+        self,
+        symtab: ProgramSymbolTable,
+        options: Optional[HloOptions] = None,
+        modref: Optional[ModRefAnalysis] = None,
+    ) -> None:
+        self.symtab = symtab
+        self.options = options or HloOptions()
+        self.modref = modref
+        self.views: Dict[str, ProfileView] = {}
+        self.stats = PassStats()
+        #: Set of globals proven read-only program-wide (ipcp fills it).
+        self.readonly_globals = set()
+        #: Routine-name -> known constant return value (ipcp fills it).
+        self.const_returns: Dict[str, int] = {}
+
+    def view_for(self, routine: Routine) -> ProfileView:
+        view = self.views.get(routine.name)
+        if view is None:
+            view = ProfileView.static_estimate(routine)
+            self.views[routine.name] = view
+        return view
+
+    def has_measured_profile(self, routine: Routine) -> bool:
+        view = self.views.get(routine.name)
+        return view is not None and not view.is_static_estimate
+
+
+class RoutinePass:
+    """Base class for per-routine transformation phases."""
+
+    name = "pass"
+
+    def run(self, routine: Routine, ctx: OptContext) -> bool:
+        """Transform ``routine``; return True when anything changed."""
+        raise NotImplementedError
+
+
+class PassPipeline:
+    """Runs a fixed list of passes repeatedly until quiescent."""
+
+    def __init__(self, passes) -> None:
+        self.passes = list(passes)
+
+    def run_routine(self, routine: Routine, ctx: OptContext) -> int:
+        """Optimize one routine; returns total change count."""
+        total_changes = 0
+        for _ in range(ctx.options.max_pass_iterations):
+            changed = False
+            for phase in self.passes:
+                if phase.run(routine, ctx):
+                    changed = True
+                    total_changes += 1
+                    ctx.stats.bump(phase.name)
+                    routine.invalidate()
+                    if ctx.options.checked:
+                        assert_valid_routine(routine)
+            if not changed:
+                break
+        return total_changes

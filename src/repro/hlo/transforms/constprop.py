@@ -1,0 +1,314 @@
+"""Constant and copy propagation with algebraic simplification.
+
+A forward dataflow over the CFG computes, for every block entry, a
+lattice value per virtual register (TOP / CONST c / BOTTOM); the rewrite
+walk then folds instructions, propagates copies locally and applies
+algebraic identities.  Semantics (wraparound, total division, shift
+masking) come from :func:`repro.ir.fold_binary`, the system's single
+source of arithmetic truth.
+
+Also consumes interprocedural facts published in the context:
+
+* ``ctx.readonly_globals`` -- loads of never-written globals fold to
+  their initializers (a cross-module win from mod/ref analysis);
+* ``ctx.const_returns`` -- calls to pure routines with known constant
+  results fold away entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...ir.instructions import (
+    BINARY_OPS,
+    Instr,
+    Opcode,
+    fold_binary,
+    fold_unary,
+)
+from ...ir.routine import Routine
+from ..analysis.cfg import reverse_postorder
+from ..passes import OptContext, RoutinePass
+
+# Lattice: None = TOP (no info yet); _BOT = conflicting; int = constant.
+_BOT = object()
+
+
+def _meet(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is _BOT or b is _BOT or a != b:
+        return _BOT
+    return a
+
+
+class _BlockEnv:
+    """Register -> lattice value during the rewrite walk of one block."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Dict[int, object]) -> None:
+        self.values = values
+
+    def const_of(self, reg: int) -> Optional[int]:
+        value = self.values.get(reg, _BOT)
+        return value if isinstance(value, int) else None
+
+    def set(self, reg: int, value) -> None:
+        self.values[reg] = value
+
+
+def _transfer_block(
+    routine: Routine, label: str, in_values: Dict[int, object], ctx: OptContext
+) -> Dict[int, object]:
+    """Abstractly execute a block, returning the out-state."""
+    values = dict(in_values)
+    for instr in routine.block(label).instrs:
+        dst = instr.dst
+        op = instr.op
+        if op is Opcode.CONST:
+            values[dst] = instr.imm
+        elif op is Opcode.MOV:
+            values[dst] = values.get(instr.a, _BOT)
+        elif op in (Opcode.NEG, Opcode.NOT):
+            a = values.get(instr.a, _BOT)
+            values[dst] = fold_unary(op, a) if isinstance(a, int) else _BOT
+        elif op in BINARY_OPS:
+            a = values.get(instr.a, _BOT)
+            b = values.get(instr.b, _BOT)
+            if isinstance(a, int) and isinstance(b, int):
+                values[dst] = fold_binary(op, a, b)
+            else:
+                values[dst] = _BOT
+        elif op is Opcode.LOADG:
+            values[dst] = _readonly_value(instr.sym, ctx)
+        elif op is Opcode.CALL:
+            if dst is not None:
+                values[dst] = _const_return_value(instr.sym, ctx)
+        elif dst is not None:
+            values[dst] = _BOT
+    return values
+
+
+def _readonly_value(sym: str, ctx: OptContext):
+    if sym in ctx.readonly_globals and ctx.symtab.has_global(sym):
+        var = ctx.symtab.lookup_global(sym)
+        if not var.is_array:
+            return var.init[0]
+    return _BOT
+
+
+def _const_return_value(callee: str, ctx: OptContext):
+    value = ctx.const_returns.get(callee)
+    return value if value is not None else _BOT
+
+
+def compute_block_inputs(
+    routine: Routine, ctx: OptContext
+) -> Dict[str, Dict[int, object]]:
+    """Fixed-point dataflow: per-block entry lattice states."""
+    rpo = reverse_postorder(routine)
+    preds = routine.predecessors()
+    entry_label = routine.entry.label
+    in_states: Dict[str, Dict[int, object]] = {label: {} for label in rpo}
+    # Entry: parameters (and everything else) unknown.
+    in_states[entry_label] = {reg: _BOT for reg in range(routine.next_reg)}
+
+    out_states: Dict[str, Dict[int, object]] = {}
+    changed = True
+    iterations = 0
+    while changed and iterations < 50:
+        changed = False
+        iterations += 1
+        for label in rpo:
+            if label != entry_label:
+                merged: Dict[int, object] = {}
+                first = True
+                for pred in preds[label]:
+                    pred_out = out_states.get(pred)
+                    if pred_out is None:
+                        continue
+                    if first:
+                        merged = dict(pred_out)
+                        first = False
+                    else:
+                        for reg in list(merged):
+                            merged[reg] = _meet(merged[reg], pred_out.get(reg))
+                        for reg in pred_out:
+                            if reg not in merged:
+                                merged[reg] = pred_out[reg]
+                if merged != in_states[label]:
+                    in_states[label] = merged
+                    changed = True
+            new_out = _transfer_block(routine, label, in_states[label], ctx)
+            if out_states.get(label) != new_out:
+                out_states[label] = new_out
+                changed = True
+    if changed:
+        # Iteration bound hit before the fixed point: fall back to
+        # "no information" rather than risk an unsound rewrite.
+        return {
+            label: {reg: _BOT for reg in range(routine.next_reg)}
+            for label in rpo
+        }
+    return in_states
+
+
+def _algebraic(instr: Instr, env: _BlockEnv) -> Optional[Instr]:
+    """Identity rewrites when one operand is a known constant."""
+    op = instr.op
+    if op not in BINARY_OPS:
+        return None
+    a_const = env.const_of(instr.a)
+    b_const = env.const_of(instr.b)
+    dst = instr.dst
+    # x + 0, x - 0, x | 0, x ^ 0, x << 0, x >> 0
+    if b_const == 0 and op in (Opcode.ADD, Opcode.SUB, Opcode.OR, Opcode.XOR,
+                               Opcode.SHL, Opcode.SHR):
+        return Instr(Opcode.MOV, dst=dst, a=instr.a)
+    if a_const == 0 and op in (Opcode.ADD, Opcode.OR, Opcode.XOR):
+        return Instr(Opcode.MOV, dst=dst, a=instr.b)
+    # x * 1, x / 1
+    if b_const == 1 and op in (Opcode.MUL, Opcode.DIV):
+        return Instr(Opcode.MOV, dst=dst, a=instr.a)
+    if a_const == 1 and op is Opcode.MUL:
+        return Instr(Opcode.MOV, dst=dst, a=instr.b)
+    # x * 0, 0 * x, x & 0, 0 & x, 0 / x, 0 % x
+    if (b_const == 0 and op in (Opcode.MUL, Opcode.AND)) or (
+        a_const == 0 and op in (Opcode.MUL, Opcode.AND, Opcode.DIV, Opcode.MOD)
+    ):
+        return Instr(Opcode.CONST, dst=dst, imm=0)
+    # x - x, x ^ x
+    if instr.a == instr.b and op in (Opcode.SUB, Opcode.XOR):
+        return Instr(Opcode.CONST, dst=dst, imm=0)
+    # x == x, x <= x, x >= x / x != x, x < x, x > x
+    if instr.a == instr.b and op in (Opcode.EQ, Opcode.LE, Opcode.GE):
+        return Instr(Opcode.CONST, dst=dst, imm=1)
+    if instr.a == instr.b and op in (Opcode.NE, Opcode.LT, Opcode.GT):
+        return Instr(Opcode.CONST, dst=dst, imm=0)
+    return None
+
+
+class ConstantPropagation(RoutinePass):
+    """The main scalar folding phase."""
+
+    name = "constprop"
+
+    def run(self, routine: Routine, ctx: OptContext) -> bool:
+        if not ctx.options.constprop_enabled:
+            return False
+        in_states = compute_block_inputs(routine, ctx)
+        modref = ctx.modref
+        changed = False
+
+        for block in routine.blocks:
+            if block.label not in in_states:
+                continue  # unreachable; simplify will drop it
+            env = _BlockEnv(dict(in_states[block.label]))
+            copies: Dict[int, int] = {}  # local copy propagation: dst -> src
+
+            def kill_copies(reg: int) -> None:
+                copies.pop(reg, None)
+                for dst_reg in [d for d, s in copies.items() if s == reg]:
+                    del copies[dst_reg]
+
+            for index, instr in enumerate(block.instrs):
+                # Local copy propagation on uses.
+                if copies:
+                    remap = {
+                        reg: copies[reg]
+                        for reg in instr.uses()
+                        if reg in copies
+                    }
+                    if remap:
+                        instr.replace_uses(remap)
+                        changed = True
+
+                op = instr.op
+                dst = instr.dst
+                new_instr: Optional[Instr] = None
+
+                if op in BINARY_OPS:
+                    a = env.const_of(instr.a)
+                    b = env.const_of(instr.b)
+                    if a is not None and b is not None:
+                        new_instr = Instr(
+                            Opcode.CONST, dst=dst, imm=fold_binary(op, a, b)
+                        )
+                    else:
+                        new_instr = _algebraic(instr, env)
+                elif op in (Opcode.NEG, Opcode.NOT):
+                    a = env.const_of(instr.a)
+                    if a is not None:
+                        new_instr = Instr(
+                            Opcode.CONST, dst=dst, imm=fold_unary(op, a)
+                        )
+                elif op is Opcode.MOV:
+                    a = env.const_of(instr.a)
+                    if a is not None:
+                        new_instr = Instr(Opcode.CONST, dst=dst, imm=a)
+                elif op is Opcode.LOADG:
+                    value = _readonly_value(instr.sym, ctx)
+                    if isinstance(value, int):
+                        new_instr = Instr(Opcode.CONST, dst=dst, imm=value)
+                elif op is Opcode.CALL:
+                    value = _const_return_value(instr.sym, ctx)
+                    if (
+                        isinstance(value, int)
+                        and dst is not None
+                        and modref is not None
+                        and modref.for_routine(instr.sym).is_pure()
+                    ):
+                        new_instr = Instr(Opcode.CONST, dst=dst, imm=value)
+                elif op is Opcode.BR:
+                    cond = env.const_of(instr.a)
+                    if cond is not None:
+                        target = instr.targets[0] if cond else instr.targets[1]
+                        new_instr = Instr(Opcode.JMP, targets=(target,))
+
+                if new_instr is not None:
+                    block.instrs[index] = new_instr
+                    instr = new_instr
+                    changed = True
+
+                # Update local copy map and abstract env.
+                if instr.op is Opcode.MOV:
+                    kill_copies(instr.dst)
+                    source = copies.get(instr.a, instr.a)
+                    if source != instr.dst:
+                        copies[instr.dst] = source
+                elif instr.dst is not None:
+                    kill_copies(instr.dst)
+
+                # Abstract step (mirrors _transfer_block, one instr).
+                if instr.op is Opcode.CONST:
+                    env.set(instr.dst, instr.imm)
+                elif instr.op is Opcode.MOV:
+                    env.set(instr.dst, env.values.get(instr.a, _BOT))
+                elif instr.op in (Opcode.NEG, Opcode.NOT):
+                    a = env.const_of(instr.a)
+                    env.set(
+                        instr.dst,
+                        fold_unary(instr.op, a) if a is not None else _BOT,
+                    )
+                elif instr.op in BINARY_OPS:
+                    a = env.const_of(instr.a)
+                    b = env.const_of(instr.b)
+                    env.set(
+                        instr.dst,
+                        fold_binary(instr.op, a, b)
+                        if a is not None and b is not None
+                        else _BOT,
+                    )
+                elif instr.op is Opcode.LOADG:
+                    env.set(instr.dst, _readonly_value(instr.sym, ctx))
+                elif instr.op is Opcode.CALL and instr.dst is not None:
+                    env.set(instr.dst, _const_return_value(instr.sym, ctx))
+                elif instr.dst is not None:
+                    env.set(instr.dst, _BOT)
+
+        if changed:
+            routine.invalidate()
+        return changed

@@ -1,0 +1,63 @@
+"""Dead-code elimination driven by liveness.
+
+Removes instructions whose result register is dead and which have no
+side effects.  Calls are removable only when the callee is provably
+pure (mod/ref analysis) -- the interprocedural DCE the paper's CMO
+enables across module boundaries.
+"""
+
+from __future__ import annotations
+
+from ...ir.instructions import Opcode
+from ...ir.routine import Routine
+from ..analysis.liveness import live_regs_after
+from ..passes import OptContext, RoutinePass
+
+
+class DeadCodeElimination(RoutinePass):
+    name = "dce"
+
+    def run(self, routine: Routine, ctx: OptContext) -> bool:
+        if not ctx.options.dce_enabled:
+            return False
+        modref = ctx.modref
+        changed = False
+        for block in routine.blocks:
+            after = live_regs_after(routine, block.label)
+            kept = []
+            block_changed = False
+            for index, instr in enumerate(block.instrs):
+                if instr.is_terminator():
+                    kept.append(instr)
+                    continue
+                dst = instr.dst
+                removable = False
+                if instr.op is Opcode.MOV and instr.dst == instr.a:
+                    removable = True
+                elif dst is not None and dst not in after[index]:
+                    if not instr.has_side_effects():
+                        removable = True
+                    elif (
+                        instr.op is Opcode.CALL
+                        and modref is not None
+                        and modref.for_routine(instr.sym).is_pure()
+                    ):
+                        removable = True
+                elif (
+                    dst is None
+                    and instr.op is Opcode.CALL
+                    and modref is not None
+                    and modref.for_routine(instr.sym).is_pure()
+                ):
+                    # Pure call whose (absent) result nobody reads.
+                    removable = True
+                if removable:
+                    block_changed = True
+                    changed = True
+                else:
+                    kept.append(instr)
+            if block_changed:
+                block.instrs = kept
+        if changed:
+            routine.invalidate()
+        return changed

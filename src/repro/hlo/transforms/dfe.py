@@ -1,0 +1,47 @@
+"""Dead-function elimination (link-time, whole program).
+
+With every module visible, routines unreachable from ``main`` through
+the call graph can be deleted outright -- dropping their pools from the
+loader and their code from the final image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ...ir.program import ENTRY_NAME, Program
+
+
+def reachable_routines(program: Program, roots=None) -> Set[str]:
+    """Routine names reachable from the roots (default: ``main``)."""
+    graph = program.callgraph()
+    if roots is None:
+        roots = [ENTRY_NAME] if ENTRY_NAME in graph.nodes else []
+    seen: Set[str] = set()
+    stack = [name for name in roots if name in graph.nodes]
+    seen.update(stack)
+    while stack:
+        current = stack.pop()
+        for callee in graph.nodes[current].callees():
+            if callee in graph.nodes and callee not in seen:
+                seen.add(callee)
+                stack.append(callee)
+    return seen
+
+
+def eliminate_dead_functions(program: Program, roots=None) -> List[str]:
+    """Delete unreachable routines; returns the removed names."""
+    graph = program.callgraph()
+    if roots is None and ENTRY_NAME not in graph.nodes:
+        return []  # no entry: a library; keep everything
+    keep = reachable_routines(program, roots)
+    removed: List[str] = []
+    for module in program.module_list():
+        dead = [name for name in module.routines if name not in keep]
+        for name in dead:
+            del module.routines[name]
+            module.symtab.routine_names.remove(name)
+            removed.append(name)
+    if removed:
+        program.invalidate()
+    return removed

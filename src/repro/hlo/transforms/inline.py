@@ -1,0 +1,473 @@
+"""Cross-module, profile-guided inlining (paper §3, §5; Ayers et al.,
+"Aggressive inlining", PLDI'97).
+
+The engine works bottom-up over the call graph so callee bodies are in
+their final, already-optimized form when spliced.  With profiles, hot
+call sites -- ranked by dynamic call count -- get priority and larger
+size allowances; without profiles every small callee is fair game,
+which reproduces the paper's observation that pure CMO "thoroughly
+optimizes all routines" and blows up compile time and memory.
+
+NAIM cooperation: callee bodies are fetched through a resolver callback
+(the driver wires it to loader handles), and per-caller work is ordered
+by callee module so "cross-module inlines from the same pair of modules
+are processed one after another" (§4.3), maximizing loader-cache reuse.
+
+An optional *operation limit* caps the number of inlines performed --
+the paper's §6.3 bug-isolation hook, used by :mod:`repro.triage`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...ir.basic_block import BasicBlock
+from ...ir.callgraph import CallGraph
+from ...ir.instructions import Instr, Opcode
+from ...ir.routine import Routine
+from ..passes import OptContext
+from ..profile_view import ProfileView
+
+#: Resolver: routine name -> Routine (or None if unavailable).
+Resolver = Callable[[str], Optional[Routine]]
+
+
+class InlineStats:
+    """Observable inliner activity."""
+
+    def __init__(self) -> None:
+        self.performed = 0
+        self.rejected_size = 0
+        self.rejected_growth = 0
+        self.rejected_recursive = 0
+        self.rejected_cold = 0
+        self.hit_operation_limit = False
+        #: Every inline performed, in order: (caller, callee).
+        self.performed_list: List[Tuple[str, str]] = []
+        #: (caller_module, callee_module) -> inline count.
+        self.module_pairs: Dict[Tuple[str, str], int] = {}
+        #: Loader-locality trace: callee modules in execution order.
+        self.callee_module_trace: List[str] = []
+
+    def record(self, caller_module: str, callee_module: str,
+               caller: str = "", callee: str = "") -> None:
+        self.performed += 1
+        self.performed_list.append((caller, callee))
+        key = (caller_module, callee_module)
+        self.module_pairs[key] = self.module_pairs.get(key, 0) + 1
+        self.callee_module_trace.append(callee_module)
+
+    def cross_module_count(self) -> int:
+        return sum(
+            count for (cm, km), count in self.module_pairs.items() if cm != km
+        )
+
+    def __repr__(self) -> str:
+        return "<InlineStats performed=%d cross_module=%d>" % (
+            self.performed,
+            self.cross_module_count(),
+        )
+
+
+def _inject_bug(caller: Routine, cont_label: str) -> None:
+    """Deliberately miscompile the most recent inline (test/triage aid).
+
+    Corrupts the freshly spliced callee body -- swapping the targets of
+    its first conditional branch, or failing that perturbing its first
+    constant / flipping an ADD -- simulating the class of inliner bugs
+    the paper's §6.3 isolation workflow hunts.  Enabled only via
+    ``HloOptions.inject_inline_bug_after``.
+    """
+    prefix = cont_label[: -len("cont")]
+    body_blocks = [
+        block
+        for block in caller.blocks
+        if block.label.startswith(prefix) and block.label != cont_label
+    ]
+    for block in body_blocks:
+        term = block.terminator
+        if term is not None and term.op is Opcode.BR:
+            term.targets = (term.targets[1], term.targets[0])
+            caller.invalidate()
+            return
+    for block in body_blocks:
+        for instr in block.instrs:
+            if instr.op is Opcode.CONST:
+                instr.imm += 1
+                caller.invalidate()
+                return
+            if instr.op is Opcode.ADD:
+                instr.op = Opcode.SUB
+                caller.invalidate()
+                return
+
+
+def splice_call(
+    caller: Routine,
+    block_label: str,
+    instr_index: int,
+    callee: Routine,
+    caller_view: Optional[ProfileView] = None,
+    callee_view: Optional[ProfileView] = None,
+    site_weight: int = 0,
+) -> str:
+    """Inline one call site; returns the continuation block's label.
+
+    The caller block is split at the call; the callee body is cloned
+    with renamed registers/labels; parameter binding becomes MOVs;
+    every RET becomes a jump to the continuation.  Probe instructions
+    in the callee are dropped (profiles are collected on uninlined
+    builds).
+    """
+    block = caller.block(block_label)
+    call = block.instrs[instr_index]
+    if call.op is not Opcode.CALL or call.sym != callee.name:
+        raise ValueError(
+            "no call to %s at %s:%s[%d]"
+            % (callee.name, caller.name, block_label, instr_index)
+        )
+
+    serial = int(caller.annotations.get("inline_serial", 0))
+    caller.annotations["inline_serial"] = serial + 1
+    prefix = "il%d_" % serial
+
+    reg_offset = caller.next_reg
+    caller.next_reg += callee.next_reg
+
+    label_map = {b.label: prefix + b.label for b in callee.blocks}
+    cont_label = prefix + "cont"
+
+    # Continuation block: the remainder of the split block.
+    cont = BasicBlock(cont_label, block.instrs[instr_index + 1 :])
+
+    # Rebuild the head of the split block: param binding + jump to body.
+    head = block.instrs[:instr_index]
+    for param_index in range(callee.n_params):
+        head.append(
+            Instr(
+                Opcode.MOV,
+                dst=reg_offset + param_index,
+                a=call.args[param_index],
+            )
+        )
+    entry_label = label_map[callee.entry.label]
+    head.append(Instr(Opcode.JMP, targets=(entry_label,)))
+    block.instrs = head
+
+    # Clone the callee body.
+    cloned: List[BasicBlock] = []
+    for callee_block in callee.blocks:
+        new_block = BasicBlock(label_map[callee_block.label])
+        for instr in callee_block.instrs:
+            if instr.op is Opcode.PROBE:
+                continue
+            copy = instr.copy()
+            if copy.dst is not None:
+                copy.dst += reg_offset
+            if copy.a is not None:
+                copy.a += reg_offset
+            if copy.b is not None:
+                copy.b += reg_offset
+            if copy.args:
+                copy.args = tuple(r + reg_offset for r in copy.args)
+            if copy.op is Opcode.RET:
+                if call.dst is not None:
+                    if copy.a is not None:
+                        new_block.instrs.append(
+                            Instr(Opcode.MOV, dst=call.dst, a=copy.a)
+                        )
+                    else:
+                        new_block.instrs.append(
+                            Instr(Opcode.CONST, dst=call.dst, imm=0)
+                        )
+                new_block.instrs.append(Instr(Opcode.JMP, targets=(cont_label,)))
+                continue
+            if copy.targets:
+                copy.targets = tuple(label_map[t] for t in copy.targets)
+            new_block.instrs.append(copy)
+        cloned.append(new_block)
+
+    # Insert the cloned body and continuation right after the split block.
+    position = next(
+        i for i, b in enumerate(caller.blocks) if b.label == block_label
+    )
+    caller.blocks[position + 1 : position + 1] = cloned + [cont]
+    caller.invalidate()
+
+    # Profile bookkeeping.
+    if caller_view is not None:
+        site_count = site_weight or caller_view.count(block_label)
+        if callee_view is not None:
+            callee_entry = callee_view.count(callee.entry.label)
+            caller_view.splice_scaled(
+                callee_view, label_map, site_count, callee_entry
+            )
+        else:
+            for new_label in label_map.values():
+                caller_view.set_count(new_label, site_count)
+        caller_view.set_count(cont_label, caller_view.count(block_label))
+        caller_view.set_edge(block_label, entry_label, site_count)
+
+    history = caller.annotations.get("inlined_from", "")
+    caller.annotations["inlined_from"] = (
+        "%s,%s" % (history, callee.name) if history else callee.name
+    )
+    return cont_label
+
+
+class InlineCandidate:
+    """One call site the planner may inline."""
+
+    __slots__ = ("caller", "callee", "weight", "hot")
+
+    def __init__(self, caller: str, callee: str, weight: int, hot: bool) -> None:
+        self.caller = caller
+        self.callee = callee
+        self.weight = weight
+        self.hot = hot
+
+    def __repr__(self) -> str:
+        return "<InlineCandidate %s->%s w=%d%s>" % (
+            self.caller,
+            self.callee,
+            self.weight,
+            " hot" if self.hot else "",
+        )
+
+
+class InlineEngine:
+    """Plans and performs inlining over a set of routines."""
+
+    def __init__(
+        self,
+        ctx: OptContext,
+        callgraph: CallGraph,
+        resolve: Resolver,
+        has_profiles: bool,
+        pin=None,
+        release=None,
+    ) -> None:
+        self.ctx = ctx
+        self.callgraph = callgraph
+        self.resolve = resolve
+        self.has_profiles = has_profiles
+        #: pin(name)/release(name): NAIM hooks so the caller being
+        #: mutated is never evicted mid-splice, and finished callers
+        #: are handed back to the loader promptly.
+        self.pin = pin or (lambda name: None)
+        self.release = release or (lambda name: None)
+        self.stats = InlineStats()
+        self._sizes: Dict[str, int] = {}
+        self._original_program_size = 0
+        self._program_size = 0
+
+    # -- Sizing helpers ---------------------------------------------------------
+
+    def _size_of(self, name: str) -> int:
+        size = self._sizes.get(name)
+        if size is None:
+            routine = self.resolve(name)
+            size = routine.instr_count() if routine is not None else 1 << 30
+            self._sizes[name] = size
+        return size
+
+    def _set_size(self, name: str, size: int) -> None:
+        self._program_size += size - self._sizes.get(name, size)
+        self._sizes[name] = size
+
+    # -- Planning --------------------------------------------------------------
+
+    def _hot_weight_cutoff(self) -> int:
+        """Smallest weight still inside the hot fraction of call volume."""
+        if not self.has_profiles:
+            return 0
+        weights = sorted(
+            (site.weight for site in self.callgraph.all_sites()), reverse=True
+        )
+        total = sum(weights)
+        if total == 0:
+            return 1
+        budget = total * self.ctx.options.inline_hot_site_fraction
+        running = 0
+        cutoff = weights[0] if weights else 1
+        for weight in weights:
+            running += weight
+            cutoff = weight
+            if running >= budget:
+                break
+        return max(cutoff, 1)
+
+    def plan_for_caller(
+        self, caller_name: str, hot_cutoff: int
+    ) -> List[InlineCandidate]:
+        """Decide which of a caller's sites to inline, in splice order."""
+        options = self.ctx.options
+        node = self.callgraph.nodes.get(caller_name)
+        if node is None:
+            return []
+        candidates: List[InlineCandidate] = []
+        for site in node.call_sites:
+            callee = site.callee
+            if callee == caller_name:
+                self.stats.rejected_recursive += 1
+                continue
+            if callee not in self.callgraph.nodes:
+                continue  # external / unavailable
+            if self.callgraph.is_recursive(callee):
+                self.stats.rejected_recursive += 1
+                continue
+            weight = site.weight
+            hot = self.has_profiles and weight >= hot_cutoff
+            if self.has_profiles and weight < options.inline_min_site_weight:
+                self.stats.rejected_cold += 1
+                continue
+            callee_size = self._size_of(callee)
+            limit = (
+                options.inline_hot_callee_max_instrs
+                if hot
+                else options.inline_callee_max_instrs
+            )
+            if callee_size > limit:
+                self.stats.rejected_size += 1
+                continue
+            candidates.append(InlineCandidate(caller_name, callee, weight, hot))
+        # Loader locality: group by callee module, heavier modules first;
+        # deterministic tiebreaks throughout (paper §6.2).
+        if options.inline_schedule_by_module_pair:
+            module_weight: Dict[str, int] = {}
+            for cand in candidates:
+                module = self.callgraph.nodes[cand.callee].module_name
+                module_weight[module] = module_weight.get(module, 0) + max(
+                    cand.weight, 1
+                )
+            candidates.sort(
+                key=lambda c: (
+                    -module_weight[self.callgraph.nodes[c.callee].module_name],
+                    self.callgraph.nodes[c.callee].module_name,
+                    -c.weight,
+                    c.callee,
+                )
+            )
+        else:
+            # Pure benefit order: stable sort keeps equal-weight sites in
+            # discovery (program) order -- the no-locality baseline.
+            candidates.sort(key=lambda c: -c.weight)
+        return candidates
+
+    # -- Execution ----------------------------------------------------------------
+
+    def run(self, caller_names: Optional[List[str]] = None) -> InlineStats:
+        """Inline over the whole call graph (or the given callers)."""
+        options = self.ctx.options
+        order = self.callgraph.topo_order_bottom_up()
+        if caller_names is not None:
+            selected = set(caller_names)
+            order = [name for name in order if name in selected]
+
+        self._original_program_size = sum(
+            self._size_of(name) for name in self.callgraph.nodes
+        )
+        self._program_size = self._original_program_size
+        program_budget = int(
+            self._original_program_size * options.inline_program_growth_factor
+        )
+        hot_cutoff = self._hot_weight_cutoff()
+
+        for caller_name in order:
+            plan = self.plan_for_caller(caller_name, hot_cutoff)
+            if not plan:
+                continue
+            caller = self.resolve(caller_name)
+            if caller is None:
+                continue
+            self.pin(caller_name)
+            try:
+                self._execute_plan(caller, plan, program_budget)
+            finally:
+                self.release(caller_name)
+            if self.stats.hit_operation_limit:
+                break
+        return self.stats
+
+    def _execute_plan(
+        self,
+        caller: Routine,
+        plan: List[InlineCandidate],
+        program_budget: int,
+    ) -> None:
+        """Splice candidates in plan order (module-pair grouped).
+
+        Only *original* caller blocks and continuation blocks are
+        scanned for sites, never cloned callee bodies -- each planned
+        candidate corresponds to one pre-existing call site.
+        """
+        options = self.ctx.options
+        caller_view = self.ctx.view_for(caller)
+        caller_limit = max(
+            options.inline_caller_max_instrs,
+            int(self._size_of(caller.name) * options.inline_routine_growth_factor),
+        )
+        scannable = {block.label for block in caller.blocks}
+
+        for cand in plan:
+            if (
+                options.inline_operation_limit is not None
+                and self.stats.performed >= options.inline_operation_limit
+            ):
+                self.stats.hit_operation_limit = True
+                return
+            callee = self.resolve(cand.callee)
+            if callee is None:
+                continue
+            callee_size = callee.instr_count()
+            if (
+                caller.instr_count() + callee_size > caller_limit
+                or self._program_size + callee_size > program_budget
+            ):
+                self.stats.rejected_growth += 1
+                continue
+            site = self._find_site(caller, cand.callee, scannable)
+            if site is None:
+                continue  # an earlier transform removed the call
+            block_label, instr_index = site
+            call = caller.block(block_label).instrs[instr_index]
+            if len(call.args) != callee.n_params:
+                # Mismatched interface (paper section 6.3): leave the call
+                # for the runtime checker rather than splice garbage.
+                continue
+            callee_view = self.ctx.views.get(callee.name)
+            cont_label = splice_call(
+                caller,
+                block_label,
+                instr_index,
+                callee,
+                caller_view=caller_view,
+                callee_view=callee_view,
+                site_weight=cand.weight,
+            )
+            scannable.add(cont_label)
+            if (
+                options.inject_inline_bug_after is not None
+                and self.stats.performed + 1
+                == options.inject_inline_bug_after
+            ):
+                _inject_bug(caller, cont_label)
+            self.stats.record(
+                caller.module_name, callee.module_name,
+                caller=caller.name, callee=callee.name,
+            )
+            self._set_size(caller.name, caller.instr_count())
+        self._set_size(caller.name, caller.instr_count())
+
+    @staticmethod
+    def _find_site(
+        caller: Routine, callee_name: str, scannable
+    ) -> Optional[Tuple[str, int]]:
+        """First remaining call to ``callee_name`` outside cloned bodies."""
+        for block in caller.blocks:
+            if block.label not in scannable:
+                continue
+            for index, instr in enumerate(block.instrs):
+                if instr.op is Opcode.CALL and instr.sym == callee_name:
+                    return (block.label, index)
+        return None

@@ -1,0 +1,295 @@
+"""Loop-invariant code motion (the paper's "locality and
+schedule-enhancing loop transformations" slot, §3).
+
+Pure register arithmetic whose operands are loop-invariant is hoisted
+to a freshly created preheader.  Loads of globals are hoisted too when
+mod/ref analysis proves nothing in the loop (including calls) can write
+the symbol.
+
+Safety conditions in this non-SSA IL (each checked explicitly):
+
+1. the instruction is pure (no side effects) -- arithmetic is total in
+   this IL (x/0 == 0), so speculative execution on the zero-trip path
+   cannot trap;
+2. its destination register has exactly one definition inside the loop;
+3. the destination is **not live into the loop header**: that single
+   fact rules out both uses-before-def within the loop (they would be
+   live around the back edge) and post-loop uses of the pre-loop value
+   on the zero-trip path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...ir.basic_block import BasicBlock
+from ...ir.instructions import BINARY_OPS, Instr, Opcode
+from ...ir.routine import Routine
+from ..analysis.liveness import liveness
+from ..analysis.loops import Loop, find_loops
+from ..passes import OptContext, RoutinePass
+
+_PURE_OPS = BINARY_OPS | {Opcode.CONST, Opcode.MOV, Opcode.NEG, Opcode.NOT}
+
+
+def _loop_definitions(routine: Routine, loop: Loop) -> Dict[int, int]:
+    """Map register -> number of definitions inside the loop."""
+    counts: Dict[int, int] = {}
+    for label in loop.body:
+        for instr in routine.block(label).instrs:
+            if instr.dst is not None:
+                counts[instr.dst] = counts.get(instr.dst, 0) + 1
+    return counts
+
+
+def _loop_may_write(routine: Routine, loop: Loop, ctx: OptContext,
+                    sym: str) -> bool:
+    """Can anything in the loop store to global ``sym``?"""
+    for label in loop.body:
+        for instr in routine.block(label).instrs:
+            op = instr.op
+            if op in (Opcode.STOREG, Opcode.STOREE) and instr.sym == sym:
+                return True
+            if op is Opcode.CALL:
+                if ctx.modref is None:
+                    return True
+                if ctx.modref.for_routine(instr.sym).writes(sym):
+                    return True
+    return False
+
+
+def _ensure_preheader(routine: Routine, loop: Loop) -> Optional[BasicBlock]:
+    """A block that runs exactly once before the loop is entered.
+
+    Entry edges (from outside the loop into the header) are redirected
+    through a new block.  Returns None when the header is unreachable
+    from outside (degenerate)."""
+    preds = routine.predecessors()
+    entry_preds = [
+        p for p in preds.get(loop.header, []) if p not in loop.body
+    ]
+    if not entry_preds:
+        return None
+    # Reuse an existing preheader: a single entry pred that only jumps
+    # to the header.
+    if len(entry_preds) == 1:
+        candidate = routine.block(entry_preds[0])
+        term = candidate.terminator
+        if (
+            term is not None
+            and term.op is Opcode.JMP
+            and len(candidate.instrs) >= 1
+        ):
+            return candidate
+
+    preheader = routine.new_block("ph_%s" % loop.header)
+    preheader.set_terminator(Instr(Opcode.JMP, targets=(loop.header,)))
+    for pred_label in entry_preds:
+        routine.block(pred_label).retarget(loop.header, preheader.label)
+    routine.invalidate()
+    return preheader
+
+
+
+_EXPENSIVE_COST = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 8,
+    Opcode.MOD: 8,
+    Opcode.LOADG: 2,
+}
+
+
+class LoopInvariantCodeMotion(RoutinePass):
+    name = "licm"
+
+    def run(self, routine: Routine, ctx: OptContext) -> bool:
+        if not ctx.options.licm_enabled:
+            return False
+        changed = False
+        # One loop per sweep, innermost first (find_loops sorts by body
+        # size ascending); loop structure is recomputed after every
+        # hoist because preheader insertion changes the CFG.
+        for _ in range(16):
+            hoisted = False
+            for loop in find_loops(routine):
+                if self._hoist_from_loop(routine, loop, ctx):
+                    changed = True
+                    hoisted = True
+                    routine.invalidate()
+                    break
+            if not hoisted:
+                break
+        return changed
+
+    def _hoist_from_loop(
+        self, routine: Routine, loop: Loop, ctx: OptContext
+    ) -> bool:
+        live_in_header: Set[int] = liveness(routine).live_in.get(
+            loop.header, set()
+        )
+        def_counts = _loop_definitions(routine, loop)
+
+        # Invariant registers grow as we commit to hoisting their defs.
+        invariant_defs: List[Tuple[str, int]] = []  # (label, index)
+        invariant_regs: Set[int] = set()
+        planned = True
+        while planned:
+            planned = False
+            for label in sorted(loop.body):
+                block = routine.block(label)
+                for index, instr in enumerate(block.instrs):
+                    if (label, index) in invariant_defs:
+                        continue
+                    if not self._is_hoistable(
+                        instr, routine, loop, ctx, def_counts,
+                        live_in_header, invariant_regs,
+                    ):
+                        continue
+                    invariant_defs.append((label, index))
+                    invariant_regs.add(instr.dst)
+                    planned = True
+
+        invariant_defs = self._prune_for_pressure(
+            routine, loop, ctx, invariant_defs
+        )
+        if not invariant_defs:
+            return False
+        preheader = _ensure_preheader(routine, loop)
+        if preheader is None:
+            return False
+
+        # Extract in deterministic program order, preserving dependences.
+        ordered: List[Instr] = []
+        for label in [b.label for b in routine.blocks]:
+            if label not in loop.body:
+                continue
+            block = routine.block(label)
+            taken = {
+                index for (l, index) in invariant_defs if l == label
+            }
+            if not taken:
+                continue
+            kept = []
+            for index, instr in enumerate(block.instrs):
+                if index in taken:
+                    ordered.append(instr)
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        # Insert before the preheader's terminator; a dependence-safe
+        # order is recomputed by scheduling defs before uses.
+        ordered = _dependency_order(ordered)
+        insert_at = len(preheader.instrs) - 1
+        preheader.instrs[insert_at:insert_at] = ordered
+
+        # Profile view: the preheader runs once per loop entry.
+        view = ctx.view_for(routine)
+        entry_weight = view.count(loop.header)
+        back_weight = sum(
+            view.edge(latch, loop.header) for latch, _ in loop.back_edges
+        )
+        view.set_count(preheader.label, max(entry_weight - back_weight, 1))
+        return True
+
+
+    def _prune_for_pressure(
+        self,
+        routine: Routine,
+        loop: Loop,
+        ctx: OptContext,
+        invariant_defs: List[Tuple[str, int]],
+    ) -> List[Tuple[str, int]]:
+        """Keep only hoists that pay for their register pressure.
+
+        Every hoisted value that the remaining loop body still reads
+        becomes loop-carried: it occupies a register (or spills) for the
+        whole loop.  Recomputing a cheap op each iteration is cheaper
+        than a spill, so only *expensive* operations (MUL/DIV/MOD and
+        global loads) are worth exporting, the number of exported
+        values is capped, and cheap instructions are hoisted only when
+        they feed a kept expensive one.
+        """
+        by_pos = {
+            (label, index): routine.block(label).instrs[index]
+            for (label, index) in invariant_defs
+        }
+        candidate_regs = {instr.dst for instr in by_pos.values()}
+
+        # Producers: candidate position defining each register.
+        producer = {instr.dst: pos for pos, instr in by_pos.items()}
+
+        # Roots: expensive candidates, ranked costliest first.
+        roots = sorted(
+            (pos for pos, instr in by_pos.items()
+             if instr.op in _EXPENSIVE_COST),
+            key=lambda pos: (-_EXPENSIVE_COST[by_pos[pos].op], pos),
+        )
+        max_exported = ctx.options.licm_max_exported
+        roots = roots[:max_exported]
+        if not roots:
+            return []
+
+        # Closure: a kept instruction drags in the candidates feeding it.
+        kept = set()
+        stack = list(roots)
+        while stack:
+            pos = stack.pop()
+            if pos in kept:
+                continue
+            kept.add(pos)
+            for reg in by_pos[pos].uses():
+                feeder = producer.get(reg)
+                if feeder is not None and feeder not in kept:
+                    stack.append(feeder)
+        return [pos for pos in invariant_defs if pos in kept]
+
+    def _is_hoistable(
+        self,
+        instr: Instr,
+        routine: Routine,
+        loop: Loop,
+        ctx: OptContext,
+        def_counts: Dict[int, int],
+        live_in_header: Set[int],
+        invariant_regs: Set[int],
+    ) -> bool:
+        if instr.dst is None:
+            return False
+        if def_counts.get(instr.dst, 0) != 1:
+            return False
+        if instr.dst in live_in_header:
+            return False
+        if instr.op in _PURE_OPS:
+            pass
+        elif instr.op is Opcode.LOADG:
+            if _loop_may_write(routine, loop, ctx, instr.sym):
+                return False
+        else:
+            return False
+        for reg in instr.uses():
+            defined_in_loop = def_counts.get(reg, 0) > 0
+            if defined_in_loop and reg not in invariant_regs:
+                return False
+        return True
+
+
+def _dependency_order(instrs: List[Instr]) -> List[Instr]:
+    """Topologically order hoisted instructions (defs before uses)."""
+    remaining = list(instrs)
+    ordered: List[Instr] = []
+    defined: Set[int] = set()
+    all_defs = {i.dst for i in instrs}
+    progress = True
+    while remaining and progress:
+        progress = False
+        for instr in list(remaining):
+            if all(
+                reg not in all_defs or reg in defined
+                for reg in instr.uses()
+            ):
+                ordered.append(instr)
+                defined.add(instr.dst)
+                remaining.remove(instr)
+                progress = True
+    ordered.extend(remaining)  # cycles impossible; belt and braces
+    return ordered

@@ -1,0 +1,13 @@
+"""IL interpreter: the system's reference semantics."""
+
+from .interpreter import DEFAULT_MAX_STEPS, Interpreter, run_program
+from .state import GlobalMemory, RunResult, TrapError
+
+__all__ = [
+    "DEFAULT_MAX_STEPS",
+    "Interpreter",
+    "run_program",
+    "GlobalMemory",
+    "RunResult",
+    "TrapError",
+]

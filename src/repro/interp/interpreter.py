@@ -1,0 +1,168 @@
+"""The IL interpreter: the reference semantics for the whole system.
+
+Every other executable representation (the optimizer's constant folder,
+the virtual machine) must agree with this interpreter; property tests
+assert exactly that.  It is also how instrumented (+I) builds are run on
+training inputs to produce profile databases when the user wants
+profiles without going through the VM.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.instructions import (
+    BINARY_OPS,
+    Opcode,
+    fold_binary,
+    fold_unary,
+    wrap64,
+)
+from ..ir.program import ENTRY_NAME, Program
+from ..ir.routine import Routine
+from .state import GlobalMemory, RunResult, TrapError
+
+#: Default dynamic-step budget; keeps property tests total.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+class Interpreter:
+    """Executes IL programs with checked, total semantics."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_depth: int = 2000,
+    ) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self._routines: Dict[str, Routine] = {}
+        for routine in program.all_routines():
+            self._routines[routine.name] = routine
+        self._steps = 0
+        self._calls = 0
+
+    # -- Entry points ---------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = ENTRY_NAME,
+        args: Sequence[int] = (),
+        memory: Optional[GlobalMemory] = None,
+        inputs: Optional[Dict[str, List[int]]] = None,
+    ) -> RunResult:
+        """Execute ``entry(args...)`` and return the result.
+
+        ``inputs`` maps global array names to values poked into memory
+        before the run (the harness's stand-in for program input files).
+        """
+        if memory is None:
+            memory = GlobalMemory.for_program(self.program)
+        if inputs:
+            for sym, values in inputs.items():
+                memory.set_array(sym, list(values))
+        self._steps = 0
+        self._calls = 0
+        probe_counts: Dict[int, int] = {}
+        # The interpreter recurses in Python for IL calls; make sure the
+        # Python stack can hold max_depth IL frames.
+        old_limit = sys.getrecursionlimit()
+        needed = self.max_depth * 3 + 200
+        if needed > old_limit:
+            sys.setrecursionlimit(needed)
+        try:
+            value = self._call(
+                entry, [wrap64(a) for a in args], memory, probe_counts, 0
+            )
+        finally:
+            if needed > old_limit:
+                sys.setrecursionlimit(old_limit)
+        return RunResult(value, self._steps, self._calls, probe_counts)
+
+    # -- Core loop ------------------------------------------------------------
+
+    def _call(
+        self,
+        name: str,
+        args: List[int],
+        memory: GlobalMemory,
+        probes: Dict[int, int],
+        depth: int,
+    ) -> int:
+        if depth > self.max_depth:
+            raise TrapError("call depth exceeded at %s" % name)
+        routine = self._routines.get(name)
+        if routine is None:
+            raise TrapError("call to undefined routine %s" % name)
+        if len(args) != routine.n_params:
+            raise TrapError(
+                "%s called with %d args, expects %d"
+                % (name, len(args), routine.n_params)
+            )
+        self._calls += 1
+
+        regs: List[int] = [0] * routine.next_reg
+        regs[: len(args)] = args
+        blocks = {block.label: block for block in routine.blocks}
+        block = routine.blocks[0]
+
+        while True:
+            for instr in block.instrs:
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise TrapError("step budget exhausted in %s" % name)
+                op = instr.op
+                if op is Opcode.CONST:
+                    regs[instr.dst] = wrap64(instr.imm)
+                elif op in BINARY_OPS:
+                    regs[instr.dst] = fold_binary(op, regs[instr.a], regs[instr.b])
+                elif op is Opcode.MOV or op is Opcode.NEG or op is Opcode.NOT:
+                    regs[instr.dst] = fold_unary(op, regs[instr.a])
+                elif op is Opcode.LOADG:
+                    regs[instr.dst] = memory.load(instr.sym)
+                elif op is Opcode.STOREG:
+                    memory.store(instr.sym, regs[instr.a])
+                elif op is Opcode.LOADE:
+                    regs[instr.dst] = memory.load_elem(instr.sym, regs[instr.a])
+                elif op is Opcode.STOREE:
+                    memory.store_elem(instr.sym, regs[instr.a], regs[instr.b])
+                elif op is Opcode.CALL:
+                    result = self._call(
+                        instr.sym,
+                        [regs[r] for r in instr.args],
+                        memory,
+                        probes,
+                        depth + 1,
+                    )
+                    if instr.dst is not None:
+                        regs[instr.dst] = result
+                elif op is Opcode.PROBE:
+                    probes[instr.imm] = probes.get(instr.imm, 0) + 1
+                elif op is Opcode.RET:
+                    return regs[instr.a] if instr.a is not None else 0
+                elif op is Opcode.BR:
+                    target = instr.targets[0] if regs[instr.a] else instr.targets[1]
+                    block = blocks[target]
+                    break
+                elif op is Opcode.JMP:
+                    block = blocks[instr.targets[0]]
+                    break
+                else:  # pragma: no cover - all opcodes handled above
+                    raise TrapError("unhandled opcode %s" % op)
+            else:
+                raise TrapError(
+                    "fell off the end of block %s in %s" % (block.label, name)
+                )
+
+
+def run_program(
+    program: Program,
+    args: Sequence[int] = (),
+    inputs: Optional[Dict[str, List[int]]] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(program, max_steps=max_steps).run(args=args, inputs=inputs)

@@ -1,0 +1,96 @@
+"""Interpreter runtime state: global memory and run results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.program import Program
+from ..ir.symbols import ProgramSymbolTable
+
+
+class GlobalMemory:
+    """Global variable storage for the IL interpreter.
+
+    Each global symbol maps to a list of i64 cells (length 1 for
+    scalars).  Out-of-range array indices raise :class:`TrapError` --
+    the interpreter has checked semantics, unlike the VM, which mirrors
+    the paper's observation that large programs "take liberties with
+    global storage" that only optimizers expose.
+    """
+
+    def __init__(self, symtab: ProgramSymbolTable) -> None:
+        self.cells: Dict[str, List[int]] = {}
+        for name in symtab.all_global_names():
+            var = symtab.lookup_global(name)
+            self.cells[name] = list(var.init)
+
+    @classmethod
+    def for_program(cls, program: Program) -> "GlobalMemory":
+        return cls(program.symtab)
+
+    def load(self, sym: str) -> int:
+        return self.cells[sym][0]
+
+    def store(self, sym: str, value: int) -> None:
+        self.cells[sym][0] = value
+
+    def load_elem(self, sym: str, index: int) -> int:
+        cells = self.cells[sym]
+        if not 0 <= index < len(cells):
+            raise TrapError(
+                "array index %d out of range for %s[%d]" % (index, sym, len(cells))
+            )
+        return cells[index]
+
+    def store_elem(self, sym: str, index: int, value: int) -> None:
+        cells = self.cells[sym]
+        if not 0 <= index < len(cells):
+            raise TrapError(
+                "array index %d out of range for %s[%d]" % (index, sym, len(cells))
+            )
+        cells[index] = value
+
+    def set_array(self, sym: str, values: List[int]) -> None:
+        """Overwrite a global array (harness input injection)."""
+        cells = self.cells[sym]
+        if len(values) > len(cells):
+            raise TrapError(
+                "input of %d values does not fit %s[%d]"
+                % (len(values), sym, len(cells))
+            )
+        for index, value in enumerate(values):
+            cells[index] = value
+
+
+class TrapError(Exception):
+    """Raised on a runtime trap (bad index, step budget exhausted...)."""
+
+
+class RunResult:
+    """Outcome of one interpreted execution."""
+
+    __slots__ = ("value", "steps", "calls", "probe_counts")
+
+    def __init__(
+        self,
+        value: int,
+        steps: int,
+        calls: int,
+        probe_counts: Optional[Dict[int, int]] = None,
+    ) -> None:
+        #: Return value of the entry routine.
+        self.value = value
+        #: Dynamic IL instructions executed.
+        self.steps = steps
+        #: Dynamic call count.
+        self.calls = calls
+        #: Probe id -> hit count (instrumented runs only).
+        self.probe_counts = probe_counts if probe_counts is not None else {}
+
+    def __repr__(self) -> str:
+        return "<RunResult value=%d steps=%d calls=%d probes=%d>" % (
+            self.value,
+            self.steps,
+            self.calls,
+            len(self.probe_counts),
+        )

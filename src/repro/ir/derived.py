@@ -1,0 +1,57 @@
+"""Derived-data cache (paper section 4.1).
+
+HLO distinguishes three classes of data: *global* (always resident),
+*transitory* (per-module/per-routine, relocatable) and *derived* (results
+of analyses).  Early in HLO's development the authors adopted the
+discipline that derived data is always **recomputed from scratch** rather
+than kept incrementally up to date, so it can be freely discarded --
+e.g. when a routine is compacted and unloaded -- and rebuilt on demand.
+
+:class:`DerivedCache` enforces exactly that discipline: analyses register
+a compute function, results are memoized, and any IR mutation (or NAIM
+unload) calls :meth:`invalidate` to drop everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+
+class DerivedCache:
+    """Memoized analysis results attached to a routine.
+
+    Results are never updated in place; mutating the underlying IR must
+    invalidate the whole cache.
+    """
+
+    __slots__ = ("_results", "recompute_count", "invalidate_count")
+
+    def __init__(self) -> None:
+        self._results: Dict[str, Any] = {}
+        #: Number of analysis recomputations (observable for NAIM costing).
+        self.recompute_count = 0
+        #: Number of invalidations.
+        self.invalidate_count = 0
+
+    def get(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached result for ``key``, computing it if absent."""
+        if key not in self._results:
+            self._results[key] = compute()
+            self.recompute_count += 1
+        return self._results[key]
+
+    def peek(self, key: str) -> Any:
+        """Return the cached result for ``key`` or None (no compute)."""
+        return self._results.get(key)
+
+    def invalidate(self) -> None:
+        """Drop every derived result (on mutation or unload)."""
+        if self._results:
+            self.invalidate_count += 1
+            self._results.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)

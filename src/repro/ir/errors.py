@@ -1,0 +1,17 @@
+"""Errors raised by the IR layer."""
+
+
+class IRError(Exception):
+    """Base class for all IR-layer errors."""
+
+
+class VerifierError(IRError):
+    """Raised when the IR verifier finds a malformed construct."""
+
+
+class ParseError(IRError):
+    """Raised when the textual IL parser encounters invalid input."""
+
+
+class SymbolError(IRError):
+    """Raised on symbol-table violations (duplicates, unresolved refs)."""

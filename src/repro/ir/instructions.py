@@ -1,0 +1,310 @@
+"""The common intermediate language (IL) instruction set.
+
+The IL is a register-based three-address code over 64-bit signed
+integers.  It is deliberately language-neutral: the high-level optimizer
+(HLO) never needs to know which frontend produced a module, mirroring
+the HP-UX compiler described in the paper (section 3).
+
+Semantics notes (shared with the interpreter, the constant folder and
+the virtual machine -- they must all agree):
+
+* All arithmetic wraps to 64-bit two's complement.
+* Division and modulo by zero yield 0 (total semantics; this keeps
+  randomly generated programs well-defined for property testing).
+* Division truncates toward zero, like C.
+* Shift amounts are masked to the range [0, 63].
+* Comparison results are 0 or 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Wrap an arbitrary Python int to signed 64-bit two's complement."""
+    value &= _MASK64
+    if value & _SIGN64:
+        value -= 1 << 64
+    return value
+
+
+def sdiv64(a: int, b: int) -> int:
+    """C-style truncating division with total semantics (x / 0 == 0)."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap64(q)
+
+
+def smod64(a: int, b: int) -> int:
+    """C-style remainder with total semantics (x % 0 == 0)."""
+    if b == 0:
+        return 0
+    return wrap64(a - sdiv64(a, b) * b)
+
+
+class Opcode(enum.Enum):
+    """IL opcodes."""
+
+    # Data movement.
+    CONST = "const"  # dst <- imm
+    MOV = "mov"  # dst <- a
+
+    # Binary arithmetic / logic: dst <- a OP b.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Unary: dst <- OP a.
+    NEG = "neg"
+    NOT = "not"
+
+    # Comparisons: dst <- (a OP b) ? 1 : 0.
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    # Global memory.
+    LOADG = "loadg"  # dst <- global[sym]
+    STOREG = "storeg"  # global[sym] <- a
+    LOADE = "loade"  # dst <- array[sym][a]
+    STOREE = "storee"  # array[sym][a] <- b
+
+    # Calls.  CALL: dst (optional) <- sym(args...)
+    CALL = "call"
+
+    # Terminators.
+    RET = "ret"  # return a (or 0 when a is None)
+    BR = "br"  # if a != 0 goto targets[0] else targets[1]
+    JMP = "jmp"  # goto targets[0]
+
+    # Instrumentation probe (inserted by +I); increments counter `imm`.
+    PROBE = "probe"
+
+
+#: Opcodes of the form dst <- a OP b.
+BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.EQ,
+        Opcode.NE,
+        Opcode.LT,
+        Opcode.LE,
+        Opcode.GT,
+        Opcode.GE,
+    }
+)
+
+#: Opcodes of the form dst <- OP a.
+UNARY_OPS = frozenset({Opcode.NEG, Opcode.NOT, Opcode.MOV})
+
+#: Opcodes that end a basic block.
+TERMINATORS = frozenset({Opcode.RET, Opcode.BR, Opcode.JMP})
+
+#: Comparison opcodes (result is 0 or 1).
+COMPARE_OPS = frozenset(
+    {Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE}
+)
+
+#: Commutative binary opcodes.
+COMMUTATIVE_OPS = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.EQ, Opcode.NE}
+)
+
+
+def fold_binary(op: Opcode, a: int, b: int) -> int:
+    """Constant-fold a binary op; the single source of truth for semantics."""
+    if op is Opcode.ADD:
+        return wrap64(a + b)
+    if op is Opcode.SUB:
+        return wrap64(a - b)
+    if op is Opcode.MUL:
+        return wrap64(a * b)
+    if op is Opcode.DIV:
+        return sdiv64(a, b)
+    if op is Opcode.MOD:
+        return smod64(a, b)
+    if op is Opcode.AND:
+        return wrap64(a & b)
+    if op is Opcode.OR:
+        return wrap64(a | b)
+    if op is Opcode.XOR:
+        return wrap64(a ^ b)
+    if op is Opcode.SHL:
+        return wrap64(a << (b & 63))
+    if op is Opcode.SHR:
+        # Arithmetic shift right on the signed value.
+        return wrap64(a >> (b & 63))
+    if op is Opcode.EQ:
+        return 1 if a == b else 0
+    if op is Opcode.NE:
+        return 1 if a != b else 0
+    if op is Opcode.LT:
+        return 1 if a < b else 0
+    if op is Opcode.LE:
+        return 1 if a <= b else 0
+    if op is Opcode.GT:
+        return 1 if a > b else 0
+    if op is Opcode.GE:
+        return 1 if a >= b else 0
+    raise ValueError("not a binary opcode: %s" % op)
+
+
+def fold_unary(op: Opcode, a: int) -> int:
+    """Constant-fold a unary op."""
+    if op is Opcode.NEG:
+        return wrap64(-a)
+    if op is Opcode.NOT:
+        return wrap64(~a)
+    if op is Opcode.MOV:
+        return a
+    raise ValueError("not a unary opcode: %s" % op)
+
+
+class Instr:
+    """One IL instruction.
+
+    A single concrete class keeps the IR compact and easy to encode for
+    NAIM compaction.  Field usage by opcode:
+
+    ==========  =====  ======  ======  =====  ======  ========
+    opcode      dst    a       b       imm    sym     targets
+    ==========  =====  ======  ======  =====  ======  ========
+    CONST       reg    --      --      int    --      --
+    MOV/unary   reg    reg     --      --     --      --
+    binary      reg    reg     reg     --     --      --
+    LOADG       reg    --      --      --     name    --
+    STOREG      --     reg     --      --     name    --
+    LOADE       reg    reg     --      --     name    --
+    STOREE      --     reg     reg     --     name    --
+    CALL        reg?   --      --      --     name    --      (+args)
+    RET         --     reg?    --      --     --      --
+    BR          --     reg     --      --     --      (t, f)
+    JMP         --     --      --      --     --      (t,)
+    PROBE       --     --      --      id     --      --
+    ==========  =====  ======  ======  =====  ======  ========
+    """
+
+    __slots__ = ("op", "dst", "a", "b", "imm", "sym", "args", "targets")
+
+    def __init__(
+        self,
+        op: Opcode,
+        dst: Optional[int] = None,
+        a: Optional[int] = None,
+        b: Optional[int] = None,
+        imm: Optional[int] = None,
+        sym: Optional[str] = None,
+        args: Tuple[int, ...] = (),
+        targets: Tuple[str, ...] = (),
+    ) -> None:
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+        self.imm = imm
+        self.sym = sym
+        self.args = tuple(args)
+        self.targets = tuple(targets)
+
+    # -- Structural queries -------------------------------------------------
+
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    def is_call(self) -> bool:
+        return self.op is Opcode.CALL
+
+    def defines(self) -> Optional[int]:
+        """The virtual register this instruction writes, if any."""
+        return self.dst
+
+    def uses(self) -> Iterator[int]:
+        """Yield every virtual register this instruction reads."""
+        if self.a is not None:
+            yield self.a
+        if self.b is not None:
+            yield self.b
+        for arg in self.args:
+            yield arg
+
+    def has_side_effects(self) -> bool:
+        """True when the instruction cannot be removed even if dead."""
+        return self.op in (
+            Opcode.STOREG,
+            Opcode.STOREE,
+            Opcode.CALL,
+            Opcode.RET,
+            Opcode.BR,
+            Opcode.JMP,
+            Opcode.PROBE,
+        )
+
+    def replace_uses(self, mapping: "dict[int, int]") -> None:
+        """Rewrite used registers in place through ``mapping``."""
+        if self.a is not None:
+            self.a = mapping.get(self.a, self.a)
+        if self.b is not None:
+            self.b = mapping.get(self.b, self.b)
+        if self.args:
+            self.args = tuple(mapping.get(r, r) for r in self.args)
+
+    def copy(self) -> "Instr":
+        return Instr(
+            self.op,
+            dst=self.dst,
+            a=self.a,
+            b=self.b,
+            imm=self.imm,
+            sym=self.sym,
+            args=self.args,
+            targets=self.targets,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instr):
+            return NotImplemented
+        return (
+            self.op is other.op
+            and self.dst == other.dst
+            and self.a == other.a
+            and self.b == other.b
+            and self.imm == other.imm
+            and self.sym == other.sym
+            and self.args == other.args
+            and self.targets == other.targets
+        )
+
+    def __hash__(self) -> int:
+        raise TypeError("Instr is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        from .printer import format_instr
+
+        return "<Instr %s>" % format_instr(self)

@@ -1,0 +1,202 @@
+"""Textual IL parser (inverse of :mod:`repro.ir.printer`).
+
+Useful for writing tests and for dumping/restoring IL by hand.  This is
+*not* the NAIM relocatable form (that is a binary encoding in
+:mod:`repro.naim.compaction`); it is a human-readable exchange format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .basic_block import BasicBlock
+from .errors import ParseError
+from .instructions import BINARY_OPS, Instr, Opcode
+from .module import Module
+from .routine import Routine
+
+_ROUTINE_RE = re.compile(
+    r"^routine\s+([A-Za-z_][\w:]*)\((\d+)\)\s+(exported|static)\s+lines=(\d+)\s*\{$"
+)
+_GLOBAL_SCALAR_RE = re.compile(
+    r"^global\s+([A-Za-z_][\w:]*)\s+(exported|static)\s*=\s*(-?\d+)$"
+)
+_GLOBAL_ARRAY_RE = re.compile(
+    r"^global\s+([A-Za-z_][\w:]*)\[(\d+)\]\s+(exported|static)\s*=\s*\[(.*)\]$"
+)
+_LABEL_RE = re.compile(r"^([A-Za-z_]\w*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+
+_OPCODE_BY_NAME = {op.value: op for op in Opcode}
+
+
+def _reg(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token.strip())
+    if not match:
+        raise ParseError("line %d: expected register, got %r" % (line_no, token))
+    return int(match.group(1))
+
+
+def _split_args(text: str, line_no: int) -> Tuple[int, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(_reg(part, line_no) for part in text.split(","))
+
+
+def parse_instr(text: str, line_no: int = 0) -> Instr:
+    """Parse one instruction line."""
+    text = text.strip()
+    dst: Optional[int] = None
+    if "=" in text and not text.startswith(("storeg", "storee")):
+        lhs, rhs = text.split("=", 1)
+        dst = _reg(lhs, line_no)
+        text = rhs.strip()
+
+    parts = text.split(None, 1)
+    if not parts:
+        raise ParseError("line %d: empty instruction" % line_no)
+    op_name, rest = parts[0], (parts[1] if len(parts) > 1 else "")
+    op = _OPCODE_BY_NAME.get(op_name)
+    if op is None:
+        raise ParseError("line %d: unknown opcode %r" % (line_no, op_name))
+
+    if op is Opcode.CONST:
+        return Instr(op, dst=dst, imm=int(rest))
+    if op in (Opcode.MOV, Opcode.NEG, Opcode.NOT):
+        return Instr(op, dst=dst, a=_reg(rest, line_no))
+    if op in BINARY_OPS:
+        a_text, b_text = rest.split(",")
+        return Instr(op, dst=dst, a=_reg(a_text, line_no), b=_reg(b_text, line_no))
+    if op is Opcode.LOADG:
+        sym = rest.strip().lstrip("@")
+        return Instr(op, dst=dst, sym=sym)
+    if op is Opcode.STOREG:
+        sym_text, reg_text = rest.split(",")
+        return Instr(op, sym=sym_text.strip().lstrip("@"), a=_reg(reg_text, line_no))
+    if op is Opcode.LOADE:
+        match = re.match(r"^@([\w:]+)\[(r\d+)\]$", rest.strip())
+        if not match:
+            raise ParseError("line %d: bad loade %r" % (line_no, rest))
+        return Instr(op, dst=dst, sym=match.group(1), a=_reg(match.group(2), line_no))
+    if op is Opcode.STOREE:
+        match = re.match(r"^@([\w:]+)\[(r\d+)\]\s*,\s*(r\d+)$", rest.strip())
+        if not match:
+            raise ParseError("line %d: bad storee %r" % (line_no, rest))
+        return Instr(
+            op,
+            sym=match.group(1),
+            a=_reg(match.group(2), line_no),
+            b=_reg(match.group(3), line_no),
+        )
+    if op is Opcode.CALL:
+        match = re.match(r"^@([\w:]+)\((.*)\)$", rest.strip())
+        if not match:
+            raise ParseError("line %d: bad call %r" % (line_no, rest))
+        return Instr(
+            op,
+            dst=dst,
+            sym=match.group(1),
+            args=_split_args(match.group(2), line_no),
+        )
+    if op is Opcode.RET:
+        rest = rest.strip()
+        return Instr(op, a=_reg(rest, line_no) if rest else None)
+    if op is Opcode.BR:
+        cond_text, t_label, f_label = (part.strip() for part in rest.split(","))
+        return Instr(op, a=_reg(cond_text, line_no), targets=(t_label, f_label))
+    if op is Opcode.JMP:
+        return Instr(op, targets=(rest.strip(),))
+    if op is Opcode.PROBE:
+        return Instr(op, imm=int(rest))
+    raise ParseError("line %d: cannot parse %r" % (line_no, text))
+
+
+def parse_routine(lines: List[str], start: int = 0) -> Tuple[Routine, int]:
+    """Parse a routine beginning at ``lines[start]``; return (routine, next)."""
+    header = lines[start].strip()
+    match = _ROUTINE_RE.match(header)
+    if not match:
+        raise ParseError("line %d: bad routine header %r" % (start + 1, header))
+    routine = Routine(
+        match.group(1),
+        n_params=int(match.group(2)),
+        exported=match.group(3) == "exported",
+        source_lines=int(match.group(4)),
+    )
+    current: Optional[BasicBlock] = None
+    max_reg = routine.n_params - 1
+    index = start + 1
+    while index < len(lines):
+        text = lines[index].strip()
+        index += 1
+        if not text or text.startswith("#"):
+            continue
+        if text == "}":
+            if current is None:
+                raise ParseError("line %d: routine with no blocks" % index)
+            routine.next_reg = max_reg + 1
+            routine.invalidate()
+            return routine, index
+        label_match = _LABEL_RE.match(text)
+        if label_match:
+            current = BasicBlock(label_match.group(1))
+            routine.blocks.append(current)
+            continue
+        if current is None:
+            raise ParseError("line %d: instruction before any label" % index)
+        instr = parse_instr(text, index)
+        for reg in instr.uses():
+            max_reg = max(max_reg, reg)
+        if instr.dst is not None:
+            max_reg = max(max_reg, instr.dst)
+        current.instrs.append(instr)
+    raise ParseError("unterminated routine %s" % routine.name)
+
+
+def parse_module(text: str) -> Module:
+    """Parse a whole module dump produced by ``format_module``."""
+    lines = text.splitlines()
+    module: Optional[Module] = None
+    index = 0
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if not stripped or stripped.startswith("#"):
+            index += 1
+            continue
+        if stripped.startswith("module "):
+            module = Module(stripped.split(None, 1)[1].strip())
+            index += 1
+            continue
+        if module is None:
+            raise ParseError("line %d: content before module header" % (index + 1))
+        scalar = _GLOBAL_SCALAR_RE.match(stripped)
+        if scalar:
+            module.define_global(
+                scalar.group(1),
+                init=[int(scalar.group(3))],
+                exported=scalar.group(2) == "exported",
+            )
+            index += 1
+            continue
+        array = _GLOBAL_ARRAY_RE.match(stripped)
+        if array:
+            init_text = array.group(4).strip()
+            init = [int(v) for v in init_text.split(",")] if init_text else []
+            module.define_global(
+                array.group(1),
+                size=int(array.group(2)),
+                init=init,
+                exported=array.group(3) == "exported",
+            )
+            index += 1
+            continue
+        if stripped.startswith("routine "):
+            routine, index = parse_routine(lines, index)
+            module.add_routine(routine)
+            continue
+        raise ParseError("line %d: unexpected %r" % (index + 1, stripped))
+    if module is None:
+        raise ParseError("no module header found")
+    return module

@@ -1,0 +1,100 @@
+"""Textual IL printer (round-trips with :mod:`repro.ir.parser`).
+
+Format example::
+
+    routine fib(2) exported lines=7 {
+    entry0:
+        r2 = const 1
+        r3 = le r0, r2
+        br r3, base, rec
+    base:
+        ret r0
+    rec:
+        ...
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basic_block import BasicBlock
+from .instructions import BINARY_OPS, Instr, Opcode
+from .module import Module
+from .routine import Routine
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction as text."""
+    op = instr.op
+    name = op.value
+    if op is Opcode.CONST:
+        return "r%d = const %d" % (instr.dst, instr.imm)
+    if op is Opcode.MOV or op in (Opcode.NEG, Opcode.NOT):
+        return "r%d = %s r%d" % (instr.dst, name, instr.a)
+    if op in BINARY_OPS:
+        return "r%d = %s r%d, r%d" % (instr.dst, name, instr.a, instr.b)
+    if op is Opcode.LOADG:
+        return "r%d = loadg @%s" % (instr.dst, instr.sym)
+    if op is Opcode.STOREG:
+        return "storeg @%s, r%d" % (instr.sym, instr.a)
+    if op is Opcode.LOADE:
+        return "r%d = loade @%s[r%d]" % (instr.dst, instr.sym, instr.a)
+    if op is Opcode.STOREE:
+        return "storee @%s[r%d], r%d" % (instr.sym, instr.a, instr.b)
+    if op is Opcode.CALL:
+        args = ", ".join("r%d" % r for r in instr.args)
+        if instr.dst is not None:
+            return "r%d = call @%s(%s)" % (instr.dst, instr.sym, args)
+        return "call @%s(%s)" % (instr.sym, args)
+    if op is Opcode.RET:
+        if instr.a is not None:
+            return "ret r%d" % instr.a
+        return "ret"
+    if op is Opcode.BR:
+        return "br r%d, %s, %s" % (instr.a, instr.targets[0], instr.targets[1])
+    if op is Opcode.JMP:
+        return "jmp %s" % instr.targets[0]
+    if op is Opcode.PROBE:
+        return "probe %d" % instr.imm
+    raise ValueError("unprintable opcode %s" % op)
+
+
+def format_block(block: BasicBlock, indent: str = "    ") -> str:
+    lines = ["%s:" % block.label]
+    for instr in block.instrs:
+        lines.append(indent + format_instr(instr))
+    return "\n".join(lines)
+
+
+def format_routine(routine: Routine) -> str:
+    """Render one routine as parseable text."""
+    header = "routine %s(%d)%s lines=%d {" % (
+        routine.name,
+        routine.n_params,
+        " exported" if routine.exported else " static",
+        routine.source_lines,
+    )
+    parts: List[str] = [header]
+    for block in routine.blocks:
+        parts.append(format_block(block))
+    parts.append("}")
+    return "\n".join(parts)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module (globals + routines) as parseable text."""
+    parts: List[str] = ["module %s" % module.name, ""]
+    for var in module.symtab.globals.values():
+        kind = "exported" if var.exported else "static"
+        if var.is_array:
+            init = ", ".join(str(v) for v in var.init)
+            parts.append("global %s[%d] %s = [%s]" % (var.name, var.size, kind, init))
+        else:
+            parts.append("global %s %s = %d" % (var.name, kind, var.init[0]))
+    if module.symtab.globals:
+        parts.append("")
+    for routine in module.routine_list():
+        parts.append(format_routine(routine))
+        parts.append("")
+    return "\n".join(parts)

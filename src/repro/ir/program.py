@@ -1,0 +1,113 @@
+"""Whole programs: a set of modules plus the program-wide symbol table."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .callgraph import CallGraph
+from .errors import SymbolError
+from .module import Module
+from .routine import Routine
+from .symbols import ProgramSymbolTable
+
+#: The conventional program entry point.
+ENTRY_NAME = "main"
+
+
+class Program:
+    """A linked set of modules.
+
+    The program symbol table and call graph correspond to the paper's
+    *global objects*: always memory-resident, at the root of the object
+    tree (Figure 3).
+    """
+
+    def __init__(self, modules: Optional[Iterable[Module]] = None) -> None:
+        self.modules: Dict[str, Module] = {}
+        if modules:
+            for module in modules:
+                self.add_module(module)
+        self._symtab: Optional[ProgramSymbolTable] = None
+        self._callgraph: Optional[CallGraph] = None
+
+    # -- Construction ---------------------------------------------------------
+
+    def add_module(self, module: Module) -> Module:
+        if module.name in self.modules:
+            raise SymbolError("duplicate module %s" % module.name)
+        self.modules[module.name] = module
+        self._symtab = None
+        self._callgraph = None
+        return module
+
+    # -- Global objects ---------------------------------------------------------
+
+    @property
+    def symtab(self) -> ProgramSymbolTable:
+        """Program-wide symbol table (built lazily, rebuilt on change)."""
+        if self._symtab is None:
+            self._symtab = ProgramSymbolTable.build(
+                module.symtab for module in self.module_list()
+            )
+        return self._symtab
+
+    def callgraph(self, rebuild: bool = False) -> CallGraph:
+        """The program call graph (derived; rebuild after transforms)."""
+        if self._callgraph is None or rebuild:
+            self._callgraph = CallGraph.build(self)
+        return self._callgraph
+
+    def invalidate(self) -> None:
+        """Drop program-level derived structures after mutation."""
+        self._symtab = None
+        self._callgraph = None
+
+    # -- Queries ------------------------------------------------------------
+
+    def module_list(self) -> List[Module]:
+        """Modules in deterministic (insertion) order."""
+        return list(self.modules.values())
+
+    def routine(self, name: str) -> Routine:
+        """Resolve a routine by program-wide name."""
+        module_name = self.symtab.lookup_routine_module(name)
+        return self.modules[module_name].routines[name]
+
+    def find_routine(self, name: str) -> Optional[Routine]:
+        if not self.symtab.has_routine(name):
+            return None
+        return self.routine(name)
+
+    def entry(self) -> Routine:
+        return self.routine(ENTRY_NAME)
+
+    def all_routines(self) -> List[Routine]:
+        routines: List[Routine] = []
+        for module in self.module_list():
+            routines.extend(module.routine_list())
+        return routines
+
+    def source_lines(self) -> int:
+        return sum(module.source_lines for module in self.module_list())
+
+    def instr_count(self) -> int:
+        return sum(module.instr_count() for module in self.module_list())
+
+    def check_resolved(self) -> List[str]:
+        """Return undefined symbols referenced anywhere (linker check)."""
+        missing: Dict[str, None] = {}
+        table = self.symtab
+        for routine in self.all_routines():
+            for callee in routine.callees():
+                if not table.has_routine(callee):
+                    missing.setdefault(callee)
+            for sym in routine.referenced_globals():
+                if not table.has_global(sym):
+                    missing.setdefault(sym)
+        return list(missing)
+
+    def __repr__(self) -> str:
+        return "<Program (%d modules, %d lines)>" % (
+            len(self.modules),
+            self.source_lines(),
+        )

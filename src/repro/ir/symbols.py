@@ -1,0 +1,225 @@
+"""Symbol tables: per-module (transitory) and program-wide (global).
+
+The paper's HLO keeps *module* symbol tables as transitory objects that
+can be compacted/offloaded, while the *program* symbol table is a global
+object that is always memory-resident (Figure 3).  We mirror that split:
+
+* :class:`GlobalVar` describes one global scalar or array.
+* :class:`ModuleSymbolTable` holds a module's own definitions plus the
+  external names it references.
+* :class:`ProgramSymbolTable` is built at link/CMO time from all module
+  tables; it owns the persistent-identifier (PID) numbering used by the
+  NAIM compaction layer for cross-pool references.
+
+Naming convention: exported symbols use their bare name; module-static
+symbols are qualified as ``module::name`` by the frontend, which keeps
+the IL itself free of scoping rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import SymbolError
+
+
+class GlobalVar:
+    """A global scalar (size == 1) or array (size > 1) of i64."""
+
+    __slots__ = ("name", "size", "init", "defining_module", "exported")
+
+    def __init__(
+        self,
+        name: str,
+        size: int = 1,
+        init: Optional[Sequence[int]] = None,
+        defining_module: str = "",
+        exported: bool = True,
+    ) -> None:
+        if size < 1:
+            raise SymbolError("global %s has non-positive size %d" % (name, size))
+        self.name = name
+        self.size = size
+        if init is None:
+            self.init: Tuple[int, ...] = (0,) * size
+        else:
+            values = tuple(int(v) for v in init)
+            if len(values) != size:
+                raise SymbolError(
+                    "global %s: init length %d != size %d"
+                    % (name, len(values), size)
+                )
+            self.init = values
+        self.defining_module = defining_module
+        self.exported = exported
+
+    @property
+    def is_array(self) -> bool:
+        return self.size > 1
+
+    def copy(self) -> "GlobalVar":
+        return GlobalVar(
+            self.name, self.size, self.init, self.defining_module, self.exported
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalVar):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.size == other.size
+            and self.init == other.init
+            and self.defining_module == other.defining_module
+            and self.exported == other.exported
+        )
+
+    def __repr__(self) -> str:
+        kind = "array[%d]" % self.size if self.is_array else "scalar"
+        return "<GlobalVar %s %s>" % (self.name, kind)
+
+
+class ModuleSymbolTable:
+    """Symbols defined by one module (a transitory NAIM object).
+
+    Tracks global variables defined here and the names of routines the
+    module defines; external references are recorded so the linker can
+    resolve them without loading the module body.
+    """
+
+    __slots__ = ("module_name", "globals", "routine_names", "extern_refs")
+
+    def __init__(self, module_name: str) -> None:
+        self.module_name = module_name
+        self.globals: Dict[str, GlobalVar] = {}
+        self.routine_names: List[str] = []
+        self.extern_refs: List[str] = []
+
+    def define_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals:
+            raise SymbolError(
+                "duplicate global %s in module %s" % (var.name, self.module_name)
+            )
+        var.defining_module = self.module_name
+        self.globals[var.name] = var
+        return var
+
+    def add_routine(self, name: str) -> None:
+        if name in self.routine_names:
+            raise SymbolError(
+                "duplicate routine %s in module %s" % (name, self.module_name)
+            )
+        self.routine_names.append(name)
+
+    def record_extern(self, name: str) -> None:
+        if name not in self.extern_refs:
+            self.extern_refs.append(name)
+
+    def symbol_count(self) -> int:
+        return len(self.globals) + len(self.routine_names) + len(self.extern_refs)
+
+    def copy(self) -> "ModuleSymbolTable":
+        clone = ModuleSymbolTable(self.module_name)
+        clone.globals = {name: var.copy() for name, var in self.globals.items()}
+        clone.routine_names = list(self.routine_names)
+        clone.extern_refs = list(self.extern_refs)
+        return clone
+
+    def __repr__(self) -> str:
+        return "<ModuleSymbolTable %s (%d globals, %d routines)>" % (
+            self.module_name,
+            len(self.globals),
+            len(self.routine_names),
+        )
+
+
+class ProgramSymbolTable:
+    """The always-resident program-wide symbol table.
+
+    Owns PID numbering: every program-level symbol (global variable or
+    routine) gets a small dense integer used by relocatable (compacted)
+    object encodings instead of raw name strings.  PIDs are assigned in
+    deterministic insertion order so identical inputs produce identical
+    encodings (paper section 6.2 on reproducibility).
+    """
+
+    def __init__(self) -> None:
+        self.globals: Dict[str, GlobalVar] = {}
+        self.routines: Dict[str, str] = {}  # routine name -> defining module
+        self._pid_by_name: Dict[str, int] = {}
+        self._name_by_pid: List[str] = []
+
+    # -- Definition ---------------------------------------------------------
+
+    def define_global(self, var: GlobalVar) -> None:
+        existing = self.globals.get(var.name)
+        if existing is not None:
+            raise SymbolError(
+                "duplicate definition of global %s (modules %s and %s)"
+                % (var.name, existing.defining_module, var.defining_module)
+            )
+        self.globals[var.name] = var
+        self._intern(var.name)
+
+    def define_routine(self, name: str, module_name: str) -> None:
+        if name in self.routines:
+            raise SymbolError(
+                "duplicate definition of routine %s (modules %s and %s)"
+                % (name, self.routines[name], module_name)
+            )
+        self.routines[name] = module_name
+        self._intern(name)
+
+    def _intern(self, name: str) -> int:
+        if name not in self._pid_by_name:
+            self._pid_by_name[name] = len(self._name_by_pid)
+            self._name_by_pid.append(name)
+        return self._pid_by_name[name]
+
+    # -- PID lookups (used by NAIM compaction) -------------------------------
+
+    def pid_of(self, name: str) -> int:
+        """Return the PID for ``name``, interning it if new."""
+        return self._intern(name)
+
+    def name_of(self, pid: int) -> str:
+        try:
+            return self._name_by_pid[pid]
+        except IndexError:
+            raise SymbolError("unknown PID %d" % pid)
+
+    # -- Queries --------------------------------------------------------------
+
+    def lookup_global(self, name: str) -> GlobalVar:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise SymbolError("unresolved global symbol %s" % name)
+
+    def lookup_routine_module(self, name: str) -> str:
+        try:
+            return self.routines[name]
+        except KeyError:
+            raise SymbolError("unresolved routine symbol %s" % name)
+
+    def has_routine(self, name: str) -> bool:
+        return name in self.routines
+
+    def has_global(self, name: str) -> bool:
+        return name in self.globals
+
+    def all_global_names(self) -> List[str]:
+        return list(self.globals)
+
+    def symbol_count(self) -> int:
+        return len(self.globals) + len(self.routines)
+
+    @staticmethod
+    def build(module_tables: Iterable[ModuleSymbolTable]) -> "ProgramSymbolTable":
+        """Construct the program table from per-module tables."""
+        table = ProgramSymbolTable()
+        for mod_table in module_tables:
+            for var in mod_table.globals.values():
+                table.define_global(var)
+            for routine_name in mod_table.routine_names:
+                table.define_routine(routine_name, mod_table.module_name)
+        return table

@@ -1,0 +1,139 @@
+"""IR verifier: structural well-formedness checks.
+
+Run after the frontend and between optimizer phases (in checked builds)
+to catch malformed IR early.  Checks are structural, not semantic:
+
+* every block ends in exactly one terminator, and only the last
+  instruction is a terminator;
+* branch targets name existing blocks;
+* register numbers are within ``routine.next_reg``;
+* opcode field usage matches the table in :mod:`repro.ir.instructions`;
+* block labels are unique.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import VerifierError
+from .instructions import BINARY_OPS, Instr, Opcode
+from .module import Module
+from .program import Program
+from .routine import Routine
+
+_NEEDS_DST = BINARY_OPS | {
+    Opcode.CONST,
+    Opcode.MOV,
+    Opcode.NEG,
+    Opcode.NOT,
+    Opcode.LOADG,
+    Opcode.LOADE,
+}
+
+
+def _check_instr(routine: Routine, block_label: str, instr: Instr) -> List[str]:
+    problems: List[str] = []
+    where = "%s:%s" % (routine.name, block_label)
+
+    def check_reg(reg: object, role: str) -> None:
+        if not isinstance(reg, int) or reg < 0 or reg >= routine.next_reg:
+            problems.append("%s: %s register %r out of range" % (where, role, reg))
+
+    if instr.op in _NEEDS_DST:
+        if instr.dst is None:
+            problems.append("%s: %s lacks dst" % (where, instr.op.value))
+        else:
+            check_reg(instr.dst, "dst")
+    elif instr.dst is not None and instr.op is not Opcode.CALL:
+        problems.append("%s: %s must not define dst" % (where, instr.op.value))
+    elif instr.op is Opcode.CALL and instr.dst is not None:
+        check_reg(instr.dst, "dst")
+
+    for reg in instr.uses():
+        check_reg(reg, "use")
+
+    if instr.op is Opcode.CONST and instr.imm is None:
+        problems.append("%s: const lacks imm" % where)
+    if instr.op is Opcode.PROBE and instr.imm is None:
+        problems.append("%s: probe lacks id" % where)
+    if instr.op in (Opcode.LOADG, Opcode.STOREG, Opcode.LOADE, Opcode.STOREE,
+                    Opcode.CALL) and not instr.sym:
+        problems.append("%s: %s lacks symbol" % (where, instr.op.value))
+    if instr.op is Opcode.BR and len(instr.targets) != 2:
+        problems.append("%s: br needs 2 targets" % where)
+    if instr.op is Opcode.JMP and len(instr.targets) != 1:
+        problems.append("%s: jmp needs 1 target" % where)
+    return problems
+
+
+def verify_routine(routine: Routine) -> List[str]:
+    """Return a list of problems (empty when the routine is well-formed)."""
+    problems: List[str] = []
+    if not routine.blocks:
+        return ["routine %s has no blocks" % routine.name]
+
+    labels = [block.label for block in routine.blocks]
+    if len(set(labels)) != len(labels):
+        problems.append("routine %s has duplicate block labels" % routine.name)
+    label_set = set(labels)
+
+    for block in routine.blocks:
+        if not block.is_terminated():
+            problems.append(
+                "%s:%s lacks a terminator" % (routine.name, block.label)
+            )
+        for index, instr in enumerate(block.instrs):
+            if instr.is_terminator() and index != len(block.instrs) - 1:
+                problems.append(
+                    "%s:%s has a terminator mid-block" % (routine.name, block.label)
+                )
+            problems.extend(_check_instr(routine, block.label, instr))
+        for target in block.successors():
+            if target not in label_set:
+                problems.append(
+                    "%s:%s branches to unknown label %s"
+                    % (routine.name, block.label, target)
+                )
+    if routine.n_params > routine.next_reg:
+        problems.append(
+            "routine %s: n_params %d exceeds next_reg %d"
+            % (routine.name, routine.n_params, routine.next_reg)
+        )
+    return problems
+
+
+def verify_module(module: Module) -> List[str]:
+    """Problems in every routine of the module (empty = clean)."""
+    problems: List[str] = []
+    for routine in module.routine_list():
+        problems.extend(verify_routine(routine))
+        if routine.module_name != module.name:
+            problems.append(
+                "routine %s claims module %s but lives in %s"
+                % (routine.name, routine.module_name, module.name)
+            )
+    return problems
+
+
+def verify_program(program: Program) -> List[str]:
+    """Problems across all modules plus unresolved-symbol checks."""
+    problems: List[str] = []
+    for module in program.module_list():
+        problems.extend(verify_module(module))
+    for missing in program.check_resolved():
+        problems.append("unresolved symbol %s" % missing)
+    return problems
+
+
+def assert_valid_routine(routine: Routine) -> None:
+    """Raise :class:`VerifierError` if the routine is malformed."""
+    problems = verify_routine(routine)
+    if problems:
+        raise VerifierError("; ".join(problems))
+
+
+def assert_valid_program(program: Program) -> None:
+    """Raise :class:`VerifierError` if any module/routine is malformed."""
+    problems = verify_program(program)
+    if problems:
+        raise VerifierError("; ".join(problems[:20]))

@@ -1,0 +1,16 @@
+"""Linker: object files, clustering, relocation, image assembly."""
+
+from .clustering import cluster_routines
+from .link import build_image, check_duplicate_symbols, check_interfaces
+from .objects import KIND_CODE, KIND_IL, LinkError, ObjectFile
+
+__all__ = [
+    "cluster_routines",
+    "build_image",
+    "check_duplicate_symbols",
+    "check_interfaces",
+    "KIND_CODE",
+    "KIND_IL",
+    "LinkError",
+    "ObjectFile",
+]

@@ -1,0 +1,85 @@
+"""Profile-guided procedure clustering (Pettis-Hansen [13], paper §2).
+
+"The linker also uses profile data to cluster frequently-used routines
+together in the final program image": routines that call each other
+often are placed adjacently, so the I-cache's direct-mapped lines hold
+both caller and callee during hot call sequences.
+
+Algorithm: build an undirected weighted graph over routines (edge
+weight = total dynamic calls either way); repeatedly take the heaviest
+edge and merge the two chains containing its endpoints, trying the four
+end-to-end orientations and keeping the one that puts the endpoints
+closest together.  Final order: the entry routine's chain first, then
+chains by descending weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def cluster_routines(
+    routine_names: List[str],
+    call_weights: Dict[Tuple[str, str], int],
+    entry: Optional[str] = None,
+) -> List[str]:
+    """Order routines for the image; deterministic for equal weights.
+
+    ``call_weights`` maps (caller, callee) -> dynamic call count (zero
+    or missing edges are ignored).
+    """
+    names = list(routine_names)
+    name_set = set(names)
+
+    # Undirected accumulated weights.
+    undirected: Dict[Tuple[str, str], int] = {}
+    for (caller, callee), weight in call_weights.items():
+        if weight <= 0 or caller not in name_set or callee not in name_set:
+            continue
+        if caller == callee:
+            continue
+        key = (caller, callee) if caller < callee else (callee, caller)
+        undirected[key] = undirected.get(key, 0) + weight
+
+    chain_of: Dict[str, int] = {name: i for i, name in enumerate(names)}
+    chains: Dict[int, List[str]] = {i: [name] for i, name in enumerate(names)}
+    chain_weight: Dict[int, int] = {i: 0 for i in chains}
+
+    edges = sorted(
+        undirected.items(), key=lambda item: (-item[1], item[0])
+    )
+    for (a, b), weight in edges:
+        chain_a = chain_of[a]
+        chain_b = chain_of[b]
+        if chain_a == chain_b:
+            continue
+        left = chains[chain_a]
+        right = chains[chain_b]
+        # Choose the orientation that brings a and b closest: the merge
+        # always concatenates left + right, so flip each side so that a
+        # ends `left` and b starts `right`.
+        if left[0] == a and len(left) > 1:
+            left = list(reversed(left))
+        if right[-1] == b and len(right) > 1:
+            right = list(reversed(right))
+        merged = left + right
+        chains[chain_a] = merged
+        chain_weight[chain_a] += chain_weight[chain_b] + weight
+        for name in right:
+            chain_of[name] = chain_a
+        del chains[chain_b]
+        del chain_weight[chain_b]
+
+    ordered_chain_ids = sorted(
+        chains,
+        key=lambda cid: (-chain_weight[cid], chains[cid][0]),
+    )
+    if entry is not None and entry in chain_of:
+        entry_chain = chain_of[entry]
+        ordered_chain_ids.remove(entry_chain)
+        ordered_chain_ids.insert(0, entry_chain)
+
+    result: List[str] = []
+    for cid in ordered_chain_ids:
+        result.extend(chains[cid])
+    return result

@@ -1,0 +1,338 @@
+"""Object files (paper §3, §6.1).
+
+Two kinds exist, exactly as in the HP-UX scheme:
+
+* **code objects** -- machine routines, produced by +O0/+O1/+O2
+  compiles; the linker only relocates them;
+* **IL ("fat") objects** -- the frontend "dumps the IL directly to
+  object files"; at +O4 the linker routes these to HLO.
+
+Keeping all persistent information in object files (rather than a
+compiler database) is what makes the framework compatible with make
+(§6.1): the build system sees ordinary source -> object dependencies,
+and program-wide information is rebuilt at link/optimization time.
+
+Object files serialize to a self-contained binary form (own string
+table; no global PIDs -- a private symbol table scopes the encoding).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Set
+
+from ..ir.module import Module
+from ..ir.routine import Routine
+from ..ir.symbols import GlobalVar, ProgramSymbolTable
+from ..naim.compaction import (
+    Reader,
+    Writer,
+    compact_routine,
+    uncompact_routine,
+)
+from ..vm.image import MachineRoutine
+from ..vm.isa import MInstr, MOp
+
+_OBJ_VERSION = 1
+_MOP_LIST = list(MOp)
+_MOP_INDEX = {op: i for i, op in enumerate(_MOP_LIST)}
+
+# Reuse the IL wire numbering for ALU sub-opcodes.
+from ..naim.compaction import OPCODE_WIRE_INDEX, OPCODE_WIRE_LIST
+
+KIND_CODE = "code"
+KIND_IL = "il"
+
+
+class LinkError(Exception):
+    """Raised on unresolved symbols, duplicates or format errors."""
+
+
+class ObjectFile:
+    """One compiled module, either machine code or fat IL."""
+
+    def __init__(
+        self,
+        module_name: str,
+        kind: str,
+        machine_routines: Optional[List[MachineRoutine]] = None,
+        il_module: Optional[Module] = None,
+        globals_list: Optional[List[GlobalVar]] = None,
+        referenced_routines: Optional[List[str]] = None,
+        referenced_globals: Optional[List[str]] = None,
+        source_fingerprint: str = "",
+        source_lines: int = 0,
+        opt_summary: str = "",
+    ) -> None:
+        if kind not in (KIND_CODE, KIND_IL):
+            raise LinkError("bad object kind %r" % kind)
+        self.module_name = module_name
+        self.kind = kind
+        self.machine_routines = machine_routines or []
+        self.il_module = il_module
+        #: Globals this module defines (code objects carry them here;
+        #: IL objects carry them inside il_module's symtab).
+        self.globals_list = globals_list or []
+        self.referenced_routines = referenced_routines or []
+        self.referenced_globals = referenced_globals or []
+        #: Content hash of the source (drives incremental rebuilds).
+        self.source_fingerprint = source_fingerprint
+        self.source_lines = source_lines
+        #: Human-readable note of how this object was compiled.
+        self.opt_summary = opt_summary
+
+    # -- Symbol queries -----------------------------------------------------------
+
+    def defined_routines(self) -> List[str]:
+        if self.kind == KIND_IL:
+            assert self.il_module is not None
+            return list(self.il_module.routines)
+        return [routine.name for routine in self.machine_routines]
+
+    def defined_globals(self) -> List[GlobalVar]:
+        if self.kind == KIND_IL:
+            assert self.il_module is not None
+            return list(self.il_module.symtab.globals.values())
+        return list(self.globals_list)
+
+    def external_references(self) -> Set[str]:
+        return set(self.referenced_routines) | set(self.referenced_globals)
+
+    # -- Construction helpers --------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(text: str) -> str:
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    @staticmethod
+    def from_il_module(
+        module: Module, source_fingerprint: str = ""
+    ) -> "ObjectFile":
+        referenced_routines = module.external_callees()
+        defined_globals = set(module.symtab.globals)
+        referenced_globals: List[str] = []
+        for routine in module.routine_list():
+            for sym in routine.referenced_globals():
+                if sym not in defined_globals and sym not in referenced_globals:
+                    referenced_globals.append(sym)
+        return ObjectFile(
+            module.name,
+            KIND_IL,
+            il_module=module,
+            referenced_routines=referenced_routines,
+            referenced_globals=referenced_globals,
+            source_fingerprint=source_fingerprint,
+            source_lines=module.source_lines,
+            opt_summary="il",
+        )
+
+    @staticmethod
+    def from_machine_routines(
+        module: Module,
+        machine_routines: List[MachineRoutine],
+        source_fingerprint: str = "",
+        opt_summary: str = "",
+    ) -> "ObjectFile":
+        defined = {routine.name for routine in machine_routines}
+        defined_globals = set(module.symtab.globals)
+        referenced_routines: List[str] = []
+        referenced_globals: List[str] = []
+        for machine in machine_routines:
+            for instr in machine.instrs:
+                if instr.op is MOp.CALL and instr.sym is not None:
+                    if instr.sym not in defined and (
+                        instr.sym not in referenced_routines
+                    ):
+                        referenced_routines.append(instr.sym)
+                elif instr.sym is not None:
+                    if instr.sym not in defined_globals and (
+                        instr.sym not in referenced_globals
+                    ):
+                        referenced_globals.append(instr.sym)
+        return ObjectFile(
+            module.name,
+            KIND_CODE,
+            machine_routines=machine_routines,
+            globals_list=list(module.symtab.globals.values()),
+            referenced_routines=referenced_routines,
+            referenced_globals=referenced_globals,
+            source_fingerprint=source_fingerprint,
+            source_lines=module.source_lines,
+            opt_summary=opt_summary,
+        )
+
+    # -- Serialization -----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.u(_OBJ_VERSION)
+        writer.string_ref(self.module_name)
+        writer.u(0 if self.kind == KIND_CODE else 1)
+        writer.string_ref(self.source_fingerprint)
+        writer.u(self.source_lines)
+        writer.string_ref(self.opt_summary)
+
+        writer.u(len(self.referenced_routines))
+        for name in self.referenced_routines:
+            writer.string_ref(name)
+        writer.u(len(self.referenced_globals))
+        for name in self.referenced_globals:
+            writer.string_ref(name)
+
+        global_vars = self.defined_globals()
+        writer.u(len(global_vars))
+        for var in global_vars:
+            writer.string_ref(var.name)
+            writer.u(var.size)
+            writer.u(1 if var.exported else 0)
+            significant = len(var.init)
+            while significant and var.init[significant - 1] == 0:
+                significant -= 1
+            writer.u(significant)
+            for value in var.init[:significant]:
+                writer.s(value)
+
+        if self.kind == KIND_IL:
+            assert self.il_module is not None
+            # A private symbol table scopes PIDs to this object.
+            local = ProgramSymbolTable()
+            routines = self.il_module.routine_list()
+            encoded = [compact_routine(r, local) for r in routines]
+            writer.u(len(local._name_by_pid))
+            for name in local._name_by_pid:
+                writer.string_ref(name)
+            writer.u(len(encoded))
+            for blob in encoded:
+                writer.u(len(blob))
+                writer.buf.extend(blob)
+        else:
+            writer.u(len(self.machine_routines))
+            for machine in self.machine_routines:
+                _encode_machine_routine(writer, machine)
+        return writer.finish()
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "ObjectFile":
+        reader = Reader(data)
+        version = reader.u()
+        if version != _OBJ_VERSION:
+            raise LinkError("unsupported object version %d" % version)
+        module_name = reader.string_ref()
+        kind = KIND_CODE if reader.u() == 0 else KIND_IL
+        fingerprint = reader.string_ref()
+        source_lines = reader.u()
+        opt_summary = reader.string_ref()
+
+        referenced_routines = [reader.string_ref() for _ in range(reader.u())]
+        referenced_globals = [reader.string_ref() for _ in range(reader.u())]
+
+        global_vars: List[GlobalVar] = []
+        for _ in range(reader.u()):
+            name = reader.string_ref()
+            size = reader.u()
+            exported = bool(reader.u())
+            significant = reader.u()
+            init = [reader.s() for _ in range(significant)]
+            init.extend([0] * (size - significant))
+            global_vars.append(
+                GlobalVar(name, size=size, init=init,
+                          defining_module=module_name, exported=exported)
+            )
+
+        if kind == KIND_IL:
+            local = ProgramSymbolTable()
+            for _ in range(reader.u()):
+                local.pid_of(reader.string_ref())
+            module = Module(module_name, source_lines=source_lines)
+            for var in global_vars:
+                module.symtab.define_global(var)
+            for _ in range(reader.u()):
+                length = reader.u()
+                blob = reader.data[reader.pos : reader.pos + length]
+                reader.pos += length
+                module.add_routine(uncompact_routine(bytes(blob), local))
+            return ObjectFile(
+                module_name,
+                KIND_IL,
+                il_module=module,
+                referenced_routines=referenced_routines,
+                referenced_globals=referenced_globals,
+                source_fingerprint=fingerprint,
+                source_lines=source_lines,
+                opt_summary=opt_summary,
+            )
+
+        machine_routines = [
+            _decode_machine_routine(reader) for _ in range(reader.u())
+        ]
+        return ObjectFile(
+            module_name,
+            KIND_CODE,
+            machine_routines=machine_routines,
+            globals_list=global_vars,
+            referenced_routines=referenced_routines,
+            referenced_globals=referenced_globals,
+            source_fingerprint=fingerprint,
+            source_lines=source_lines,
+            opt_summary=opt_summary,
+        )
+
+    def __repr__(self) -> str:
+        return "<ObjectFile %s (%s, %d routines)>" % (
+            self.module_name,
+            self.kind,
+            len(self.defined_routines()),
+        )
+
+
+def _encode_machine_routine(writer: Writer, machine: MachineRoutine) -> None:
+    writer.string_ref(machine.name)
+    writer.string_ref(machine.source_module)
+    writer.u(machine.n_params)
+    writer.u(machine.frame_size)
+    writer.u(len(machine.instrs))
+    for instr in machine.instrs:
+        writer.u(_MOP_INDEX[instr.op])
+        writer.u(0 if instr.subop is None else OPCODE_WIRE_INDEX[instr.subop] + 1)
+        writer.opt_reg(instr.rd)
+        writer.opt_reg(instr.rs1)
+        writer.opt_reg(instr.rs2)
+        if instr.imm is None:
+            writer.u(0)
+        else:
+            writer.u(1)
+            writer.s(instr.imm)
+        writer.u(0 if instr.imm2 is None else instr.imm2 + 1)
+        if instr.sym is None:
+            writer.u(0)
+        else:
+            writer.u(1)
+            writer.string_ref(instr.sym)
+
+
+def _decode_machine_routine(reader: Reader) -> MachineRoutine:
+    name = reader.string_ref()
+    source_module = reader.string_ref()
+    n_params = reader.u()
+    frame_size = reader.u()
+    count = reader.u()
+    instrs: List[MInstr] = []
+    for _ in range(count):
+        op = _MOP_LIST[reader.u()]
+        subop_raw = reader.u()
+        subop = None if subop_raw == 0 else OPCODE_WIRE_LIST[subop_raw - 1]
+        rd = reader.opt_reg()
+        rs1 = reader.opt_reg()
+        rs2 = reader.opt_reg()
+        imm = reader.s() if reader.u() else None
+        imm2_raw = reader.u()
+        imm2 = None if imm2_raw == 0 else imm2_raw - 1
+        sym = reader.string_ref() if reader.u() else None
+        instrs.append(
+            MInstr(op, subop=subop, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                   imm2=imm2, sym=sym)
+        )
+    return MachineRoutine(
+        name, instrs, n_params=n_params, frame_size=frame_size,
+        source_module=source_module
+    )

@@ -1,0 +1,26 @@
+"""LLO: the low-level optimizer / code generator."""
+
+from .driver import LloOptions, LloStats, LowLevelOptimizer
+from .layout import emit_routine, order_blocks
+from .lir import LirBlock, LirRoutine, Terminator
+from .lower import LoweringError, lower_routine
+from .regalloc import AllocMode, AllocationResult, allocate
+from .schedule import schedule_block, schedule_routine
+
+__all__ = [
+    "LloOptions",
+    "LloStats",
+    "LowLevelOptimizer",
+    "emit_routine",
+    "order_blocks",
+    "LirBlock",
+    "LirRoutine",
+    "Terminator",
+    "LoweringError",
+    "lower_routine",
+    "AllocMode",
+    "AllocationResult",
+    "allocate",
+    "schedule_block",
+    "schedule_routine",
+]

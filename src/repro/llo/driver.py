@@ -1,0 +1,128 @@
+"""The LLO driver: IL routine -> machine routine.
+
+Applies the optimization ladder the HP-UX options expose:
+
+* ``+O0``: straight lowering, naive (spill-everything) allocation,
+  source-order layout;
+* ``+O1``: block-local allocation, basic-block scheduling, peephole;
+* ``+O2``: global linear-scan allocation, scheduling, and (with ``+P``)
+  profile-guided spill weighting and block layout.
+
+LLO's working memory is modeled quadratically in routine size (paper,
+Figure 4 caption) and reported to the memory accountant while each
+routine is in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hlo.profile_view import ProfileView
+from ..ir.routine import Routine
+from ..naim.memory import MemoryAccountant, llo_working_bytes
+from ..vm.image import MachineRoutine
+from .layout import emit_routine, order_blocks
+from .lower import lower_routine
+from .regalloc import AllocMode, allocate
+from .schedule import schedule_routine
+
+
+class LloOptions:
+    """Code-generator policy for one compilation."""
+
+    def __init__(
+        self,
+        opt_level: int = 2,
+        use_profile: bool = False,
+        schedule_window: int = 8,
+    ) -> None:
+        if opt_level not in (0, 1, 2):
+            raise ValueError("LLO opt_level must be 0, 1 or 2")
+        self.opt_level = opt_level
+        self.use_profile = use_profile
+        self.schedule_window = schedule_window
+
+    @property
+    def alloc_mode(self) -> AllocMode:
+        if self.opt_level == 0:
+            return AllocMode.NAIVE
+        if self.opt_level == 1:
+            return AllocMode.LOCAL
+        return AllocMode.GLOBAL
+
+    def __repr__(self) -> str:
+        return "<LloOptions O%d%s>" % (
+            self.opt_level,
+            " +P" if self.use_profile else "",
+        )
+
+
+class LloStats:
+    """Aggregate code-generation statistics."""
+
+    def __init__(self) -> None:
+        self.routines = 0
+        self.instructions = 0
+        self.spilled = 0
+        self.stall_fills = 0
+        self.peak_working_bytes = 0
+
+    def __repr__(self) -> str:
+        return "<LloStats routines=%d instrs=%d spilled=%d fills=%d>" % (
+            self.routines,
+            self.instructions,
+            self.spilled,
+            self.stall_fills,
+        )
+
+
+class LowLevelOptimizer:
+    """Compiles IL routines to machine code."""
+
+    def __init__(
+        self,
+        options: Optional[LloOptions] = None,
+        accountant: Optional[MemoryAccountant] = None,
+    ) -> None:
+        self.options = options or LloOptions()
+        self.accountant = accountant
+        self.stats = LloStats()
+
+    def compile_routine(
+        self,
+        routine: Routine,
+        view: Optional[ProfileView] = None,
+    ) -> MachineRoutine:
+        """Lower, schedule, allocate and lay out one routine."""
+        options = self.options
+        working = llo_working_bytes(routine.instr_count())
+        if self.accountant is not None:
+            self.accountant.set_usage("llo", routine.name, working)
+        if working > self.stats.peak_working_bytes:
+            self.stats.peak_working_bytes = working
+
+        lir = lower_routine(routine)
+
+        if options.opt_level >= 1:
+            self.stats.stall_fills += schedule_routine(
+                lir, options.schedule_window
+            )
+
+        profile_view = view if options.use_profile else None
+        allocation = allocate(lir, options.alloc_mode, profile_view)
+
+        if options.opt_level >= 2 and options.use_profile and view is not None:
+            order = order_blocks(lir, view, use_profile=True)
+        else:
+            order = None
+
+        machine = emit_routine(lir, allocation.frame_size, order)
+
+        self.stats.routines += 1
+        self.stats.instructions += len(machine.instrs)
+        self.stats.spilled += allocation.spilled_count
+        if self.accountant is not None:
+            # The per-routine working set is transient: release it, the
+            # accountant's peak keeps the high-water mark.
+            self.accountant.set_usage("llo", routine.name, 0)
+        return machine

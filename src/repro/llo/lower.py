@@ -1,0 +1,113 @@
+"""Lowering: IL routines to LIR.
+
+Conventions established here (consumed by the allocator and emitter):
+
+* IL virtual registers map 1:1 to LIR virtual registers;
+* parameters arrive in frame slots ``0..n-1``; lowering loads each
+  *used* parameter into its virtual register at entry;
+* ``CALL`` instructions carry ``rd`` = the virtual register that wants
+  the return value; the allocator inserts the ``R0`` plumbing;
+* global symbols stay symbolic (``sym``) until link time.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.instructions import BINARY_OPS, Opcode
+from ..ir.routine import Routine
+from ..vm.isa import MInstr, MOp
+from .lir import LirBlock, LirRoutine, Terminator
+
+
+class LoweringError(Exception):
+    """Raised on IL constructs the code generator cannot lower."""
+
+
+def lower_routine(routine: Routine) -> LirRoutine:
+    """Translate one IL routine into LIR."""
+    lir = LirRoutine(
+        routine.name,
+        routine.module_name,
+        routine.n_params,
+        routine.next_reg,
+    )
+
+    used_params = _used_params(routine)
+
+    for il_block in routine.blocks:
+        block = LirBlock(il_block.label)
+        lir.blocks.append(block)
+        if il_block is routine.blocks[0]:
+            # Materialize incoming parameters from their frame slots.
+            for param in sorted(used_params):
+                block.instrs.append(
+                    MInstr(MOp.LDS, rd=param, imm=param)
+                )
+        for instr in il_block.instrs:
+            _lower_instr(instr, block)
+        if block.terminator is None:
+            raise LoweringError(
+                "block %s of %s has no terminator" % (il_block.label,
+                                                      routine.name)
+            )
+    return lir
+
+
+def _used_params(routine: Routine) -> Set[int]:
+    used: Set[int] = set()
+    params = set(range(routine.n_params))
+    for _, _, instr in routine.iter_instrs():
+        for reg in instr.uses():
+            if reg in params:
+                used.add(reg)
+    return used
+
+
+def _lower_instr(instr, block: LirBlock) -> None:
+    op = instr.op
+    if op is Opcode.CONST:
+        block.instrs.append(MInstr(MOp.LDI, rd=instr.dst, imm=instr.imm))
+    elif op is Opcode.MOV:
+        block.instrs.append(MInstr(MOp.MOVR, rd=instr.dst, rs1=instr.a))
+    elif op in BINARY_OPS:
+        block.instrs.append(
+            MInstr(MOp.ALU3, subop=op, rd=instr.dst, rs1=instr.a, rs2=instr.b)
+        )
+    elif op in (Opcode.NEG, Opcode.NOT):
+        block.instrs.append(
+            MInstr(MOp.ALU2, subop=op, rd=instr.dst, rs1=instr.a)
+        )
+    elif op is Opcode.LOADG:
+        block.instrs.append(MInstr(MOp.LDG, rd=instr.dst, sym=instr.sym))
+    elif op is Opcode.STOREG:
+        block.instrs.append(MInstr(MOp.STG, rs1=instr.a, sym=instr.sym))
+    elif op is Opcode.LOADE:
+        block.instrs.append(
+            MInstr(MOp.LDX, rd=instr.dst, rs1=instr.a, sym=instr.sym)
+        )
+    elif op is Opcode.STOREE:
+        block.instrs.append(
+            MInstr(MOp.STX, rs1=instr.a, rs2=instr.b, sym=instr.sym)
+        )
+    elif op is Opcode.CALL:
+        for arg_index, arg_reg in enumerate(instr.args):
+            block.instrs.append(
+                MInstr(MOp.ARG, rs1=arg_reg, imm=arg_index)
+            )
+        block.instrs.append(MInstr(MOp.CALL, rd=instr.dst, sym=instr.sym))
+    elif op is Opcode.PROBE:
+        block.instrs.append(MInstr(MOp.PROBE, imm=instr.imm))
+    elif op is Opcode.RET:
+        block.terminator = Terminator("ret", reg=instr.a)
+    elif op is Opcode.BR:
+        block.terminator = Terminator(
+            "br",
+            reg=instr.a,
+            true_label=instr.targets[0],
+            false_label=instr.targets[1],
+        )
+    elif op is Opcode.JMP:
+        block.terminator = Terminator("jmp", true_label=instr.targets[0])
+    else:  # pragma: no cover
+        raise LoweringError("unlowerable opcode %s" % op)

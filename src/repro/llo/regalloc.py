@@ -1,0 +1,338 @@
+"""Register allocation: linear scan with spilling.
+
+Three modes implement the optimization ladder:
+
+* ``NAIVE`` (+O0): every virtual register lives in a frame slot; each
+  use reloads, each definition stores back.
+* ``LOCAL`` (+O1): values live across basic-block boundaries are
+  spilled; block-local values get registers ("optimize only within
+  basic block boundaries", the paper's Mcad3 baseline).
+* ``GLOBAL`` (+O2 and up): whole-routine linear scan over live
+  intervals.  With a profile view, spill-victim selection is weighted
+  by dynamic use counts -- the paper's "improving the cost model for
+  register allocation" under PBO.
+
+Physical registers: R1..R13 allocatable, R14/R15 spill scratch, R0 the
+call return-value register (see :mod:`repro.vm.isa`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..hlo.profile_view import ProfileView
+from ..vm.isa import (
+    ALLOCATABLE_REGS,
+    REG_RV,
+    REG_SCRATCH_A,
+    REG_SCRATCH_B,
+    MInstr,
+    MOp,
+)
+from .lir import LirRoutine
+
+
+class AllocMode(enum.Enum):
+    """Allocation quality ladder: NAIVE (+O0), LOCAL (+O1), GLOBAL (+O2)."""
+
+    NAIVE = "naive"
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+class AllocationResult:
+    """What the allocator reports back."""
+
+    __slots__ = ("frame_size", "spilled_count", "assigned_count")
+
+    def __init__(self, frame_size: int, spilled: int, assigned: int) -> None:
+        self.frame_size = frame_size
+        self.spilled_count = spilled
+        self.assigned_count = assigned
+
+
+class _Interval:
+    __slots__ = ("vreg", "start", "end", "weight")
+
+    def __init__(self, vreg: int) -> None:
+        self.vreg = vreg
+        self.start = 1 << 60
+        self.end = -1
+        self.weight = 0
+
+    def extend(self, pos: int) -> None:
+        if pos < self.start:
+            self.start = pos
+        if pos > self.end:
+            self.end = pos
+
+
+def _defines(instr: MInstr) -> Optional[int]:
+    if instr.op in (MOp.LDI, MOp.MOVR, MOp.ALU3, MOp.ALU2, MOp.LDG, MOp.LDX,
+                    MOp.LDS, MOp.CALL):
+        return instr.rd
+    return None
+
+
+def _block_liveness(lir: LirRoutine) -> Tuple[Dict[str, Set[int]],
+                                              Dict[str, Set[int]]]:
+    """Live-in / live-out virtual registers per LIR block."""
+    use: Dict[str, Set[int]] = {}
+    defs: Dict[str, Set[int]] = {}
+    for block in lir.blocks:
+        block_use: Set[int] = set()
+        block_def: Set[int] = set()
+        for instr in block.instrs:
+            for reg in instr.reads():
+                if reg not in block_def:
+                    block_use.add(reg)
+            dst = _defines(instr)
+            if dst is not None:
+                block_def.add(dst)
+        term = block.terminator
+        if term is not None and term.reg is not None:
+            if term.reg not in block_def:
+                block_use.add(term.reg)
+        use[block.label] = block_use
+        defs[block.label] = block_def
+
+    live_in: Dict[str, Set[int]] = {b.label: set() for b in lir.blocks}
+    live_out: Dict[str, Set[int]] = {b.label: set() for b in lir.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(lir.blocks):
+            label = block.label
+            out: Set[int] = set()
+            if block.terminator is not None:
+                for succ in block.terminator.successors():
+                    out |= live_in.get(succ, set())
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _build_intervals(
+    lir: LirRoutine,
+    live_in: Dict[str, Set[int]],
+    live_out: Dict[str, Set[int]],
+    view: Optional[ProfileView],
+) -> Dict[int, _Interval]:
+    intervals: Dict[int, _Interval] = {}
+
+    def interval(vreg: int) -> _Interval:
+        item = intervals.get(vreg)
+        if item is None:
+            item = _Interval(vreg)
+            intervals[vreg] = item
+        return item
+
+    pos = 0
+    for block in lir.blocks:
+        block_start = pos
+        block_weight = view.count(block.label) if view is not None else 1
+        block_weight = max(block_weight, 1)
+        for vreg in live_in[block.label]:
+            interval(vreg).extend(block_start)
+        for instr in block.instrs:
+            for reg in instr.reads():
+                item = interval(reg)
+                item.extend(pos)
+                item.weight += block_weight
+            dst = _defines(instr)
+            if dst is not None:
+                item = interval(dst)
+                item.extend(pos)
+                item.weight += block_weight
+            pos += 1
+        term = block.terminator
+        if term is not None and term.reg is not None:
+            item = interval(term.reg)
+            item.extend(pos)
+            item.weight += block_weight
+        for vreg in live_out[block.label]:
+            interval(vreg).extend(pos)
+        pos += 1  # terminator slot
+    return intervals
+
+
+def _linear_scan(
+    intervals: List[_Interval],
+    weighted: bool,
+) -> Tuple[Dict[int, int], Set[int]]:
+    """Classic linear scan; returns (vreg->phys, spilled vregs)."""
+    assignment: Dict[int, int] = {}
+    spilled: Set[int] = set()
+    free = list(ALLOCATABLE_REGS)
+    active: List[_Interval] = []  # sorted by end
+
+    for current in sorted(intervals, key=lambda iv: (iv.start, iv.vreg)):
+        # Expire old intervals.
+        still_active = []
+        for item in active:
+            if item.end < current.start:
+                free.append(assignment[item.vreg])
+            else:
+                still_active.append(item)
+        active = still_active
+        free.sort()
+
+        if free:
+            reg = free.pop(0)
+            assignment[current.vreg] = reg
+            active.append(current)
+            active.sort(key=lambda iv: (iv.end, iv.vreg))
+            continue
+
+        # Choose a spill victim among active + current.
+        candidates = active + [current]
+        if weighted:
+            victim = min(candidates, key=lambda iv: (iv.weight, -iv.end,
+                                                     iv.vreg))
+        else:
+            victim = max(candidates, key=lambda iv: (iv.end, -iv.vreg))
+        if victim is current:
+            spilled.add(current.vreg)
+        else:
+            spilled.add(victim.vreg)
+            reg = assignment.pop(victim.vreg)
+            active.remove(victim)
+            assignment[current.vreg] = reg
+            active.append(current)
+            active.sort(key=lambda iv: (iv.end, iv.vreg))
+    return assignment, spilled
+
+
+def allocate(
+    lir: LirRoutine,
+    mode: AllocMode = AllocMode.GLOBAL,
+    view: Optional[ProfileView] = None,
+) -> AllocationResult:
+    """Rewrite LIR virtual registers to physical registers + frame slots.
+
+    After this pass every ``rd``/``rs`` field holds a physical register
+    number; spill traffic is explicit LDS/STS; terminators carry
+    physical condition registers and return plumbing is materialized
+    (value moved to R0 before every ``ret``).
+    """
+    live_in, live_out = _block_liveness(lir)
+    intervals = _build_intervals(lir, live_in, live_out, view)
+
+    forced_spill: Set[int] = set()
+    if mode is AllocMode.NAIVE:
+        forced_spill = set(intervals)
+    elif mode is AllocMode.LOCAL:
+        for label in live_in:
+            forced_spill |= live_in[label]
+            forced_spill |= live_out[label]
+
+    scannable = [iv for v, iv in intervals.items() if v not in forced_spill]
+    assignment, scan_spilled = _linear_scan(
+        scannable, weighted=view is not None
+    )
+    spilled = forced_spill | scan_spilled
+
+    # Frame slots: parameters own slots 0..n-1; other spills get fresh
+    # slots in deterministic (vreg) order.
+    slot_of: Dict[int, int] = {}
+    next_slot = lir.n_params
+    for vreg in sorted(spilled):
+        if vreg < lir.n_params:
+            slot_of[vreg] = vreg
+        else:
+            slot_of[vreg] = next_slot
+            next_slot += 1
+
+    def phys(vreg: int) -> Optional[int]:
+        return assignment.get(vreg)
+
+    for block in lir.blocks:
+        new_instrs: List[MInstr] = []
+        for instr in block.instrs:
+            scratch_iter = iter((REG_SCRATCH_A, REG_SCRATCH_B))
+            reload_map: Dict[int, int] = {}
+            # Reload spilled sources.
+            for reg in dict.fromkeys(instr.reads()):
+                if reg in spilled:
+                    scratch = reload_map.get(reg)
+                    if scratch is None:
+                        scratch = next(scratch_iter)
+                        reload_map[reg] = scratch
+                        new_instrs.append(
+                            MInstr(MOp.LDS, rd=scratch, imm=slot_of[reg])
+                        )
+            if instr.rs1 is not None and instr.rs1 in reload_map:
+                instr.rs1 = reload_map[instr.rs1]
+            elif instr.rs1 is not None:
+                instr.rs1 = phys(instr.rs1)
+            if instr.rs2 is not None and instr.rs2 in reload_map:
+                instr.rs2 = reload_map[instr.rs2]
+            elif instr.rs2 is not None:
+                instr.rs2 = phys(instr.rs2)
+
+            dst = _defines(instr)
+            if instr.op is MOp.CALL:
+                # CALL's rd is the virtual destination of the return
+                # value, which the machine leaves in R0.
+                vdst = instr.rd
+                instr.rd = None
+                new_instrs.append(instr)
+                if vdst is not None:
+                    if vdst in spilled:
+                        new_instrs.append(
+                            MInstr(MOp.STS, rs1=REG_RV, imm=slot_of[vdst])
+                        )
+                    else:
+                        target = phys(vdst)
+                        if target is not None:
+                            new_instrs.append(
+                                MInstr(MOp.MOVR, rd=target, rs1=REG_RV)
+                            )
+                continue
+            if dst is not None:
+                if dst in spilled:
+                    instr.rd = REG_SCRATCH_A
+                    new_instrs.append(instr)
+                    new_instrs.append(
+                        MInstr(MOp.STS, rs1=REG_SCRATCH_A, imm=slot_of[dst])
+                    )
+                    continue
+                instr.rd = phys(dst)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+        term = block.terminator
+        if term is None:
+            continue
+        if term.kind == "br" and term.reg is not None:
+            if term.reg in spilled:
+                block.instrs.append(
+                    MInstr(MOp.LDS, rd=REG_SCRATCH_A, imm=slot_of[term.reg])
+                )
+                term.reg = REG_SCRATCH_A
+            else:
+                term.reg = phys(term.reg)
+        elif term.kind == "ret":
+            if term.reg is None:
+                block.instrs.append(MInstr(MOp.LDI, rd=REG_RV, imm=0))
+            elif term.reg in spilled:
+                block.instrs.append(
+                    MInstr(MOp.LDS, rd=REG_RV, imm=slot_of[term.reg])
+                )
+            else:
+                source = phys(term.reg)
+                if source != REG_RV:
+                    block.instrs.append(
+                        MInstr(MOp.MOVR, rd=REG_RV, rs1=source)
+                    )
+            term.reg = None
+
+    return AllocationResult(
+        frame_size=max(next_slot, lir.n_params),
+        spilled=len(spilled),
+        assigned=len(assignment),
+    )

@@ -1,0 +1,456 @@
+"""Compaction and uncompaction drivers (paper §4.2.1-4.2.2).
+
+Transitory objects (routine IR, module symbol tables) have two forms:
+
+* **expanded** -- ordinary Python objects, freely cross-referencing by
+  address (:class:`repro.ir.Routine` etc.);
+* **relocatable** -- a compact, address-independent byte string in
+  which references to more-permanent objects (global symbols, routine
+  names) are *persistent identifiers* (PIDs) assigned by the program
+  symbol table, and intra-pool references (block labels, strings) are
+  indices into a pool-local string table.
+
+Converting expanded -> relocatable is *compaction*; the reverse is
+*uncompaction*, whose PID->address resolution is the paper's **eager
+swizzling**.  Compaction also drops every derived-data field (they are
+recomputed on demand), which is where most of the space saving comes
+from, and -- exactly as in the paper -- acts as a garbage collection:
+only objects reachable from the routine root survive the round trip.
+
+The encoding uses LEB128 varints with zigzag for signed values; compact
+sizes reported to the memory accountant are the real encoded lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Instr, Opcode
+from ..ir.routine import Routine
+from ..ir.symbols import GlobalVar, ModuleSymbolTable, ProgramSymbolTable
+
+_VERSION = 2
+
+#: Stable opcode numbering for the wire format (never reorder).
+_OPCODE_LIST = [
+    Opcode.CONST,
+    Opcode.MOV,
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.MOD,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.NEG,
+    Opcode.NOT,
+    Opcode.EQ,
+    Opcode.NE,
+    Opcode.LT,
+    Opcode.LE,
+    Opcode.GT,
+    Opcode.GE,
+    Opcode.LOADG,
+    Opcode.STOREG,
+    Opcode.LOADE,
+    Opcode.STOREE,
+    Opcode.CALL,
+    Opcode.RET,
+    Opcode.BR,
+    Opcode.JMP,
+    Opcode.PROBE,
+]
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODE_LIST)}
+
+#: Public aliases for other wire formats (object files) that need a
+#: stable opcode numbering.
+OPCODE_WIRE_LIST = _OPCODE_LIST
+OPCODE_WIRE_INDEX = _OPCODE_INDEX
+
+_BINARY_SET = frozenset(
+    _OPCODE_INDEX[op]
+    for op in _OPCODE_LIST
+    if op.value in (
+        "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr",
+        "eq", "ne", "lt", "le", "gt", "ge",
+    )
+)
+
+
+class CompactionError(Exception):
+    """Raised on malformed relocatable data."""
+
+
+# -- Varint primitives --------------------------------------------------------
+
+
+def zigzag_encode(value: int) -> int:
+    """Map signed to unsigned for varint encoding (64-bit domain)."""
+    return (value << 1) ^ (value >> 63)
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+class Writer:
+    """Byte-string builder with varint and string-table support."""
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+        self.strings: List[str] = []
+        self._string_index: Dict[str, int] = {}
+
+    def u(self, value: int) -> None:
+        """Unsigned LEB128 varint."""
+        if value < 0:
+            raise CompactionError("negative value in unsigned field: %d" % value)
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self.buf.append(byte | 0x80)
+            else:
+                self.buf.append(byte)
+                return
+
+    def s(self, value: int) -> None:
+        """Signed zigzag varint."""
+        self.u(zigzag_encode(value))
+
+    def opt_reg(self, reg) -> None:
+        """Optional register: 0 = absent, else reg+1."""
+        self.u(0 if reg is None else reg + 1)
+
+    def string_ref(self, text: str) -> None:
+        index = self._string_index.get(text)
+        if index is None:
+            index = len(self.strings)
+            self.strings.append(text)
+            self._string_index[text] = index
+        self.u(index)
+
+    def finish(self) -> bytes:
+        """Emit string table header + body."""
+        head = Writer()
+        head.u(_VERSION)
+        head.u(len(self.strings))
+        for text in self.strings:
+            raw = text.encode("utf-8")
+            head.u(len(raw))
+            head.buf.extend(raw)
+        return bytes(head.buf) + bytes(self.buf)
+
+
+class Reader:
+    """Inverse of :class:`Writer`."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+        version = self.u()
+        if version != _VERSION:
+            raise CompactionError("bad relocatable version %d" % version)
+        count = self.u()
+        self.strings: List[str] = []
+        for _ in range(count):
+            length = self.u()
+            raw = self.data[self.pos : self.pos + length]
+            if len(raw) != length:
+                raise CompactionError("truncated string table")
+            self.strings.append(raw.decode("utf-8"))
+            self.pos += length
+
+    def u(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise CompactionError("truncated varint")
+            byte = self.data[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def s(self) -> int:
+        return zigzag_decode(self.u())
+
+    def opt_reg(self):
+        value = self.u()
+        return None if value == 0 else value - 1
+
+    def string_ref(self) -> str:
+        index = self.u()
+        try:
+            return self.strings[index]
+        except IndexError:
+            raise CompactionError("bad string index %d" % index)
+
+
+# -- Routine compaction ----------------------------------------------------------
+
+
+def _encode_instr(
+    writer: Writer,
+    instr: Instr,
+    label_index: Dict[str, int],
+    symtab: ProgramSymbolTable,
+) -> None:
+    code = _OPCODE_INDEX[instr.op]
+    writer.u(code)
+    op = instr.op
+    if op is Opcode.CONST:
+        writer.u(instr.dst)
+        writer.s(instr.imm)
+    elif op in (Opcode.MOV, Opcode.NEG, Opcode.NOT):
+        writer.u(instr.dst)
+        writer.u(instr.a)
+    elif code in _BINARY_SET:
+        writer.u(instr.dst)
+        writer.u(instr.a)
+        writer.u(instr.b)
+    elif op is Opcode.LOADG:
+        writer.u(instr.dst)
+        writer.u(symtab.pid_of(instr.sym))
+    elif op is Opcode.STOREG:
+        writer.u(symtab.pid_of(instr.sym))
+        writer.u(instr.a)
+    elif op is Opcode.LOADE:
+        writer.u(instr.dst)
+        writer.u(symtab.pid_of(instr.sym))
+        writer.u(instr.a)
+    elif op is Opcode.STOREE:
+        writer.u(symtab.pid_of(instr.sym))
+        writer.u(instr.a)
+        writer.u(instr.b)
+    elif op is Opcode.CALL:
+        writer.opt_reg(instr.dst)
+        writer.u(symtab.pid_of(instr.sym))
+        writer.u(len(instr.args))
+        for arg in instr.args:
+            writer.u(arg)
+    elif op is Opcode.RET:
+        writer.opt_reg(instr.a)
+    elif op is Opcode.BR:
+        writer.u(instr.a)
+        writer.u(label_index[instr.targets[0]])
+        writer.u(label_index[instr.targets[1]])
+    elif op is Opcode.JMP:
+        writer.u(label_index[instr.targets[0]])
+    elif op is Opcode.PROBE:
+        writer.u(instr.imm)
+    else:  # pragma: no cover
+        raise CompactionError("unencodable opcode %s" % op)
+
+
+def _decode_instr(
+    reader: Reader, labels: List[str], symtab: ProgramSymbolTable
+) -> Instr:
+    code = reader.u()
+    try:
+        op = _OPCODE_LIST[code]
+    except IndexError:
+        raise CompactionError("bad opcode %d" % code)
+    if op is Opcode.CONST:
+        return Instr(op, dst=reader.u(), imm=reader.s())
+    if op in (Opcode.MOV, Opcode.NEG, Opcode.NOT):
+        return Instr(op, dst=reader.u(), a=reader.u())
+    if code in _BINARY_SET:
+        return Instr(op, dst=reader.u(), a=reader.u(), b=reader.u())
+    if op is Opcode.LOADG:
+        return Instr(op, dst=reader.u(), sym=symtab.name_of(reader.u()))
+    if op is Opcode.STOREG:
+        return Instr(op, sym=symtab.name_of(reader.u()), a=reader.u())
+    if op is Opcode.LOADE:
+        return Instr(op, dst=reader.u(), sym=symtab.name_of(reader.u()),
+                     a=reader.u())
+    if op is Opcode.STOREE:
+        return Instr(op, sym=symtab.name_of(reader.u()), a=reader.u(),
+                     b=reader.u())
+    if op is Opcode.CALL:
+        dst = reader.opt_reg()
+        sym = symtab.name_of(reader.u())
+        nargs = reader.u()
+        args = tuple(reader.u() for _ in range(nargs))
+        return Instr(op, dst=dst, sym=sym, args=args)
+    if op is Opcode.RET:
+        return Instr(op, a=reader.opt_reg())
+    if op is Opcode.BR:
+        a = reader.u()
+        t0 = labels[reader.u()]
+        t1 = labels[reader.u()]
+        return Instr(op, a=a, targets=(t0, t1))
+    if op is Opcode.JMP:
+        return Instr(op, targets=(labels[reader.u()],))
+    if op is Opcode.PROBE:
+        return Instr(op, imm=reader.u())
+    raise CompactionError("undecodable opcode %s" % op)  # pragma: no cover
+
+
+def compact_routine(routine: Routine, symtab: ProgramSymbolTable) -> bytes:
+    """Encode a routine into its relocatable form.
+
+    Symbol references are swizzled to PIDs; block labels become indices;
+    derived data is *not* represented (recompute-on-demand discipline).
+    """
+    writer = Writer()
+    writer.u(symtab.pid_of(routine.name))
+    writer.string_ref(routine.module_name)
+    writer.u(1 if routine.exported else 0)
+    writer.u(routine.n_params)
+    writer.u(routine.next_reg)
+    writer.u(routine.source_lines)
+    writer.string_ref(routine.source_language)
+
+    labels = routine.block_labels()
+    label_index = {label: i for i, label in enumerate(labels)}
+    writer.u(len(labels))
+    for label in labels:
+        writer.string_ref(label)
+    for block in routine.blocks:
+        writer.u(len(block.instrs))
+        for instr in block.instrs:
+            _encode_instr(writer, instr, label_index, symtab)
+
+    annotations = sorted(
+        (key, value)
+        for key, value in routine.annotations.items()
+        if isinstance(value, (int, str))
+    )
+    writer.u(len(annotations))
+    for key, value in annotations:
+        writer.string_ref(key)
+        if isinstance(value, int):
+            writer.u(0)
+            writer.s(value)
+        else:
+            writer.u(1)
+            writer.string_ref(value)
+    return writer.finish()
+
+
+def uncompact_routine(data: bytes, symtab: ProgramSymbolTable) -> Routine:
+    """Rebuild an expanded routine from relocatable bytes (eager swizzle)."""
+    reader = Reader(data)
+    name = symtab.name_of(reader.u())
+    module_name = reader.string_ref()
+    exported = bool(reader.u())
+    n_params = reader.u()
+    next_reg = reader.u()
+    source_lines = reader.u()
+    source_language = reader.string_ref()
+
+    routine = Routine(
+        name,
+        module_name=module_name,
+        n_params=n_params,
+        exported=exported,
+        source_lines=source_lines,
+        source_language=source_language,
+    )
+    n_blocks = reader.u()
+    labels = [reader.string_ref() for _ in range(n_blocks)]
+    for label in labels:
+        block = BasicBlock(label)
+        n_instrs = reader.u()
+        for _ in range(n_instrs):
+            block.instrs.append(_decode_instr(reader, labels, symtab))
+        routine.blocks.append(block)
+    routine.next_reg = next_reg
+
+    n_annotations = reader.u()
+    for _ in range(n_annotations):
+        key = reader.string_ref()
+        kind = reader.u()
+        if kind == 0:
+            routine.annotations[key] = reader.s()
+        else:
+            routine.annotations[key] = reader.string_ref()
+    routine.invalidate()
+    return routine
+
+
+# -- Module symbol-table compaction -------------------------------------------------
+
+
+def compact_symtab(symtab: ModuleSymbolTable, program: ProgramSymbolTable) -> bytes:
+    """Encode a module symbol table into relocatable form."""
+    writer = Writer()
+    writer.string_ref(symtab.module_name)
+    writer.u(len(symtab.globals))
+    for var in symtab.globals.values():
+        writer.u(program.pid_of(var.name))
+        writer.u(var.size)
+        writer.u(1 if var.exported else 0)
+        # Run-length encode trailing zeros: most arrays are zero-filled.
+        init = list(var.init)
+        significant = len(init)
+        while significant and init[significant - 1] == 0:
+            significant -= 1
+        writer.u(significant)
+        for value in init[:significant]:
+            writer.s(value)
+    writer.u(len(symtab.routine_names))
+    for name in symtab.routine_names:
+        writer.u(program.pid_of(name))
+    writer.u(len(symtab.extern_refs))
+    for name in symtab.extern_refs:
+        writer.u(program.pid_of(name))
+    return writer.finish()
+
+
+def uncompact_symtab(data: bytes, program: ProgramSymbolTable) -> ModuleSymbolTable:
+    """Rebuild an expanded module symbol table."""
+    reader = Reader(data)
+    symtab = ModuleSymbolTable(reader.string_ref())
+    n_globals = reader.u()
+    for _ in range(n_globals):
+        name = program.name_of(reader.u())
+        size = reader.u()
+        exported = bool(reader.u())
+        significant = reader.u()
+        init = [reader.s() for _ in range(significant)]
+        init.extend([0] * (size - significant))
+        var = GlobalVar(name, size=size, init=init, exported=exported)
+        symtab.define_global(var)
+        var.defining_module = symtab.module_name
+    n_routines = reader.u()
+    for _ in range(n_routines):
+        symtab.routine_names.append(program.name_of(reader.u()))
+    n_externs = reader.u()
+    for _ in range(n_externs):
+        symtab.extern_refs.append(program.name_of(reader.u()))
+    return symtab
+
+
+# -- Structural equality helpers (tests) -----------------------------------------------
+
+
+def routines_equal(a: Routine, b: Routine) -> bool:
+    """Deep structural equality of two routines (ignores derived data)."""
+    if (
+        a.name != b.name
+        or a.module_name != b.module_name
+        or a.n_params != b.n_params
+        or a.next_reg != b.next_reg
+        or a.exported != b.exported
+        or a.source_lines != b.source_lines
+        or len(a.blocks) != len(b.blocks)
+    ):
+        return False
+    for block_a, block_b in zip(a.blocks, b.blocks):
+        if block_a.label != block_b.label:
+            return False
+        if len(block_a.instrs) != len(block_b.instrs):
+            return False
+        for instr_a, instr_b in zip(block_a.instrs, block_b.instrs):
+            if instr_a != instr_b:
+                return False
+    return True

@@ -1,0 +1,291 @@
+"""The loader: moves pools between expanded, compact and offloaded
+states (paper §4.2-4.3).
+
+Behaviour reproduced from the paper:
+
+* clients only ever *request* unloads; the loader decides lazily.  A
+  requested pool is marked "unload pending" and parked in an LRU cache
+  of expanded pools, so a prompt re-touch is nearly free;
+* the cache size derives from the machine's memory resources;
+* thresholding: NAIM features (IR compaction, symbol-table compaction,
+  disk offload) engage only as modeled memory use crosses configured
+  thresholds, so small compilations pay nothing;
+* every state transition updates the memory accountant, which is how
+  Figures 4 and 5 get their memory axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ir.routine import Routine
+from ..ir.symbols import ModuleSymbolTable, ProgramSymbolTable
+from .compaction import (
+    compact_routine,
+    compact_symtab,
+    uncompact_routine,
+    uncompact_symtab,
+)
+from .config import NaimConfig, NaimLevel
+from .memory import MemoryAccountant
+from .pools import KIND_IR, KIND_SYMTAB, Handle, Pool, PoolState
+from .repository import Repository
+
+
+class LoaderStats:
+    """Observable loader activity (drives the Figure 5 ablation)."""
+
+    def __init__(self) -> None:
+        self.touches = 0
+        self.cache_hits = 0
+        self.compactions = 0
+        self.uncompactions = 0
+        self.offloads = 0
+        self.repository_fetches = 0
+        self.unload_requests = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        return (
+            "<LoaderStats touches=%d hits=%d compact=%d uncompact=%d "
+            "offload=%d fetch=%d>"
+            % (
+                self.touches,
+                self.cache_hits,
+                self.compactions,
+                self.uncompactions,
+                self.offloads,
+                self.repository_fetches,
+            )
+        )
+
+
+class Loader:
+    """Manages every transitory pool of one CMO compilation."""
+
+    def __init__(
+        self,
+        config: NaimConfig,
+        symtab: ProgramSymbolTable,
+        accountant: Optional[MemoryAccountant] = None,
+        repository: Optional[Repository] = None,
+    ) -> None:
+        self.config = config
+        self.symtab = symtab
+        self.accountant = accountant if accountant is not None else (
+            MemoryAccountant()
+        )
+        # Explicit None check: an empty Repository is falsy (__len__ == 0).
+        self.repository = repository if repository is not None else (
+            Repository(in_memory=True)
+        )
+        self.stats = LoaderStats()
+        self._pools: Dict[Tuple[str, str], Pool] = {}
+        self._clock = 0
+        # Count of expanded, unpinned pools (cache-capacity enforcement
+        # without scanning every pool on every touch).
+        self._expanded_count = 0
+        # Eviction runs when the count exceeds capacity by this slack.
+        self._enforce_slack = 8
+
+    # -- Registration -----------------------------------------------------------
+
+    def register_routine(self, routine: Routine) -> Handle:
+        return self._register(KIND_IR, routine.name, routine)
+
+    def register_symtab(self, symtab: ModuleSymbolTable) -> Handle:
+        return self._register(KIND_SYMTAB, symtab.module_name, symtab)
+
+    def _register(self, kind: str, name: str, obj) -> Handle:
+        key = (kind, name)
+        if key in self._pools:
+            raise ValueError("pool %s:%s already registered" % (kind, name))
+        pool = Pool(kind, name, obj)
+        self._clock += 1
+        pool.last_touch = self._clock  # registration counts as a touch
+        self._pools[key] = pool
+        self._expanded_count += 1
+        self._account(pool)
+        self._maybe_enforce()
+        return Handle(pool, self)
+
+    def drop(self, handle: Handle) -> None:
+        """Remove a pool entirely (routine deleted by dead-function elim)."""
+        pool = handle.pool
+        if self._pools.pop(pool.key(), None) is not None:
+            if pool.state is PoolState.EXPANDED and not pool.pinned:
+                self._expanded_count -= 1
+        pool.expanded = None
+        pool.compact_bytes = None
+        self.accountant.set_usage(pool.kind, pool.name, 0)
+
+    # -- Client API -----------------------------------------------------------------
+
+    def touch(self, pool: Pool) -> Union[Routine, ModuleSymbolTable]:
+        """Make ``pool`` expanded and return the object."""
+        self._clock += 1
+        pool.last_touch = self._clock
+        self.stats.touches += 1
+        if pool.state is PoolState.EXPANDED:
+            if pool.unload_pending:
+                # Cache hit: the lazy unloader never actually did the work.
+                self.stats.cache_hits += 1
+                pool.unload_pending = False
+            return pool.expanded
+
+    # -- expand from compact or disk --
+        if pool.state is PoolState.OFFLOADED:
+            data = self.repository.fetch(pool.kind, pool.name)
+            self.stats.repository_fetches += 1
+            pool.compact_bytes = data
+            pool.state = PoolState.COMPACT
+        assert pool.compact_bytes is not None
+        if pool.kind == KIND_IR:
+            pool.expanded = uncompact_routine(pool.compact_bytes, self.symtab)
+        else:
+            pool.expanded = uncompact_symtab(pool.compact_bytes, self.symtab)
+        self.stats.uncompactions += 1
+        pool.compact_bytes = None
+        pool.state = PoolState.EXPANDED
+        pool.unload_pending = False
+        if not pool.pinned:
+            self._expanded_count += 1
+        self._account(pool)
+        self._maybe_enforce()
+        return pool.expanded
+
+    def request_unload(self, pool: Pool) -> None:
+        """Mark a pool unload-pending; actual work happens lazily."""
+        if pool.state is not PoolState.EXPANDED or pool.pinned:
+            return
+        self.stats.unload_requests += 1
+        pool.unload_pending = True
+        self._enforce()
+
+    def request_unload_all(self) -> None:
+        """Client convenience: "unload everything you don't need"."""
+        for pool in self._pools.values():
+            if pool.state is PoolState.EXPANDED and not pool.pinned:
+                pool.unload_pending = True
+        self._enforce()
+
+    def pin(self, handle: Handle) -> None:
+        """Exempt a pool from eviction (mutating clients must pin)."""
+        pool = handle.pool
+        if not pool.pinned:
+            pool.pinned = True
+            if pool.state is PoolState.EXPANDED:
+                self._expanded_count -= 1
+
+    def unpin(self, handle: Handle) -> None:
+        pool = handle.pool
+        if pool.pinned:
+            pool.pinned = False
+            if pool.state is PoolState.EXPANDED:
+                self._expanded_count += 1
+                self._maybe_enforce()
+
+    # -- Memory accounting ---------------------------------------------------------
+
+    def _account(self, pool: Pool) -> None:
+        self.accountant.set_usage(pool.kind, pool.name, pool.resident_bytes())
+
+    def reaccount(self, handle: Handle) -> None:
+        """Re-measure a pool after its object was mutated (e.g. inlining)."""
+        self._account(handle.pool)
+
+    def current_bytes(self) -> int:
+        return self.accountant.current
+
+    # -- Policy ------------------------------------------------------------------------
+
+    def effective_level(self) -> NaimLevel:
+        return self.config.effective_level(self.accountant.current)
+
+    def _maybe_enforce(self) -> None:
+        """Run eviction only when the cache is over capacity (+ slack)."""
+        if self._expanded_count > self.config.cache_pools + self._enforce_slack:
+            self._enforce()
+
+    def _enforce(self) -> None:
+        """Apply the thresholded NAIM cache policy.
+
+        Keeps the ``cache_pools`` most recently used expanded pools in
+        memory; everything older is compacted (and offloaded at the
+        OFFLOAD level).  Explicitly released (unload-pending) pools are
+        evicted ahead of same-age peers.  Pools a client pinned, and the
+        single most recently touched pool, are never evicted.
+        """
+        level = self.effective_level()
+        if level is NaimLevel.OFF:
+            return
+        candidates = [
+            pool
+            for pool in self._pools.values()
+            if pool.state is PoolState.EXPANDED
+            and not pool.pinned
+            and (pool.kind != KIND_SYMTAB or level >= NaimLevel.ST_COMPACT)
+        ]
+        if not candidates:
+            return
+        newest_touch = max(pool.last_touch for pool in candidates)
+        # Eviction order: released first, then least recently used.
+        candidates.sort(
+            key=lambda pool: (
+                not pool.unload_pending,
+                pool.last_touch,
+                pool.kind,
+                pool.name,
+            )
+        )
+        capacity = max(self.config.cache_pools, 1)
+        excess = len(candidates) - capacity
+        for pool in candidates:
+            if excess <= 0:
+                break
+            if pool.last_touch == newest_touch:
+                continue
+            self._compact_pool(pool, offload=level >= NaimLevel.OFFLOAD)
+            excess -= 1
+
+    def _compact_pool(self, pool: Pool, offload: bool) -> None:
+        assert pool.state is PoolState.EXPANDED and pool.expanded is not None
+        if pool.kind == KIND_IR:
+            routine = pool.expanded
+            routine.invalidate()  # derived data is never persisted
+            data = compact_routine(routine, self.symtab)
+        else:
+            data = compact_symtab(pool.expanded, self.symtab)
+        self.stats.compactions += 1
+        pool.expanded = None
+        pool.unload_pending = False
+        self._expanded_count -= 1
+        if offload:
+            self.repository.store(pool.kind, pool.name, data)
+            self.stats.offloads += 1
+            pool.compact_bytes = None
+            pool.state = PoolState.OFFLOADED
+        else:
+            pool.compact_bytes = data
+            pool.state = PoolState.COMPACT
+        self._account(pool)
+
+    # -- Introspection ---------------------------------------------------------------
+
+    def pool_states(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for pool in self._pools.values():
+            counts[pool.state.value] = counts.get(pool.state.value, 0) + 1
+        return counts
+
+    def pools(self) -> List[Pool]:
+        return list(self._pools.values())
+
+    def __repr__(self) -> str:
+        return "<Loader %d pools, level=%s, %s>" % (
+            len(self._pools),
+            self.effective_level().name,
+            self.stats,
+        )

@@ -1,0 +1,182 @@
+"""Modeled memory accounting (paper Figures 4 and 5).
+
+The paper reports compiler memory in MB of process space; a Python
+reproduction cannot meaningfully sample RSS (interpreter overhead would
+swamp the signal), so we *account* memory instead: every live compiler
+data structure reports its modeled byte size from a per-object cost
+table, and the :class:`MemoryAccountant` tracks current and peak totals
+per category.  The cost table is calibrated so an all-expanded build
+comes out near the paper's 1.7 KB per source line, with IR compaction
+reducing that to roughly 0.9 KB (paper §8); the calibration test pins
+these ranges.
+
+Accounting is deterministic and platform-independent, which the paper
+itself demanded of the real system for reproducibility (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ir.callgraph import CallGraph
+    from ..ir.routine import Routine
+    from ..ir.symbols import ModuleSymbolTable, ProgramSymbolTable
+
+
+class CostTable:
+    """Modeled byte costs of expanded compiler objects.
+
+    The expanded figures deliberately include the "about 2/3 of an
+    object" of derived-data attribute fields the paper describes --
+    compaction omits them, which is where most of the space win comes
+    from (§4.2.2).
+    """
+
+    #: One expanded IL instruction, including derived-attribute fields
+    #: (calibrated so an all-expanded build lands near the paper's
+    #: 1.7 KB per source line at ~3.2 IL instructions per line).
+    EXPANDED_INSTR = 450
+    #: One expanded basic block (list headers, preds cache slots...).
+    EXPANDED_BLOCK = 300
+    #: Fixed per-routine overhead (object headers, maps, annotations).
+    EXPANDED_ROUTINE = 1200
+    #: One expanded module symbol-table entry.
+    EXPANDED_SYMBOL = 400
+    #: Fixed per-module symbol-table overhead.
+    EXPANDED_SYMTAB = 1024
+    #: One program symbol-table entry (global object, always resident).
+    PROGRAM_SYMBOL = 48
+    #: One call-graph node / call site (global objects).
+    CALLGRAPH_NODE = 64
+    CALLGRAPH_SITE = 32
+    #: Derived analysis results, per instruction, when present.
+    DERIVED_PER_INSTR = 160
+    #: LLO working memory is quadratic in routine size (paper, Figure 4
+    #: caption); cost = LLO_BASE + LLO_QUAD * n_instr^2 / 1024.
+    LLO_BASE = 2048
+    LLO_QUAD = 160
+
+
+def expanded_routine_bytes(routine: "Routine") -> int:
+    """Modeled bytes of a routine's expanded IR."""
+    n_instr = routine.instr_count()
+    n_blocks = len(routine.blocks)
+    cost = (
+        CostTable.EXPANDED_ROUTINE
+        + n_blocks * CostTable.EXPANDED_BLOCK
+        + n_instr * CostTable.EXPANDED_INSTR
+    )
+    if len(routine.derived):
+        cost += n_instr * CostTable.DERIVED_PER_INSTR
+    return cost
+
+
+def expanded_symtab_bytes(symtab: "ModuleSymbolTable") -> int:
+    """Modeled bytes of an expanded module symbol table."""
+    return (
+        CostTable.EXPANDED_SYMTAB
+        + symtab.symbol_count() * CostTable.EXPANDED_SYMBOL
+    )
+
+
+def program_symtab_bytes(symtab: "ProgramSymbolTable") -> int:
+    """Modeled bytes of the always-resident program symbol table."""
+    return symtab.symbol_count() * CostTable.PROGRAM_SYMBOL
+
+
+def callgraph_bytes(callgraph: "CallGraph") -> int:
+    """Modeled bytes of the always-resident call graph."""
+    sites = sum(len(node.call_sites) for node in callgraph.nodes.values())
+    return (
+        len(callgraph.nodes) * CostTable.CALLGRAPH_NODE
+        + sites * CostTable.CALLGRAPH_SITE
+    )
+
+
+def llo_working_bytes(n_instr: int) -> int:
+    """Modeled LLO working-set bytes for a routine of ``n_instr`` instrs.
+
+    The paper's Figure 4 caption: "LLO's memory requirements increase
+    quadratically as the sizes of the routines it processes are
+    increased" -- inlining grows routines, which is why overall compiler
+    memory grows faster than HLO memory.
+    """
+    return CostTable.LLO_BASE + (CostTable.LLO_QUAD * n_instr * n_instr) // 1024
+
+
+class MemoryAccountant:
+    """Tracks modeled resident bytes by (category, name).
+
+    Categories in use: ``global`` (program symtab, call graph),
+    ``ir`` (routine pools), ``symtab`` (module symbol-table pools),
+    ``llo`` (code-generator working set), ``misc``.
+    """
+
+    def __init__(self) -> None:
+        self._usage: Dict[Tuple[str, str], int] = {}
+        self._total = 0
+        self.peak = 0
+        #: (total, label) samples recorded by mark(); drives Figure 4.
+        self.samples: List[Tuple[str, int]] = []
+
+    # -- Updates ------------------------------------------------------------
+
+    def set_usage(self, category: str, name: str, nbytes: int) -> None:
+        key = (category, name)
+        old = self._usage.get(key, 0)
+        if nbytes <= 0:
+            if key in self._usage:
+                del self._usage[key]
+            delta = -old
+        else:
+            self._usage[key] = nbytes
+            delta = nbytes - old
+        self._total += delta
+        if self._total > self.peak:
+            self.peak = self._total
+
+    def clear_category(self, category: str) -> None:
+        for key in [k for k in self._usage if k[0] == category]:
+            self._total -= self._usage.pop(key)
+
+    def reset_peak(self) -> None:
+        self.peak = self._total
+
+    def mark(self, label: str) -> None:
+        """Record a named sample of the current total."""
+        self.samples.append((label, self._total))
+
+    # -- Queries --------------------------------------------------------------
+
+    @property
+    def current(self) -> int:
+        return self._total
+
+    def category_total(self, category: str) -> int:
+        return sum(
+            nbytes for (cat, _), nbytes in self._usage.items() if cat == category
+        )
+
+    def by_category(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for (category, _), nbytes in self._usage.items():
+            totals[category] = totals.get(category, 0) + nbytes
+        return totals
+
+    def report(self) -> str:
+        lines = ["memory: current=%s peak=%s" % (fmt_bytes(self._total),
+                                                 fmt_bytes(self.peak))]
+        for category, total in sorted(self.by_category().items()):
+            lines.append("  %-8s %s" % (category, fmt_bytes(total)))
+        return "\n".join(lines)
+
+
+def fmt_bytes(nbytes: int) -> str:
+    """Human-readable byte count."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return "%.1f%s" % (value, unit)
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,119 @@
+"""The on-disk repository for offloaded pools (paper §4.2).
+
+"All other transitory data is compacted and potentially kept in an
+off-line disk repository."  The repository stores relocatable pool
+bytes keyed by (kind, name); because relocatable form maps directly to
+the loaded representation (no translation step), fetches are fast --
+the paper's stated advantage over the Convex Application Compiler's
+monolithic repository.  Each pool is an independent entry, so reading
+one routine never drags the rest of the program in.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+
+class Repository:
+    """Disk-backed store of relocatable pool encodings.
+
+    With ``directory=None`` the repository lives in a temp directory
+    created on first use and removed on :meth:`close`.  An in-memory
+    mode (``in_memory=True``) backs unit tests that should not touch
+    the filesystem while exercising the same interface.
+    """
+
+    def __init__(
+        self, directory: Optional[str] = None, in_memory: bool = False
+    ) -> None:
+        self._directory = directory
+        self._owned_directory: Optional[str] = None
+        self._in_memory = in_memory
+        self._mem: Dict[Tuple[str, str], bytes] = {}
+        self._known: Dict[Tuple[str, str], int] = {}
+        #: Operation counters (observable by benchmarks).
+        self.stores = 0
+        self.fetches = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- Paths ------------------------------------------------------------------
+
+    def _ensure_directory(self) -> str:
+        if self._directory is None:
+            self._owned_directory = tempfile.mkdtemp(prefix="naim_repo_")
+            self._directory = self._owned_directory
+        else:
+            os.makedirs(self._directory, exist_ok=True)
+        return self._directory
+
+    @staticmethod
+    def _filename(kind: str, name: str) -> str:
+        # Symbol names may contain '::'; keep filenames safe and unique.
+        safe = name.replace(":", "_c").replace("/", "_s")
+        return "%s__%s.pool" % (kind, safe)
+
+    def _path(self, kind: str, name: str) -> str:
+        return os.path.join(self._ensure_directory(), self._filename(kind, name))
+
+    # -- Store / fetch -------------------------------------------------------------
+
+    def store(self, kind: str, name: str, data: bytes) -> None:
+        self.stores += 1
+        self.bytes_written += len(data)
+        self._known[(kind, name)] = len(data)
+        if self._in_memory:
+            self._mem[(kind, name)] = data
+            return
+        with open(self._path(kind, name), "wb") as handle:
+            handle.write(data)
+
+    def fetch(self, kind: str, name: str) -> bytes:
+        if (kind, name) not in self._known:
+            raise KeyError("repository has no %s pool %r" % (kind, name))
+        self.fetches += 1
+        if self._in_memory:
+            data = self._mem[(kind, name)]
+        else:
+            with open(self._path(kind, name), "rb") as handle:
+                data = handle.read()
+        self.bytes_read += len(data)
+        return data
+
+    def contains(self, kind: str, name: str) -> bool:
+        return (kind, name) in self._known
+
+    def stored_size(self, kind: str, name: str) -> int:
+        return self._known.get((kind, name), 0)
+
+    def total_bytes(self) -> int:
+        return sum(self._known.values())
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    # -- Lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Remove owned on-disk state."""
+        self._mem.clear()
+        self._known.clear()
+        if self._owned_directory and os.path.isdir(self._owned_directory):
+            for entry in os.listdir(self._owned_directory):
+                try:
+                    os.unlink(os.path.join(self._owned_directory, entry))
+                except OSError:
+                    pass
+            try:
+                os.rmdir(self._owned_directory)
+            except OSError:
+                pass
+            self._owned_directory = None
+
+    def __enter__(self) -> "Repository":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,23 @@
+"""Profile-based optimization support: probes, databases, correlation."""
+
+from .correlate import checksum_routine, correlate
+from .database import ProfileDatabase, RoutineProfile
+from .probes import (
+    EdgeSource,
+    ProbeInfo,
+    ProbeTable,
+    instrument_program,
+    instrument_routine,
+)
+
+__all__ = [
+    "checksum_routine",
+    "correlate",
+    "ProfileDatabase",
+    "RoutineProfile",
+    "EdgeSource",
+    "ProbeInfo",
+    "ProbeTable",
+    "instrument_program",
+    "instrument_routine",
+]

@@ -1,0 +1,69 @@
+"""Profile-to-code correlation (paper §3, §6.2).
+
+The compiler "correlates profile information from the database with
+current program structures".  We checksum each routine's control-flow
+structure; a profile whose checksum matches is exact.  When the source
+has changed since training, the checksum differs and the profile is
+*stale*: we then fall back to label-based partial matching, keeping
+counts for blocks that still exist (the paper notes stale profiles
+degrade gracefully, citing Grove's receiver-class-profile result).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+from ..ir.instructions import Opcode
+from ..ir.routine import Routine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import ProfileDatabase, RoutineProfile
+
+
+def checksum_routine(routine: Routine) -> int:
+    """A stable checksum of a routine's control-flow structure.
+
+    Includes block labels, terminator shapes and call sites -- the
+    features profiles are keyed by -- but not straight-line arithmetic,
+    so trivial edits don't needlessly invalidate profiles.
+    """
+    parts = [routine.name, str(routine.n_params)]
+    for block in routine.blocks:
+        parts.append(block.label)
+        term = block.terminator
+        if term is not None:
+            parts.append(term.op.value)
+            parts.extend(term.targets)
+        for index, instr in enumerate(block.instrs):
+            if instr.op is Opcode.CALL:
+                parts.append("%d@%s" % (index, instr.sym))
+    blob = "\x00".join(parts).encode("utf-8")
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def correlate(
+    database: "ProfileDatabase", routine: Routine
+) -> Optional["RoutineProfile"]:
+    """Find usable profile data for ``routine``.
+
+    Returns the stored profile when the structure checksum matches; a
+    label-filtered *stale* copy when it does not but some block labels
+    still exist; None when there is no data at all.
+    """
+    profile = database.routines.get(routine.name)
+    if profile is None:
+        return None
+    if profile.checksum == checksum_routine(routine):
+        return profile
+    labels = set(routine.block_labels())
+    surviving = {
+        label: count
+        for label, count in profile.block_counts.items()
+        if label in labels
+    }
+    if not surviving:
+        return None
+    stale = profile.filtered_to_labels(labels)
+    stale.stale = True
+    return stale

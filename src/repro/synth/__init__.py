@@ -1,0 +1,20 @@
+"""Synthetic applications: the stand-ins for SPECint95 and MCAD apps."""
+
+from .config import (
+    WorkloadConfig,
+    full_suite,
+    mcad_suite,
+    spec_like_suite,
+    tiny_config,
+)
+from .generator import GeneratedApp, generate
+
+__all__ = [
+    "WorkloadConfig",
+    "full_suite",
+    "mcad_suite",
+    "spec_like_suite",
+    "tiny_config",
+    "GeneratedApp",
+    "generate",
+]

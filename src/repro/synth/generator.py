@@ -1,0 +1,441 @@
+"""Deterministic synthetic-application generator.
+
+Produces real MLL source text (the whole pipeline, frontend included,
+is exercised) with the structural properties the paper's evaluation
+depends on:
+
+* many separately compiled modules with cross-module calls;
+* a transaction dispatch loop in ``main`` routing work to *feature*
+  entry points, whose popularity follows a Zipf distribution over the
+  program input -- so execution is heavily skewed (hot kernel + long
+  cold tail, the premise of selectivity);
+* a call DAG (callee indices strictly increase, within a bounded
+  module window), so generated programs always terminate;
+* module-static tables and global counters, giving mod/ref analysis,
+  readonly-global promotion and memory forwarding real work.
+
+Everything derives from ``config.seed``: identical configs generate
+byte-identical sources (paper §6.2 reproducibility).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .config import WorkloadConfig
+
+
+class GeneratedApp:
+    """A generated application plus its metadata."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        #: module name -> MLL source text.
+        self.sources: Dict[str, str] = {}
+        #: Feature roots, hottest first: routine names main dispatches to.
+        self.feature_roots: List[str] = []
+        #: Zipf weights per feature (parallel to feature_roots).
+        self.feature_weights: List[float] = []
+
+    def source_lines(self) -> int:
+        return sum(text.count("\n") + 1 for text in self.sources.values())
+
+    def module_names(self) -> List[str]:
+        return list(self.sources)
+
+    def make_input(self, seed: int, length: Optional[int] = None,
+                   uniform: bool = False) -> Dict[str, List[int]]:
+        """Sample a program input (feature ids for the dispatch loop).
+
+        Different seeds model different data sets (train vs reference);
+        ``uniform=True`` produces an adversarial distribution that
+        ignores the trained skew (stale/unrepresentative profiles).
+        """
+        rng = random.Random(seed * 7919 + self.config.seed)
+        size = length if length is not None else self.config.input_size
+        n_features = len(self.feature_roots)
+        if uniform:
+            values = [rng.randrange(n_features) for _ in range(size)]
+        else:
+            weights = self.feature_weights
+            values = rng.choices(range(n_features), weights=weights, k=size)
+        return {"input_data": values}
+
+    def __repr__(self) -> str:
+        return "<GeneratedApp %s (%d modules, %d lines)>" % (
+            self.config.name,
+            len(self.sources),
+            self.source_lines(),
+        )
+
+
+def _zipf_weights(n: int, s: float) -> List[float]:
+    return [1.0 / ((rank + 1) ** s) for rank in range(n)]
+
+
+class _RoutineSpec:
+    __slots__ = ("module_index", "routine_index", "name", "n_params",
+                 "callees", "is_root")
+
+    def __init__(self, module_index: int, routine_index: int, name: str,
+                 n_params: int) -> None:
+        self.module_index = module_index
+        self.routine_index = routine_index
+        self.name = name
+        self.n_params = n_params
+        #: (callee spec, guarded) pairs.
+        self.callees: List[Tuple["_RoutineSpec", bool]] = []
+        self.is_root = False
+
+
+def generate(config: WorkloadConfig) -> GeneratedApp:
+    """Generate one application from a config (deterministic)."""
+    rng = random.Random(config.seed)
+    app = GeneratedApp(config)
+
+    n_modules = config.n_modules
+    per_module = config.routines_per_module
+
+    # -- Plan routines ------------------------------------------------------------
+    specs: List[List[_RoutineSpec]] = []
+    flat: List[_RoutineSpec] = []
+    for mi in range(n_modules):
+        module_specs = []
+        for ri in range(per_module):
+            spec = _RoutineSpec(
+                mi, ri, "m%d_r%d" % (mi, ri), n_params=rng.choice((1, 2, 2, 3))
+            )
+            module_specs.append(spec)
+            flat.append(spec)
+        specs.append(module_specs)
+
+    # Feature roots: spread across the module range so hot and cold
+    # subgraphs live in different modules (coarse selectivity's lever).
+    stride = max(1, n_modules // config.n_features)
+    for f in range(config.n_features):
+        root = specs[(f * stride) % n_modules][0]
+        root.is_root = True
+        root.n_params = 2  # main always dispatches root(t, v + 1)
+        app.feature_roots.append(root.name)
+    app.feature_weights = _zipf_weights(config.n_features, config.zipf_s)
+
+    # -- Plan the call DAG ---------------------------------------------------------
+    def later_candidates(spec: _RoutineSpec) -> List[_RoutineSpec]:
+        result = []
+        limit_module = min(n_modules, spec.module_index + config.module_window + 1)
+        for mi in range(spec.module_index, limit_module):
+            for other in specs[mi]:
+                if (other.module_index, other.routine_index) > (
+                    spec.module_index, spec.routine_index
+                ):
+                    result.append(other)
+        return result
+
+    for spec in flat:
+        candidates = later_candidates(spec)
+        if not candidates:
+            continue
+        same = [c for c in candidates if c.module_index == spec.module_index]
+        cross = [c for c in candidates if c.module_index != spec.module_index]
+
+        def pick() -> Optional[_RoutineSpec]:
+            pool = cross if (cross and rng.random()
+                             < config.cross_module_fraction) else same
+            if not pool:
+                pool = candidates
+            return rng.choice(pool)
+
+        if spec.is_root:
+            # Roots make the hot inner loop: two unconditional callees.
+            for _ in range(2):
+                target = pick()
+                if target is not None:
+                    spec.callees.append((target, False))
+        else:
+            if rng.random() < config.call_prob:
+                target = pick()
+                if target is not None:
+                    spec.callees.append((target, False))
+            if rng.random() < config.cond_call_prob:
+                target = pick()
+                if target is not None:
+                    spec.callees.append((target, True))
+
+    # Rescue unreachable routines: every routine gets at least one
+    # caller, so the whole application is live (no dead-function noise
+    # in the lines-of-code axes).  Processing in index order keeps the
+    # reachability argument inductive: a rescuer is always earlier and
+    # therefore already root/called/rescued.
+    called = set()
+    for spec in flat:
+        for target, _ in spec.callees:
+            called.add(target.name)
+    for spec in flat:
+        if spec.is_root or spec.name in called:
+            continue
+        callers = [
+            c
+            for c in flat
+            if c.module_index <= spec.module_index
+            and spec.module_index - c.module_index <= config.module_window
+            and (c.module_index, c.routine_index)
+            < (spec.module_index, spec.routine_index)
+            and not c.is_root
+        ]
+        if not callers:
+            continue
+        rescuer = rng.choice(callers)
+        rescuer.callees.append((spec, True))
+        called.add(spec.name)
+
+    # -- Emit module sources ----------------------------------------------------------
+    # Mixed-language applications (the paper's Mcad2): a deterministic
+    # subset of modules is emitted in MFL, the FORTRAN-ish frontend.
+    mfl_modules = {
+        mi
+        for mi in range(n_modules)
+        if random.Random(config.seed * 97 + mi).random()
+        < config.mfl_fraction
+    }
+    for mi in range(n_modules):
+        if mi in mfl_modules:
+            app.sources["m%d" % mi] = _emit_module_mfl(
+                config, rng, mi, specs[mi]
+            )
+        else:
+            app.sources["m%d" % mi] = _emit_module(config, rng, mi, specs[mi])
+    app.sources["main"] = _emit_main(config, app)
+    return app
+
+
+
+def _index_expr(expr: str, size: int) -> str:
+    """A non-negative array index for `expr` (cheap mask if possible)."""
+    if size & (size - 1) == 0:
+        return "(%s) & %d" % (expr, size - 1)
+    return "((%s) %% %d + %d) %% %d" % (expr, size, size, size)
+
+
+def _emit_module(
+    config: WorkloadConfig,
+    rng: random.Random,
+    module_index: int,
+    module_specs: List[_RoutineSpec],
+) -> str:
+    lines: List[str] = ["// synthetic module m%d" % module_index]
+
+    # Module data: one exported counter, static tables.
+    counter = "m%d_count" % module_index
+    lines.append("global %s = 0;" % counter)
+    tables = []
+    for t in range(config.arrays_per_module):
+        table = "tab%d" % t
+        values = [str(rng.randrange(1, 97)) for _ in range(config.array_size)]
+        lines.append(
+            "static global %s[%d] = {%s};"
+            % (table, config.array_size, ", ".join(values))
+        )
+        tables.append(table)
+    lines.append("")
+
+    for spec in module_specs:
+        lines.extend(_emit_routine(config, rng, spec, counter, tables))
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_routine(
+    config: WorkloadConfig,
+    rng: random.Random,
+    spec: _RoutineSpec,
+    counter: str,
+    tables: List[str],
+) -> List[str]:
+    params = ["p%d" % i for i in range(spec.n_params)]
+    lines = ["func %s(%s) {" % (spec.name, ", ".join(params))]
+    body: List[str] = []
+
+    k1 = rng.randrange(2, 23)
+    k2 = rng.randrange(1, 13)
+    first = params[0]
+    second = params[1] if len(params) > 1 else first
+    body.append("var acc = %s * %d + %s;" % (first, k1, second))
+
+    table = rng.choice(tables) if tables else None
+    if spec.is_root:
+        trips = rng.randrange(3, config.root_loop_max + 1)
+        body.append("for (var k = 0; k < %d; k = k + 1) {" % trips)
+        for target, _ in spec.callees:
+            args = _call_args(rng, target, ["acc", "k", first])
+            body.append("    acc = acc + %s(%s);" % (target.name, args))
+        if table is not None:
+            body.append(
+                "    acc = acc + %s[%s];"
+                % (table, _index_expr("acc + k", config.array_size))
+            )
+        body.append("    acc = acc & 65535;")
+        body.append("}")
+    else:
+        trips = rng.randrange(1, config.leaf_loop_max + 1)
+        body.append("for (var k = 0; k < %d; k = k + 1) {" % trips)
+        if table is not None:
+            body.append(
+                "    acc = acc + %s[%s];"
+                % (table, _index_expr("acc + k", config.array_size))
+            )
+        else:
+            body.append("    acc = acc + k * %d;" % k2)
+        body.append("}")
+        for target, guarded in spec.callees:
+            args = _call_args(rng, target, ["acc", first, second])
+            if guarded:
+                body.append("if ((acc & %d) == 0) {" % rng.choice((1, 1, 3)))
+                body.append("    acc = acc + %s(%s);" % (target.name, args))
+                body.append("}")
+            else:
+                body.append("acc = acc + %s(%s);" % (target.name, args))
+
+    if rng.random() < 0.5:
+        body.append("%s = %s + 1;" % (counter, counter))
+    body.append("return acc % 1000003;")
+
+    lines.extend("    " + line for line in body)
+    lines.append("}")
+    return lines
+
+
+def _call_args(
+    rng: random.Random, target: "_RoutineSpec", available: List[str]
+) -> str:
+    args = []
+    for index in range(target.n_params):
+        if rng.random() < 0.25:
+            args.append(str(rng.randrange(0, 50)))
+        else:
+            args.append(available[index % len(available)])
+    return ", ".join(args)
+
+
+
+
+def _emit_module_mfl(
+    config: WorkloadConfig,
+    rng: random.Random,
+    module_index: int,
+    module_specs: List[_RoutineSpec],
+) -> str:
+    """Emit one module in MFL (the FORTRAN-flavoured frontend).
+
+    Same call structure as the MLL emitter; only the surface syntax
+    differs -- which is the paper's mixed-language point.
+    """
+    mask = config.array_size - 1
+    assert config.array_size & mask == 0, "array_size must be 2^k"
+    lines: List[str] = ["! synthetic module m%d (MFL)" % module_index]
+    counter = "m%d_count" % module_index
+    lines.append("INTEGER %s = 0" % counter)
+    tables: List[str] = []
+    for table_index in range(config.arrays_per_module):
+        table = "tab%d" % table_index
+        values = ", ".join(
+            str(rng.randrange(1, 97)) for _ in range(config.array_size)
+        )
+        lines.append(
+            "PRIVATE INTEGER %s(%d) = %s"
+            % (table.upper(), config.array_size, values)
+        )
+        tables.append(table)
+    lines.append("")
+
+    for spec in module_specs:
+        params = ", ".join("p%d" % i for i in range(spec.n_params))
+        lines.append("FUNCTION %s(%s)" % (spec.name.upper(), params))
+        k1 = rng.randrange(2, 23)
+        k2 = rng.randrange(1, 13)
+        first = "p0"
+        second = "p1" if spec.n_params > 1 else first
+        body: List[str] = ["INTEGER ACC",
+                           "ACC = %s * %d + %s" % (first, k1, second)]
+        table = rng.choice(tables) if tables else None
+        if spec.is_root:
+            trips = rng.randrange(3, config.root_loop_max + 1)
+            body.append("DO K = 1, %d" % trips)
+            for target, _ in spec.callees:
+                args = _call_args(rng, target, ["ACC", "K", first])
+                body.append("  ACC = ACC + %s(%s)" % (target.name, args))
+            if table is not None:
+                body.append(
+                    "  ACC = ACC + %s(1 + IAND(ACC + K, %d))"
+                    % (table, mask)
+                )
+            body.append("  ACC = IAND(ACC, 65535)")
+            body.append("END DO")
+        else:
+            trips = rng.randrange(1, config.leaf_loop_max + 1)
+            body.append("DO K = 1, %d" % trips)
+            if table is not None:
+                body.append(
+                    "  ACC = ACC + %s(1 + IAND(ACC + K, %d))"
+                    % (table, mask)
+                )
+            else:
+                body.append("  ACC = ACC + K * %d" % k2)
+            body.append("END DO")
+            for target, guarded in spec.callees:
+                args = _call_args(rng, target, ["ACC", first, second])
+                if guarded:
+                    body.append(
+                        "IF (IAND(ACC, %d) .EQ. 0) THEN"
+                        % rng.choice((1, 1, 3))
+                    )
+                    body.append(
+                        "  ACC = ACC + %s(%s)" % (target.name, args)
+                    )
+                    body.append("END IF")
+                else:
+                    body.append("ACC = ACC + %s(%s)" % (target.name, args))
+        if rng.random() < 0.5:
+            body.append("%s = %s + 1" % (counter, counter))
+        body.append("RETURN MOD(ACC, 1000003)")
+        lines.extend("  " + line for line in body)
+        lines.append("END")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_main(config: WorkloadConfig, app: GeneratedApp) -> str:
+    lines = [
+        "// synthetic driver module",
+        "global input_data[%d];" % config.input_size,
+        "global checksum = 0;",
+        "",
+        "func main() {",
+        "    var total = 0;",
+        "    for (var t = 0; t < %d; t = t + 1) {" % config.dispatch_count,
+        "        var v = input_data[t %% %d];" % config.input_size,
+    ]
+    indent = "        "
+    for index, root in enumerate(app.feature_roots):
+        cond = "if (v == %d) {" % index
+        lines.append(indent + cond)
+        lines.append(indent + "    total = total + %s(t, v + 1);" % root)
+        if index < len(app.feature_roots) - 1:
+            lines.append(indent + "} else {")
+            indent += "    "
+        else:
+            lines.append(indent + "}")
+    # Close the else-nest.
+    while len(indent) > 8:
+        indent = indent[:-4]
+        lines.append(indent + "}")
+    lines.extend(
+        [
+            "        total = total % 1000000007;",
+            "    }",
+            "    checksum = total;",
+            "    return total;",
+            "}",
+        ]
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,15 @@
+"""Optimizer-bug isolation tools (paper §6.3)."""
+
+from .isolate import (
+    FailurePredicate,
+    TriageReport,
+    isolate_failing_modules,
+    isolate_inline_operation,
+)
+
+__all__ = [
+    "FailurePredicate",
+    "TriageReport",
+    "isolate_failing_modules",
+    "isolate_inline_operation",
+]

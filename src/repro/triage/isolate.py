@@ -1,0 +1,178 @@
+"""Automatic isolation of optimizer-induced failures (paper §6.3).
+
+The paper's workflow, automated: "we often work our way along two
+dimensions: both reducing the amount of code exposed to the optimizer,
+and reducing the number of optimizations performed on the code."
+
+* :func:`isolate_failing_modules` minimizes the set of modules that
+  must be compiled under CMO to reproduce a failure ("pure binary
+  search on the modules has limited applicability, because often
+  several modules will need to be optimized together" -- so we run a
+  delta-debugging reduction, not a plain bisection).
+* :func:`isolate_inline_operation` binary-searches the inliner's
+  operation limit to find the exact inline that "makes the difference
+  between a failing and a working program" (after Whalley [18]).
+
+A *failure predicate* receives a :class:`BuildResult` and returns True
+when the bug reproduces (wrong output, trap, ...).  Tests inject a
+deliberate miscompile via ``HloOptions.inject_inline_bug_after``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..driver.compiler import BuildResult, Compiler
+from ..driver.options import CompilerOptions
+from ..profiles.database import ProfileDatabase
+
+FailurePredicate = Callable[[BuildResult], bool]
+
+
+class TriageReport:
+    """What the isolation run established."""
+
+    def __init__(self) -> None:
+        self.minimal_modules: List[str] = []
+        self.failing_inline_index: Optional[int] = None
+        self.suspect_inline: Optional[Tuple[str, str]] = None
+        self.builds_tried = 0
+
+    def __repr__(self) -> str:
+        return (
+            "<TriageReport modules=%r inline=%r suspect=%r builds=%d>"
+            % (
+                self.minimal_modules,
+                self.failing_inline_index,
+                self.suspect_inline,
+                self.builds_tried,
+            )
+        )
+
+
+class _Builder:
+    """Builds with a controlled CMO module set / inline limit."""
+
+    def __init__(
+        self,
+        sources: Dict[str, str],
+        base_options: Optional[CompilerOptions],
+        profile_db: Optional[ProfileDatabase],
+    ) -> None:
+        self.sources = sources
+        self.base = base_options or CompilerOptions(opt_level=4)
+        self.profile_db = profile_db
+        self.builds = 0
+
+    def build(
+        self,
+        cmo_modules: Optional[List[str]] = None,
+        inline_limit: Optional[int] = None,
+    ) -> BuildResult:
+        self.builds += 1
+        hlo = self.base.hlo.copy(inline_operation_limit=inline_limit)
+        options = CompilerOptions(
+            opt_level=4,
+            pbo=self.base.pbo,
+            selectivity_percent=self.base.selectivity_percent,
+            naim=self.base.naim,
+            hlo=hlo,
+            cost_model=self.base.cost_model,
+            cmo_modules=(
+                frozenset(cmo_modules) if cmo_modules is not None else None
+            ),
+        )
+        return Compiler(options).build(self.sources, self.profile_db)
+
+
+def _ddmin(
+    items: List[str], still_fails: Callable[[List[str]], bool]
+) -> List[str]:
+    """Zeller-style minimization of a failing set (complement-only)."""
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        chunk_size = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk_size):
+            complement = current[:start] + current[start + chunk_size :]
+            if complement and still_fails(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def isolate_failing_modules(
+    sources: Dict[str, str],
+    predicate: FailurePredicate,
+    base_options: Optional[CompilerOptions] = None,
+    profile_db: Optional[ProfileDatabase] = None,
+) -> TriageReport:
+    """Minimize the CMO module set that reproduces the failure."""
+    builder = _Builder(sources, base_options, profile_db)
+    report = TriageReport()
+    all_modules = list(sources)
+
+    def still_fails(subset: List[str]) -> bool:
+        return predicate(builder.build(cmo_modules=subset))
+
+    if not still_fails(all_modules):
+        report.builds_tried = builder.builds
+        return report  # not a CMO-dependent failure
+    report.minimal_modules = _ddmin(all_modules, still_fails)
+    report.builds_tried = builder.builds
+    return report
+
+
+def isolate_inline_operation(
+    sources: Dict[str, str],
+    predicate: FailurePredicate,
+    base_options: Optional[CompilerOptions] = None,
+    profile_db: Optional[ProfileDatabase] = None,
+    cmo_modules: Optional[List[str]] = None,
+) -> TriageReport:
+    """Find the first inline operation whose inclusion triggers failure.
+
+    Binary search over the inliner's operation limit: limit k performs
+    only the first k inlines, so the smallest failing k names the
+    suspect operation.
+    """
+    builder = _Builder(sources, base_options, profile_db)
+    report = TriageReport()
+    if cmo_modules is not None:
+        report.minimal_modules = list(cmo_modules)
+
+    full = builder.build(cmo_modules=cmo_modules)
+    if not predicate(full):
+        report.builds_tried = builder.builds
+        return report
+    assert full.hlo_result is not None
+    total = full.hlo_result.inline_stats.performed
+    trace = full.hlo_result.inline_stats.performed_list
+
+    if predicate(builder.build(cmo_modules=cmo_modules, inline_limit=0)):
+        # Fails even with inlining disabled: not an inliner bug.
+        report.failing_inline_index = 0
+        report.builds_tried = builder.builds
+        return report
+
+    low, high = 0, total  # fails at `high`, passes at `low`
+    while high - low > 1:
+        mid = (low + high) // 2
+        if predicate(
+            builder.build(cmo_modules=cmo_modules, inline_limit=mid)
+        ):
+            high = mid
+        else:
+            low = mid
+    report.failing_inline_index = high
+    if 0 < high <= len(trace):
+        report.suspect_inline = trace[high - 1]
+    report.builds_tried = builder.builds
+    return report

@@ -1,0 +1,34 @@
+"""Virtual target machine: ISA, cost model, images, functional simulator."""
+
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .image import Executable, MachineRoutine, ProbeInfo, RoutineMeta
+from .isa import (
+    ALLOCATABLE_REGS,
+    NUM_REGS,
+    REG_RV,
+    REG_SCRATCH_A,
+    REG_SCRATCH_B,
+    MInstr,
+    MOp,
+)
+from .machine import Machine, MachineError, MachineResult, run_image
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "Executable",
+    "MachineRoutine",
+    "ProbeInfo",
+    "RoutineMeta",
+    "ALLOCATABLE_REGS",
+    "NUM_REGS",
+    "REG_RV",
+    "REG_SCRATCH_A",
+    "REG_SCRATCH_B",
+    "MInstr",
+    "MOp",
+    "Machine",
+    "MachineError",
+    "MachineResult",
+    "run_image",
+]

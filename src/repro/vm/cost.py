@@ -1,0 +1,80 @@
+"""The virtual machine's cycle cost model.
+
+The model captures the performance effects the paper's optimizations
+target (DESIGN.md §2):
+
+* **call overhead** -- what cross-module inlining removes;
+* **taken-branch penalty** -- what profile-guided block layout removes;
+* **I-cache misses** -- what Pettis-Hansen procedure clustering and
+  layout reduce;
+* **load-use stalls** -- what the LLO scheduler hides;
+* **memory traffic** -- what register allocation avoids (spill code is
+  real LDS/STS instructions, so its cost emerges naturally).
+
+Absolute numbers are loosely PA-8000-flavoured but arbitrary; only the
+relative structure matters for reproducing the paper's speedup shapes.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Opcode
+
+
+class CostModel:
+    """Cycle costs; construct with keyword overrides for experiments."""
+
+    def __init__(
+        self,
+        base_cycles: int = 1,
+        mul_cycles: int = 3,
+        div_cycles: int = 8,
+        load_cycles: int = 2,
+        store_cycles: int = 2,
+        load_use_stall: int = 1,
+        taken_branch_penalty: int = 2,
+        call_overhead: int = 10,
+        ret_overhead: int = 3,
+        icache_lines: int = 1024,
+        icache_line_words: int = 8,
+        icache_miss_penalty: int = 10,
+        icache_enabled: bool = True,
+    ) -> None:
+        self.base_cycles = base_cycles
+        self.mul_cycles = mul_cycles
+        self.div_cycles = div_cycles
+        self.load_cycles = load_cycles
+        self.store_cycles = store_cycles
+        self.load_use_stall = load_use_stall
+        self.taken_branch_penalty = taken_branch_penalty
+        self.call_overhead = call_overhead
+        self.ret_overhead = ret_overhead
+        self.icache_lines = icache_lines
+        self.icache_line_words = icache_line_words
+        self.icache_miss_penalty = icache_miss_penalty
+        self.icache_enabled = icache_enabled
+
+    def alu_cycles(self, subop: Opcode) -> int:
+        if subop is Opcode.MUL:
+            return self.mul_cycles
+        if subop in (Opcode.DIV, Opcode.MOD):
+            return self.div_cycles
+        return self.base_cycles
+
+    def describe(self) -> str:
+        return (
+            "CostModel(call=%d, taken_br=%d, icache=%dx%d/miss=%d, "
+            "load=%d, stall=%d)"
+            % (
+                self.call_overhead,
+                self.taken_branch_penalty,
+                self.icache_lines,
+                self.icache_line_words,
+                self.icache_miss_penalty,
+                self.load_cycles,
+                self.load_use_stall,
+            )
+        )
+
+
+#: Default model used by the benchmarks.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,38 @@
+"""Smoke test for the figure-regeneration CLI."""
+
+import subprocess
+import sys
+
+
+def test_bench_cli_history_small():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "history", "--scale", "0.5"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Section 8 history" in proc.stdout
+    assert "KB_per_line" in proc.stdout
+
+
+def test_bench_cli_csv():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "history", "--scale", "0.5",
+         "--csv"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines()[0].startswith("release,")
+
+
+def test_bench_cli_rejects_unknown_figure():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "figure99"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode != 0

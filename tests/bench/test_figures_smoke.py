@@ -1,0 +1,69 @@
+"""Smoke tests for the figure harness at tiny scales.
+
+The real measurements live in benchmarks/; these just keep the harness
+API from rotting (tables render, series have the promised keys).
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    _dispatcher_workload,
+    run_figure4,
+    run_figure6,
+    run_history,
+)
+
+
+class TestHarnessSmoke:
+    def test_figure4_tiny(self):
+        result = run_figure4(points=2, scale=0.12)
+        assert len(result.data["series"]) == 2
+        for point in result.data["series"]:
+            assert {"cmo_lines", "hlo_bytes", "overall_bytes"} <= set(point)
+        text = result.render()
+        assert "Figure 4" in text and "KB" in text or "hlo_MB" in text
+
+    def test_figure6_tiny(self):
+        result = run_figure6(percents=[50.0], scale=0.12)
+        series = result.data["series"]
+        assert series[0]["percent"] == 0.0  # the PBO-only point
+        assert series[1]["percent"] == 50.0
+        assert series[1]["cycles"] > 0
+
+    def test_history_tiny(self):
+        result = run_history(scale=0.5)
+        kb = [p["kb_per_line"] for p in result.data["series"]]
+        assert kb[0] > kb[1] > kb[2]
+
+    def test_csv_output(self):
+        result = run_history(scale=0.5)
+        csv = result.table.to_csv()
+        assert csv.splitlines()[0].startswith("release,")
+
+
+class TestDispatcherWorkload:
+    def test_compiles_and_runs(self):
+        from repro.frontend import compile_sources
+        from repro.interp import run_program
+        from repro.ir import assert_valid_program
+
+        sources = _dispatcher_workload()
+        program = compile_sources(sources)
+        assert_valid_program(program)
+        result = run_program(program)
+        assert result.calls > 40  # every site executed
+
+    def test_repeats_interleave_callees(self):
+        """Each callee's repeated sites are spread apart in program
+        order (one per repetition), so unscheduled execution thrashes a
+        tiny pool cache -- the property the §4.3 ablation relies on."""
+        sources = _dispatcher_workload(n_callee_modules=2,
+                                       callees_per_module=2, repeats=2)
+        main = sources["main"]
+        occurrences = [
+            i for i in range(len(main))
+            if main.startswith("cm0_f0(", i)
+        ]
+        assert len(occurrences) == 2
+        between = main[occurrences[0]:occurrences[1]]
+        assert "cm1_f0(" in between  # other callees sit in between

@@ -1,0 +1,53 @@
+"""Unit tests for the bench table formatter."""
+
+import pytest
+
+from repro.bench.tables import Table, fmt_mb, speedup
+
+
+class TestTable:
+    def make(self):
+        table = Table("Demo", ["name", "value", "note"])
+        table.add_row("alpha", 12, "first")
+        table.add_row("beta_longer_name", 3.14159, "second")
+        table.add_note("a footnote")
+        return table
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "Demo" in text
+        assert "alpha" in text and "beta_longer_name" in text
+        assert "3.142" in text  # floats at 3 decimals
+        assert "note: a footnote" in text
+
+    def test_alignment_consistent(self):
+        lines = self.make().render().splitlines()
+        header = next(l for l in lines if "name" in l and "value" in l)
+        rows = [l for l in lines if "alpha" in l or "beta" in l]
+        assert all(len(r) <= len(max(rows + [header], key=len)) for r in rows)
+
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_csv(self):
+        csv = self.make().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "name,value,note"
+        assert lines[1].startswith("alpha,12")
+
+    def test_column_extraction(self):
+        table = self.make()
+        assert table.column("name") == ["alpha", "beta_longer_name"]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+
+class TestHelpers:
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+        assert speedup(100, 0) == 0.0
+
+    def test_fmt_mb(self):
+        assert fmt_mb(1024 * 1024) == 1.0

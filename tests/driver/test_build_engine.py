@@ -1,0 +1,94 @@
+"""Integration tests for the make-compatible incremental build engine."""
+
+from repro.driver.build import BuildEngine
+from repro.driver.compiler import train
+from repro.driver.options import CompilerOptions
+
+
+class TestIncremental:
+    def test_first_build_compiles_everything(self, calc_sources,
+                                             calc_reference):
+        engine = BuildEngine(CompilerOptions(opt_level=4))
+        result, report = engine.build(calc_sources)
+        assert sorted(report.recompiled) == sorted(calc_sources)
+        assert report.reused == []
+        assert result.run().value == calc_reference
+
+    def test_noop_rebuild_reuses_all(self, calc_sources):
+        engine = BuildEngine(CompilerOptions(opt_level=4))
+        engine.build(calc_sources)
+        _, report = engine.build(calc_sources)
+        assert report.recompiled == []
+        assert sorted(report.reused) == sorted(calc_sources)
+
+    def test_edit_recompiles_only_changed(self, calc_sources):
+        engine = BuildEngine(CompilerOptions(opt_level=4))
+        engine.build(calc_sources)
+        edited = dict(calc_sources)
+        edited["math"] = edited["math"].replace("factor = 3", "factor = 5")
+        result, report = engine.build(edited)
+        assert report.recompiled == ["math"]
+        assert "table" in report.reused
+        # The edit is visible in the output (factor 3 -> 5 changes sums).
+        engine2 = BuildEngine(CompilerOptions(opt_level=4))
+        original, _ = engine2.build(calc_sources)
+        assert result.run().value != original.run().value
+
+    def test_removed_module_dropped(self, calc_sources):
+        engine = BuildEngine(CompilerOptions(opt_level=4))
+        engine.build(calc_sources)
+        smaller = {
+            "main": "func main() { return 7; }",
+        }
+        result, report = engine.build(smaller)
+        assert sorted(report.removed) == ["math", "table"]
+        assert result.run().value == 7
+
+    def test_cmo_reoptimizes_at_link_despite_reuse(self, calc_sources):
+        """Fat objects: editing one module changes inlined code in
+        *other* modules' routines (HLO reruns at link)."""
+        engine = BuildEngine(CompilerOptions(opt_level=4))
+        first, _ = engine.build(calc_sources)
+        edited = dict(calc_sources)
+        edited["math"] = edited["math"].replace("factor = 3", "factor = 9")
+        second, report = engine.build(edited)
+        assert report.recompiled == ["math"]
+        assert first.run().value != second.run().value
+
+
+class TestPersistence:
+    def test_objects_persist_across_engines(self, tmp_path, calc_sources,
+                                            calc_reference):
+        directory = str(tmp_path / "objs")
+        engine1 = BuildEngine(CompilerOptions(opt_level=4),
+                              object_dir=directory)
+        engine1.build(calc_sources)
+
+        engine2 = BuildEngine(CompilerOptions(opt_level=4),
+                              object_dir=directory)
+        result, report = engine2.build(calc_sources)
+        assert report.recompiled == []
+        assert result.run().value == calc_reference
+
+    def test_persisted_o2_objects(self, tmp_path, calc_sources,
+                                  calc_reference):
+        directory = str(tmp_path / "objs2")
+        engine1 = BuildEngine(CompilerOptions(opt_level=2),
+                              object_dir=directory)
+        engine1.build(calc_sources)
+        engine2 = BuildEngine(CompilerOptions(opt_level=2),
+                              object_dir=directory)
+        result, report = engine2.build(calc_sources)
+        assert report.recompiled == []
+        assert result.run().value == calc_reference
+
+
+class TestWithProfiles:
+    def test_pbo_incremental_build(self, calc_sources, calc_reference):
+        profile = train(calc_sources, [None])
+        engine = BuildEngine(CompilerOptions(opt_level=4, pbo=True))
+        result, _ = engine.build(calc_sources, profile_db=profile)
+        assert result.run().value == calc_reference
+        result2, report = engine.build(calc_sources, profile_db=profile)
+        assert report.recompiled == []
+        assert result2.run().value == calc_reference

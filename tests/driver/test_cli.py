@@ -1,0 +1,85 @@
+"""Tests for the command-line compiler driver (python -m repro.driver)."""
+
+import json
+import os
+
+import pytest
+
+from repro.driver.__main__ import main
+
+UTIL = """
+static global seed = 123;
+func mix(a, b) { return (a * 31 + b) & 65535; }
+func next_rand() { seed = mix(seed, 17); return seed; }
+"""
+
+MAIN = """
+func main() {
+    var acc = 0;
+    for (var i = 0; i < 20; i = i + 1) {
+        acc = mix(acc, next_rand());
+    }
+    return acc;
+}
+"""
+
+
+@pytest.fixture()
+def source_files(tmp_path):
+    util = tmp_path / "util.mll"
+    util.write_text(UTIL)
+    entry = tmp_path / "main.mll"
+    entry.write_text(MAIN)
+    return [str(util), str(entry)]
+
+
+class TestBuild:
+    def test_build_and_run(self, source_files, capsys):
+        assert main(["build"] + source_files + ["--run"]) == 0
+        out = capsys.readouterr().out
+        assert "build +O2" in out
+        assert "run: value=" in out
+
+    def test_o4_build(self, source_files, capsys):
+        assert main(["build"] + source_files + ["-O", "4", "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "+O4" in out and "hlo:" in out
+
+    def test_bad_level_rejected(self, source_files):
+        with pytest.raises(SystemExit):
+            main(["build"] + source_files + ["-O", "3"])
+
+    def test_duplicate_module_names(self, tmp_path):
+        a = tmp_path / "x.mll"
+        a.write_text("func main() { return 1; }")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        b = sub / "x.mll"
+        b.write_text("func other() { return 2; }")
+        with pytest.raises(SystemExit, match="duplicate module"):
+            main(["build", str(a), str(b)])
+
+
+class TestTrainFlow:
+    def test_train_then_pbo_build(self, source_files, tmp_path, capsys):
+        db_path = str(tmp_path / "prof.json")
+        assert main(
+            ["train"] + source_files + ["-o", db_path, "--runs", "2"]
+        ) == 0
+        assert os.path.exists(db_path)
+        payload = json.load(open(db_path))
+        assert payload["run_count"] == 2
+
+        assert main(
+            ["build"] + source_files + ["-O", "4", "-P", db_path, "--run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "+O4 +P" in out
+
+
+class TestObjdump:
+    def test_prints_il(self, source_files, capsys):
+        assert main(["objdump", source_files[0]]) == 0
+        out = capsys.readouterr().out
+        assert "routine mix(2) exported" in out
+        assert "global util::seed static" in out

@@ -1,0 +1,108 @@
+"""Tests for multi-layered optimization (paper §8 extension)."""
+
+import pytest
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.driver.selectivity import plan_selectivity
+from repro.frontend import compile_source
+from repro.synth import WorkloadConfig, generate
+
+
+@pytest.fixture(scope="module")
+def app():
+    # Strongly skewed: several features never execute -> cold modules.
+    return generate(
+        WorkloadConfig(
+            "layered", n_modules=12, routines_per_module=4,
+            n_features=6, zipf_s=3.0, dispatch_count=100,
+            input_size=48, seed=31,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def profile(app):
+    return train(app.sources, [app.make_input(seed=1)])
+
+
+class TestLayerAssignment:
+    def test_three_layers_present(self, app, profile):
+        modules = [
+            compile_source(text, name)
+            for name, text in app.sources.items()
+        ]
+        plan = plan_selectivity(15.0, modules, profile, multi_layer=True)
+        layers = set(plan.layer_of.values())
+        assert "cmo" in layers and "warm" in layers
+
+    def test_cmo_modules_labelled_cmo(self, app, profile):
+        modules = [
+            compile_source(text, name)
+            for name, text in app.sources.items()
+        ]
+        plan = plan_selectivity(15.0, modules, profile, multi_layer=True)
+        for name in plan.cmo_modules:
+            assert plan.layer_of[name] == "cmo"
+
+    def test_cold_modules_never_executed(self, app, profile):
+        modules = [
+            compile_source(text, name)
+            for name, text in app.sources.items()
+        ]
+        plan = plan_selectivity(15.0, modules, profile, multi_layer=True)
+        for name, layer in plan.layer_of.items():
+            if layer != "cold":
+                continue
+            module = next(m for m in modules if m.name == name)
+            for routine_name in module.routines:
+                routine_profile = profile.profile_for(routine_name)
+                assert (
+                    routine_profile is None
+                    or routine_profile.total_block_weight() == 0
+                )
+
+    def test_no_layers_without_flag(self, app, profile):
+        modules = [
+            compile_source(text, name)
+            for name, text in app.sources.items()
+        ]
+        plan = plan_selectivity(15.0, modules, profile, multi_layer=False)
+        assert plan.layer_of == {}
+
+
+class TestLayeredBuilds:
+    def test_correctness(self, app, profile):
+        inputs = app.make_input(seed=1)
+        baseline = Compiler(CompilerOptions(opt_level=2)).build(app.sources)
+        expected = baseline.run(inputs=inputs).value
+        build = Compiler(
+            CompilerOptions(
+                opt_level=4, pbo=True, selectivity_percent=15,
+                multi_layer=True,
+            )
+        ).build(app.sources, profile_db=profile)
+        assert build.run(inputs=inputs).value == expected
+
+    def test_correct_on_untrained_input(self, app, profile):
+        """Cold code still runs correctly when a new input reaches it."""
+        uniform = app.make_input(seed=77, uniform=True)
+        baseline = Compiler(CompilerOptions(opt_level=2)).build(app.sources)
+        expected = baseline.run(inputs=uniform).value
+        build = Compiler(
+            CompilerOptions(
+                opt_level=4, pbo=True, selectivity_percent=15,
+                multi_layer=True,
+            )
+        ).build(app.sources, profile_db=profile)
+        assert build.run(inputs=uniform).value == expected
+
+    def test_plan_attached_to_build(self, app, profile):
+        build = Compiler(
+            CompilerOptions(
+                opt_level=4, pbo=True, selectivity_percent=15,
+                multi_layer=True,
+            )
+        ).build(app.sources, profile_db=profile)
+        assert build.plan is not None
+        assert build.plan.layer_of

@@ -1,0 +1,84 @@
+"""Option plumbing tests: every knob reaches its subsystem."""
+
+import pytest
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+from repro.hlo.options import HloOptions
+from repro.llo.driver import LloOptions
+from repro.naim.config import NaimConfig, NaimLevel
+from repro.vm.cost import CostModel
+
+
+class TestLloOptions:
+    def test_alloc_mode_ladder(self):
+        from repro.llo.regalloc import AllocMode
+
+        assert LloOptions(0).alloc_mode is AllocMode.NAIVE
+        assert LloOptions(1).alloc_mode is AllocMode.LOCAL
+        assert LloOptions(2).alloc_mode is AllocMode.GLOBAL
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            LloOptions(4)
+
+
+class TestHloOptionsCopy:
+    def test_copy_overrides(self):
+        base = HloOptions(inline_callee_max_instrs=10)
+        clone = base.copy(inline_operation_limit=3)
+        assert clone.inline_callee_max_instrs == 10
+        assert clone.inline_operation_limit == 3
+        assert base.inline_operation_limit is None
+
+    def test_flags_disable_passes(self, calc_sources):
+        options = CompilerOptions(
+            opt_level=4,
+            hlo=HloOptions(
+                constprop_enabled=False,
+                dce_enabled=False,
+                branch_elim_enabled=False,
+                simplify_enabled=False,
+                licm_enabled=False,
+                clone_enabled=False,
+                ipcp_enabled=False,
+                dead_function_elim_enabled=False,
+                inline_operation_limit=0,
+            ),
+        )
+        build = Compiler(options).build(calc_sources)
+        stats = build.hlo_result.ctx.stats.counts
+        assert stats == {}  # nothing ran
+
+
+class TestCostModelPlumbing:
+    def test_custom_cost_model_changes_cycles(self, calc_sources):
+        build = Compiler(CompilerOptions(opt_level=2)).build(calc_sources)
+        cheap = build.run(cost_model=CostModel(call_overhead=0,
+                                               ret_overhead=0)).cycles
+        expensive = build.run(cost_model=CostModel(call_overhead=50,
+                                                   ret_overhead=20)).cycles
+        assert expensive > cheap
+
+    def test_describe_mentions_knobs(self):
+        text = CostModel().describe()
+        assert "call=" in text and "icache=" in text
+
+
+class TestNaimPlumbing:
+    def test_repository_dir_used(self, calc_sources, calc_profile, tmp_path):
+        directory = str(tmp_path / "repo")
+        options = CompilerOptions(
+            opt_level=4,
+            pbo=True,
+            naim=NaimConfig.pinned(NaimLevel.OFFLOAD, cache_pools=1),
+            repository_dir=directory,
+        )
+        build = Compiler(options).build(calc_sources,
+                                        profile_db=calc_profile)
+        import os
+
+        assert os.path.isdir(directory)
+        assert any(name.endswith(".pool") for name in os.listdir(directory))
+        stats = build.hlo_result.loader.stats
+        assert stats.offloads > 0

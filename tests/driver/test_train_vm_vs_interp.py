@@ -1,0 +1,54 @@
+"""Profiles collected through the VM match profiles collected through
+the interpreter: the two probe paths agree exactly."""
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.profiles import ProfileDatabase, instrument_program
+from repro.synth import generate, tiny_config
+
+
+def collect_via_interpreter(sources, inputs):
+    program = compile_sources(sources)
+    table = instrument_program(program)
+    outcome = run_program(program, inputs=inputs)
+    return ProfileDatabase.from_probe_counts(table, outcome.probe_counts)
+
+
+def collect_via_vm(sources, inputs):
+    build = Compiler(
+        CompilerOptions(opt_level=2, instrument=True)
+    ).build(sources)
+    outcome = build.run(inputs=inputs)
+    return ProfileDatabase.from_probe_list(
+        build.probe_table, outcome.probe_counts
+    )
+
+
+class TestProbePathsAgree:
+    def test_counts_identical(self):
+        app = generate(tiny_config())
+        inputs = app.make_input(seed=3)
+        via_interp = collect_via_interpreter(app.sources, inputs)
+        via_vm = collect_via_vm(app.sources, inputs)
+        assert set(via_interp.routines) == set(via_vm.routines)
+        for name in via_interp.routines:
+            a = via_interp.profile_for(name)
+            b = via_vm.profile_for(name)
+            assert a.block_counts == b.block_counts, name
+            assert a.edge_counts == b.edge_counts, name
+            assert a.call_counts == b.call_counts, name
+
+    def test_cross_path_profiles_interchangeable(self, calc_sources,
+                                                 calc_reference):
+        """A VM-collected profile drives a correct PBO build, identical
+        to one driven by an interpreter-collected profile."""
+        interp_db = collect_via_interpreter(calc_sources, None)
+        vm_db = collect_via_vm(calc_sources, None)
+        options = CompilerOptions(opt_level=4, pbo=True)
+        build_a = Compiler(options).build(calc_sources, profile_db=interp_db)
+        build_b = Compiler(options).build(calc_sources, profile_db=vm_db)
+        sig = lambda b: [(i.op, i.imm) for i in b.executable.code]
+        assert sig(build_a) == sig(build_b)
+        assert build_a.run().value == calc_reference

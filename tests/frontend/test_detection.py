@@ -1,0 +1,49 @@
+"""Language auto-detection and explicit selection."""
+
+import pytest
+
+from repro.frontend import (
+    FrontendError,
+    compile_source,
+    detect_language,
+)
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("func f() { return 1; }", "mll"),
+            ("// comment\nfunc f() { return 1; }", "mll"),
+            ("global x = 1;\nfunc f() { return x; }", "mll"),
+            ("FUNCTION F()\n  RETURN 1\nEND", "mfl"),
+            ("function f()\n  return 1\nend", "mfl"),
+            ("! header comment\nINTEGER X = 1", "mfl"),
+            ("PRIVATE FUNCTION F()\n  RETURN 1\nEND", "mfl"),
+            ("PRIVATE INTEGER SEED = 1", "mfl"),
+            ("", "mll"),  # default
+        ],
+    )
+    def test_detect(self, source, expected):
+        assert detect_language(source) == expected
+
+
+class TestExplicitSelection:
+    def test_mll(self):
+        module = compile_source("func f() { return 1; }", "m",
+                                language="mll")
+        assert "f" in module.routines
+
+    def test_mfl(self):
+        module = compile_source("FUNCTION F()\n  RETURN 1\nEND", "m",
+                                language="mfl")
+        assert "f" in module.routines
+
+    def test_unknown_language(self):
+        with pytest.raises(FrontendError, match="unknown source language"):
+            compile_source("x", "m", language="cobol")
+
+    def test_wrong_frontend_rejects(self):
+        with pytest.raises(FrontendError):
+            compile_source("FUNCTION F()\n  RETURN 1\nEND", "m",
+                           language="mll")

@@ -1,0 +1,67 @@
+"""Unit tests for the MLL lexer."""
+
+import pytest
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import TokKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds("func while whilex iff return")
+        assert tokens == [
+            (TokKind.KEYWORD, "func"),
+            (TokKind.KEYWORD, "while"),
+            (TokKind.IDENT, "whilex"),
+            (TokKind.IDENT, "iff"),
+            (TokKind.KEYWORD, "return"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("0 123 007") == [
+            (TokKind.NUMBER, "0"),
+            (TokKind.NUMBER, "123"),
+            (TokKind.NUMBER, "007"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        assert [t for _, t in kinds("a<<=b")] == ["a", "<<", "=", "b"]
+        assert [t for _, t in kinds("a<=b")] == ["a", "<=", "b"]
+        assert [t for _, t in kinds("a&&b||c")] == ["a", "&&", "b", "||", "c"]
+
+    def test_comments_skipped(self):
+        tokens = kinds("a // comment with * and / chars\nb")
+        assert [t for _, t in tokens] == ["a", "b"]
+
+    def test_underscore_identifiers(self):
+        assert kinds("_x x_1")[0] == (TokKind.IDENT, "_x")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokKind.EOF
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_positions_after_comment(self):
+        tokens = tokenize("// hi\nx")
+        assert tokens[0].line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(FrontendError) as exc:
+            tokenize("a $ b")
+        assert "$" in str(exc.value)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(FrontendError) as exc:
+            tokenize("ab\n@")
+        assert "2:" in str(exc.value)

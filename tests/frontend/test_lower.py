@@ -1,0 +1,193 @@
+"""Lowering tests: MLL semantics checked through the interpreter."""
+
+import pytest
+
+from repro.frontend import compile_source, compile_sources
+from repro.interp import run_program
+from repro.ir import assert_valid_program
+
+
+def run_main(source, extra_modules=None, inputs=None):
+    sources = {"t": source}
+    if extra_modules:
+        sources.update(extra_modules)
+    program = compile_sources(sources)
+    assert_valid_program(program)
+    return run_program(program, inputs=inputs).value
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("2 + 3 * 4", 14),
+            ("(2 + 3) * 4", 20),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),
+            ("7 % 3", 1),
+            ("1 << 5", 32),
+            ("-16 >> 2", -4),
+            ("5 & 3", 1),
+            ("5 | 3", 7),
+            ("5 ^ 3", 6),
+            ("~0", -1),
+            ("!0", 1),
+            ("!5", 0),
+            ("-(3 + 4)", -7),
+            ("1 < 2", 1),
+            ("2 <= 1", 0),
+            ("3 == 3", 1),
+            ("3 != 3", 0),
+        ],
+    )
+    def test_arithmetic(self, expr, expected):
+        assert run_main("func main() { return %s; }" % expr) == expected
+
+    def test_division_by_zero_is_total(self):
+        assert run_main("func main() { var z = 0; return 5 / z; }") == 0
+        assert run_main("func main() { var z = 0; return 5 % z; }") == 0
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        source = """
+global hits = 0;
+func bump() { hits = hits + 1; return 1; }
+func main() {
+    var r = 0 && bump();
+    return hits * 10 + r;
+}
+"""
+        assert run_main(source) == 0  # bump never called
+
+    def test_or_skips_rhs(self):
+        source = """
+global hits = 0;
+func bump() { hits = hits + 1; return 0; }
+func main() {
+    var r = 1 || bump();
+    return hits * 10 + r;
+}
+"""
+        assert run_main(source) == 1
+
+    def test_rhs_evaluated_when_needed(self):
+        source = """
+global hits = 0;
+func bump() { hits = hits + 1; return 7; }
+func main() {
+    var r = 1 && bump();
+    return hits * 10 + r;
+}
+"""
+        # && normalizes rhs to 0/1.
+        assert run_main(source) == 11
+
+    def test_nested_short_circuit(self):
+        source = """
+func main() {
+    var a = 3;
+    if (a > 1 && (a < 2 || a == 3)) { return 42; }
+    return 0;
+}
+"""
+        assert run_main(source) == 42
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+func classify(x) {
+    if (x < 0) { return -1; }
+    else if (x == 0) { return 0; }
+    else { return 1; }
+}
+func main() { return classify(-5) * 100 + classify(0) * 10 + classify(9); }
+"""
+        assert run_main(source) == -99  # -1*100 + 0*10 + 1
+
+    def test_while_loop(self):
+        assert run_main(
+            "func main() { var s = 0; var i = 0;"
+            " while (i < 5) { s = s + i; i = i + 1; } return s; }"
+        ) == 10
+
+    def test_for_loop(self):
+        assert run_main(
+            "func main() { var s = 0;"
+            " for (var i = 1; i <= 4; i = i + 1) { s = s + i * i; }"
+            " return s; }"
+        ) == 30
+
+    def test_early_return_in_loop(self):
+        assert run_main(
+            "func main() { for (var i = 0; i < 10; i = i + 1) {"
+            " if (i == 3) { return i; } } return -1; }"
+        ) == 3
+
+    def test_implicit_return_zero(self):
+        assert run_main("func main() { var x = 5; x = x + 1; }") == 0
+
+    def test_unreachable_code_after_return(self):
+        assert run_main(
+            "func main() { return 1; return 2; }"
+        ) == 1
+
+
+class TestGlobalsAndStatics:
+    def test_global_scalar_read_write(self):
+        source = """
+global g = 10;
+func main() { g = g + 5; return g; }
+"""
+        assert run_main(source) == 15
+
+    def test_static_globals_are_module_private(self):
+        extra = {
+            "other": """
+static global secret = 100;
+func peek_other() { return secret; }
+""",
+        }
+        source = """
+static global secret = 7;
+func main() { return secret * 1000 + peek_other(); }
+"""
+        assert run_main(source, extra) == 7100
+
+    def test_global_array_roundtrip(self):
+        source = """
+global buf[4];
+func main() {
+    for (var i = 0; i < 4; i = i + 1) { buf[i] = i * i; }
+    return buf[0] + buf[1] + buf[2] + buf[3];
+}
+"""
+        assert run_main(source) == 14
+
+    def test_array_initializers(self):
+        source = """
+global tab[5] = {10, 20, 30};
+func main() { return tab[0] + tab[2] + tab[4]; }
+"""
+        assert run_main(source) == 40
+
+    def test_inputs_injection(self):
+        source = """
+global input_data[4];
+func main() { return input_data[0] + input_data[3]; }
+"""
+        assert run_main(source, inputs={"input_data": [5, 0, 0, 7]}) == 12
+
+
+class TestCrossModule:
+    def test_cross_module_calls(self, calc_sources, calc_reference):
+        program = compile_sources(calc_sources)
+        assert run_program(program).value == calc_reference
+
+    def test_line_counts_recorded(self):
+        module = compile_source(
+            "func f() {\n return 1;\n}\n\nfunc g() { return 2; }\n", "m"
+        )
+        assert module.routines["f"].source_lines == 3
+        assert module.routines["g"].source_lines == 1

@@ -1,0 +1,240 @@
+"""Unit tests for the MFL (FORTRAN-flavoured) frontend."""
+
+import pytest
+
+from repro.frontend import compile_source, compile_sources, detect_language
+from repro.frontend.errors import FrontendError
+from repro.frontend.mfl import compile_mfl_source
+from repro.interp import Interpreter, run_program
+from repro.ir import Program, assert_valid_program
+
+
+def run_mfl(body, entry="f", args=()):
+    module = compile_mfl_source(body, "t")
+    program = Program([module])
+    return Interpreter(program).run(entry=entry, args=list(args)).value
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("2 + 3 * 4", 14),
+            ("(2 + 3) * 4", 20),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),
+            ("MOD(7, 3)", 1),
+            ("IAND(12, 10)", 8),
+            ("10 - 3 - 2", 5),
+            ("-(3 + 4)", -7),
+        ],
+    )
+    def test_arithmetic(self, expr, expected):
+        assert run_mfl(
+            "FUNCTION F()\n  RETURN %s\nEND" % expr
+        ) == expected
+
+    @pytest.mark.parametrize(
+        "cond,expected",
+        [
+            ("1 .LT. 2", 1),
+            ("2 .LE. 1", 0),
+            ("3 .EQ. 3", 1),
+            ("3 .NE. 3", 0),
+            ("2 .GT. 1 .AND. 1 .GT. 0", 1),
+            ("0 .GT. 1 .OR. 1 .GT. 0", 1),
+            (".NOT. (1 .EQ. 1)", 0),
+        ],
+    )
+    def test_logicals(self, cond, expected):
+        source = (
+            "FUNCTION F()\n"
+            "  IF (%s) THEN\n"
+            "    RETURN 1\n"
+            "  ELSE\n"
+            "    RETURN 0\n"
+            "  END IF\n"
+            "END" % cond
+        )
+        assert run_mfl(source) == expected
+
+    def test_case_insensitive(self):
+        source = "function f(x)\n  return X * 2\nend"
+        assert run_mfl(source, args=[21]) == 42
+
+
+class TestStatements:
+    def test_do_loop_inclusive(self):
+        source = (
+            "FUNCTION F(N)\n"
+            "  INTEGER S\n"
+            "  S = 0\n"
+            "  DO I = 1, N\n"
+            "    S = S + I\n"
+            "  END DO\n"
+            "  RETURN S\n"
+            "END"
+        )
+        assert run_mfl(source, args=[5]) == 15  # 1..5 inclusive
+
+    def test_do_loop_with_step(self):
+        source = (
+            "FUNCTION F()\n"
+            "  INTEGER S\n"
+            "  S = 0\n"
+            "  DO I = 0, 10, 2\n"
+            "    S = S + I\n"
+            "  END DO\n"
+            "  RETURN S\n"
+            "END"
+        )
+        assert run_mfl(source) == 30
+
+    def test_nested_if(self):
+        source = (
+            "FUNCTION F(X)\n"
+            "  IF (X .GT. 0) THEN\n"
+            "    IF (X .GT. 10) THEN\n"
+            "      RETURN 2\n"
+            "    END IF\n"
+            "    RETURN 1\n"
+            "  END IF\n"
+            "  RETURN 0\n"
+            "END"
+        )
+        assert run_mfl(source, args=[20]) == 2
+        assert run_mfl(source, args=[5]) == 1
+        assert run_mfl(source, args=[-1]) == 0
+
+    def test_implicit_return_zero(self):
+        assert run_mfl("FUNCTION F()\n  INTEGER X\n  X = 5\nEND") == 0
+
+    def test_call_statement(self):
+        source = (
+            "INTEGER HITS = 0\n"
+            "FUNCTION BUMP()\n"
+            "  HITS = HITS + 1\n"
+            "  RETURN HITS\n"
+            "END\n"
+            "FUNCTION F()\n"
+            "  CALL BUMP()\n"
+            "  CALL BUMP()\n"
+            "  RETURN HITS\n"
+            "END"
+        )
+        assert run_mfl(source) == 2
+
+
+class TestGlobalsAndArrays:
+    def test_one_based_indexing(self):
+        source = (
+            "INTEGER TAB(3) = 10, 20, 30\n"
+            "FUNCTION F(I)\n"
+            "  RETURN TAB(I)\n"
+            "END"
+        )
+        assert run_mfl(source, args=[1]) == 10
+        assert run_mfl(source, args=[3]) == 30
+
+    def test_array_store(self):
+        source = (
+            "INTEGER TAB(4)\n"
+            "FUNCTION F()\n"
+            "  DO I = 1, 4\n"
+            "    TAB(I) = I * I\n"
+            "  END DO\n"
+            "  RETURN TAB(1) + TAB(4)\n"
+            "END"
+        )
+        assert run_mfl(source) == 17
+
+    def test_private_global_qualified(self):
+        module = compile_mfl_source(
+            "PRIVATE INTEGER SEED = 9\n"
+            "FUNCTION F()\n  RETURN SEED\nEND",
+            "mymod",
+        )
+        assert "mymod::seed" in module.symtab.globals
+        assert not module.symtab.globals["mymod::seed"].exported
+
+    def test_private_function_qualified(self):
+        module = compile_mfl_source(
+            "PRIVATE FUNCTION H(X)\n  RETURN X\nEND\n"
+            "FUNCTION F()\n  RETURN H(3)\nEND",
+            "mymod",
+        )
+        assert "mymod::h" in module.routines
+        assert not module.routines["mymod::h"].exported
+
+    def test_source_language_recorded(self):
+        module = compile_mfl_source(
+            "FUNCTION F()\n  RETURN 1\nEND", "m"
+        )
+        assert module.routines["f"].source_language == "mfl"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "FUNCTION F()\n  RETURN 1",  # missing END
+            "FUNCTION F()\n  X ++ 1\n  RETURN 1\nEND",
+            "GARBAGE LINE",
+            "FUNCTION F()\n  RETURN MOD(1)\nEND",  # arity of intrinsic
+            "INTEGER A(2) = 1, 2, 3",  # too many initializers
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(FrontendError):
+            compile_mfl_source(source, "t")
+
+
+class TestMixedLanguage:
+    MFL_LIB = (
+        "INTEGER CALLS = 0\n"
+        "FUNCTION TRIPLE(X)\n"
+        "  CALLS = CALLS + 1\n"
+        "  RETURN X * 3\n"
+        "END"
+    )
+    MLL_MAIN = (
+        "func main() {\n"
+        "    var t = triple(5) + triple(2);\n"
+        "    return t * 10 + calls;\n"
+        "}"
+    )
+
+    def test_cross_language_link_and_run(self):
+        program = compile_sources(
+            {"fortranish": self.MFL_LIB, "cish": self.MLL_MAIN}
+        )
+        assert_valid_program(program)
+        assert run_program(program).value == 212
+
+    def test_detection(self):
+        assert detect_language(self.MFL_LIB) == "mfl"
+        assert detect_language(self.MLL_MAIN) == "mll"
+
+    def test_cross_language_cmo(self):
+        from repro.driver import Compiler, CompilerOptions
+
+        sources = {"fortranish": self.MFL_LIB, "cish": self.MLL_MAIN}
+        build = Compiler(CompilerOptions(opt_level=4)).build(sources)
+        assert build.run().value == 212
+        # The FORTRAN-ish callee was inlined into the C-ish caller.
+        assert build.hlo_result.inline_stats.performed >= 1
+
+    def test_mixed_language_generated_app(self):
+        from repro.synth import WorkloadConfig, generate
+
+        config = WorkloadConfig(
+            "mixed", n_modules=6, routines_per_module=3, n_features=2,
+            dispatch_count=40, mfl_fraction=0.5, seed=5,
+        )
+        app = generate(config)
+        languages = {detect_language(t) for t in app.sources.values()}
+        assert languages == {"mll", "mfl"}
+        program = compile_sources(app.sources)
+        assert_valid_program(program)
+        result = run_program(program, inputs=app.make_input(seed=1))
+        assert result.steps > 50

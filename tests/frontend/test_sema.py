@@ -1,0 +1,88 @@
+"""Unit tests for MLL semantic checks."""
+
+import pytest
+
+from repro.frontend.errors import SemanticError
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import check_module
+
+
+def check(source):
+    return check_module(parse_source(source, "t"))
+
+
+class TestTopLevelChecks:
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError):
+            check("global x = 1; global x = 2;")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError):
+            check("func f() { return 1; } func f() { return 2; }")
+
+    def test_name_both_global_and_function(self):
+        with pytest.raises(SemanticError):
+            check("global f = 1; func f() { return 1; }")
+
+
+class TestLocals:
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError):
+            check("func f() { var x = 1; var x = 2; return x; }")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(SemanticError):
+            check("func f(a, a) { return a; }")
+
+    def test_local_called_like_function(self):
+        with pytest.raises(SemanticError):
+            check("func f() { var x = 1; return x(2); }")
+
+    def test_local_indexed_like_array(self):
+        with pytest.raises(SemanticError):
+            check("func f() { var x = 1; return x[0]; }")
+
+    def test_undeclared_name_is_extern_global(self):
+        # C-style: unknown names become extern globals, resolved at link.
+        check("func f() { return mystery; }")
+
+
+class TestArrayScalarMix:
+    def test_array_used_as_scalar(self):
+        with pytest.raises(SemanticError):
+            check("global a[4]; func f() { return a; }")
+
+    def test_array_assigned_as_scalar(self):
+        with pytest.raises(SemanticError):
+            check("global a[4]; func f() { a = 1; return 0; }")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(SemanticError):
+            check("global s = 1; func f() { return s[0]; }")
+
+    def test_scalar_index_store(self):
+        with pytest.raises(SemanticError):
+            check("global s = 1; func f() { s[0] = 2; return 0; }")
+
+    def test_proper_array_use_ok(self):
+        check("global a[4]; func f(i) { a[i] = a[i] + 1; return a[i]; }")
+
+
+class TestArity:
+    def test_intra_module_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            check(
+                "func g(a, b) { return a + b; }\n"
+                "func f() { return g(1); }"
+            )
+
+    def test_cross_module_arity_deferred(self):
+        # Unknown callee: the link-time interface checker owns this.
+        check("func f() { return external_fn(1, 2, 3); }")
+
+    def test_arity_checked_in_nested_expressions(self):
+        with pytest.raises(SemanticError):
+            check(
+                "func g(a) { return a; }\n"
+                "func f() { return 1 + g(); }"
+            )

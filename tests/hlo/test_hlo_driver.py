@@ -1,0 +1,137 @@
+"""Integration tests for the HLO driver (CMO orchestration)."""
+
+from repro.frontend import compile_sources
+from repro.hlo.driver import HighLevelOptimizer
+from repro.hlo.options import HloOptions
+from repro.interp import run_program
+from repro.ir import assert_valid_program
+from repro.naim import NaimConfig, NaimLevel
+from repro.profiles import ProfileDatabase, instrument_program
+
+SOURCES = {
+    "lib": """
+global total = 0;
+static global factor = 3;
+func scale(x) { return x * factor; }
+func step(a, b) {
+    if (a > b) { return a - b; }
+    return b - a;
+}
+func dead_helper(q) { return q * q; }
+func accumulate(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        acc = acc + scale(step(i, 7));
+        total = total + 1;
+    }
+    return acc;
+}
+""",
+    "main": """
+func main() {
+    var r = accumulate(50);
+    return r + total;
+}
+""",
+}
+
+
+def profile_for(sources):
+    program = compile_sources(sources)
+    table = instrument_program(program)
+    result = run_program(program)
+    return ProfileDatabase.from_probe_counts(table, result.probe_counts)
+
+
+def reference(sources):
+    return run_program(compile_sources(sources)).value
+
+
+class TestOptimize:
+    def test_semantics_preserved(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(
+            program, options=HloOptions(checked=True)
+        ).optimize()
+        assert_valid_program(program)
+        assert run_program(program).value == reference(SOURCES)
+
+    def test_dead_function_removed(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(program).optimize()
+        assert "dead_helper" in result.removed_functions
+
+    def test_inlining_happened(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(program).optimize()
+        assert result.inline_stats.performed >= 2
+
+    def test_dynamic_steps_reduced(self):
+        baseline = run_program(compile_sources(SOURCES)).steps
+        program = compile_sources(SOURCES)
+        HighLevelOptimizer(program).optimize()
+        assert run_program(program).steps < baseline
+
+    def test_profile_views_available(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(
+            program, profile_db=profile_for(SOURCES)
+        ).optimize()
+        view = result.views.get("accumulate")
+        assert view is not None and not view.is_static_estimate
+
+    def test_static_views_without_profiles(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(program).optimize()
+        assert result.views["accumulate"].is_static_estimate
+
+
+class TestSelectivity:
+    def test_unselected_routines_untouched(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(
+            program,
+            profile_db=profile_for(SOURCES),
+        ).optimize(selected_routines={"scale"})
+        accumulate = result.unit.routine("accumulate")
+        # No inlining into an unselected routine; its calls remain.
+        # (IPCP may still bind constant parameters at its entry -- that
+        # is part of the whole-program scan, not per-routine effort.)
+        assert "inlined_from" not in accumulate.annotations
+        assert len(accumulate.call_sites()) == 2
+
+    def test_selected_set_recorded(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(program).optimize(
+            selected_routines={"scale", "step"}
+        )
+        assert result.selected == {"scale", "step"}
+
+
+class TestNaimIntegration:
+    def test_memory_accounted(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(program).optimize()
+        assert result.peak_bytes > 0
+        assert result.accountant.category_total("global") > 0
+
+    def test_tight_memory_config_still_correct(self):
+        program = compile_sources(SOURCES)
+        naim = NaimConfig.pinned(NaimLevel.OFFLOAD, cache_pools=1)
+        HighLevelOptimizer(program, naim_config=naim).optimize()
+        assert run_program(program).value == reference(SOURCES)
+
+    def test_loader_activity_under_pressure(self):
+        program = compile_sources(SOURCES)
+        naim = NaimConfig.pinned(NaimLevel.IR_COMPACT, cache_pools=1)
+        result = HighLevelOptimizer(program, naim_config=naim).optimize()
+        assert result.loader.stats.compactions > 0
+        assert result.loader.stats.uncompactions > 0
+
+    def test_externally_callable_disables_dfe(self):
+        program = compile_sources(SOURCES)
+        result = HighLevelOptimizer(
+            program, externally_callable={"dead_helper"}
+        ).optimize()
+        assert result.removed_functions == []
+        assert "dead_helper" in program.modules["lib"].routines

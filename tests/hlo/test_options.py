@@ -1,0 +1,68 @@
+"""Tests for HLO option semantics not covered elsewhere."""
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.hlo.options import HloOptions
+
+
+class TestInlineBudgets:
+    SOURCES = {
+        "lib": """
+func tiny(x) { return x + 1; }
+func mid(x) {
+    var s = x;
+    s = s + tiny(s); s = s + tiny(s); s = s + tiny(s);
+    s = s + tiny(s); s = s + tiny(s); s = s + tiny(s);
+    return s;
+}
+""",
+        "main": """
+func main() {
+    var s = 0;
+    for (var i = 0; i < 10; i = i + 1) { s = s + mid(i); }
+    return s;
+}
+""",
+    }
+
+    def build(self, hlo):
+        profile = train(self.SOURCES, [None])
+        return Compiler(
+            CompilerOptions(opt_level=4, pbo=True, hlo=hlo)
+        ).build(self.SOURCES, profile_db=profile)
+
+    def test_growth_factor_limits_inlining(self):
+        small = self.build(HloOptions(inline_program_growth_factor=1.05))
+        large = self.build(HloOptions(inline_program_growth_factor=6.0))
+        assert (
+            small.hlo_result.inline_stats.performed
+            < large.hlo_result.inline_stats.performed
+        )
+        assert small.hlo_result.inline_stats.rejected_growth > 0
+
+    def test_caller_size_cap(self):
+        capped = self.build(
+            HloOptions(inline_caller_max_instrs=1,
+                       inline_routine_growth_factor=1.0)
+        )
+        assert capped.hlo_result.inline_stats.rejected_growth > 0
+
+    def test_min_site_weight_skips_cold(self):
+        # Weight threshold above every site's count: nothing inlines.
+        frozen = self.build(HloOptions(inline_min_site_weight=10**9))
+        assert frozen.hlo_result.inline_stats.performed == 0
+        assert frozen.hlo_result.inline_stats.rejected_cold > 0
+
+    def test_budgets_never_affect_correctness(self):
+        expected = None
+        for hlo in (
+            HloOptions(inline_program_growth_factor=1.01),
+            HloOptions(inline_caller_max_instrs=1,
+                       inline_routine_growth_factor=1.0),
+            HloOptions(inline_min_site_weight=10**9),
+            HloOptions(),
+        ):
+            value = self.build(hlo).run().value
+            if expected is None:
+                expected = value
+            assert value == expected

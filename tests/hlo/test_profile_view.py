@@ -1,0 +1,97 @@
+"""Unit tests for the optimizer's mutable profile views."""
+
+from repro.frontend import compile_source, compile_sources
+from repro.hlo.profile_view import ProfileView
+from repro.interp import run_program
+from repro.profiles import ProfileDatabase, instrument_program
+
+SOURCES = {
+    "m": """
+func callee(x) {
+    if (x > 5) { return x * 2; }
+    return x;
+}
+func main() {
+    var s = 0;
+    for (var i = 0; i < 10; i = i + 1) { s = s + callee(i); }
+    return s;
+}
+"""
+}
+
+
+def measured_view(name):
+    program = compile_sources(SOURCES)
+    table = instrument_program(program)
+    result = run_program(program)
+    database = ProfileDatabase.from_probe_counts(table, result.probe_counts)
+    return ProfileView.from_profile(database.profile_for(name))
+
+
+class TestConstruction:
+    def test_measured_view(self):
+        view = measured_view("callee")
+        assert not view.is_static_estimate
+        assert view.count("entry0") == 10
+
+    def test_static_estimate_scales_with_loop_depth(self):
+        routine = compile_source(
+            "func f(n) { var s = 0;"
+            " for (var i = 0; i < n; i = i + 1) {"
+            "   for (var j = 0; j < n; j = j + 1) { s = s + 1; } }"
+            " return s; }",
+            "m",
+        ).routines["f"]
+        view = ProfileView.static_estimate(routine)
+        assert view.is_static_estimate
+        entry = view.count(routine.entry.label)
+        deepest = max(view.block_counts.values())
+        assert deepest > entry
+
+
+class TestEdgeFallback:
+    def test_exact_edge_preferred(self):
+        view = ProfileView("r", {"a": 100, "b": 40}, {("a", "b"): 7})
+        assert view.edge("a", "b") == 7
+
+    def test_fallback_bounds_by_endpoints(self):
+        view = ProfileView("r", {"a": 100, "b": 40}, {})
+        assert view.edge("a", "b") == 40
+
+
+class TestMaintenance:
+    def test_rename(self):
+        view = ProfileView("r", {"a": 5, "b": 3}, {("a", "b"): 2})
+        view.rename_block("a", "z")
+        assert view.count("z") == 5 and view.count("a") == 0
+        assert view.edge_counts == {("z", "b"): 2}
+
+    def test_drop(self):
+        view = ProfileView("r", {"a": 5, "b": 3}, {("a", "b"): 2})
+        view.drop_block("b")
+        assert view.count("b") == 0
+        assert view.edge_counts == {}
+
+    def test_merge_blocks(self):
+        view = ProfileView("r", {"a": 5, "b": 5}, {("a", "b"): 5})
+        view.merge_blocks("a", "b")
+        assert view.count("a") == 5
+        assert view.count("b") == 0
+
+    def test_splice_scaled(self):
+        caller = ProfileView("caller", {"site": 30})
+        callee = ProfileView("callee", {"entry0": 60, "hot": 600},
+                             {("entry0", "hot"): 600})
+        label_map = {"entry0": "il0_entry0", "hot": "il0_hot"}
+        caller.splice_scaled(callee, label_map, site_weight=30,
+                             callee_entry=60)
+        # Scaled by 30/60 = half.
+        assert caller.count("il0_entry0") == 30
+        assert caller.count("il0_hot") == 300
+        assert caller.edge_counts[("il0_entry0", "il0_hot")] == 300
+
+    def test_splice_scaled_zero_entry(self):
+        caller = ProfileView("caller", {"site": 30})
+        callee = ProfileView("callee", {"entry0": 0})
+        caller.splice_scaled(callee, {"entry0": "x"}, 30, 0)
+        assert caller.count("x") == 0

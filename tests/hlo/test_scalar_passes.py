@@ -1,0 +1,294 @@
+"""Unit tests for the scalar passes: constprop, DCE, simplify,
+branch elimination, memory forwarding.
+
+Each test asserts both the structural effect and (where it matters)
+that interpreter semantics are preserved.
+"""
+
+from repro.frontend import compile_source, compile_sources
+from repro.hlo.analysis.modref import ModRefAnalysis
+from repro.hlo.passes import OptContext
+from repro.hlo.transforms.branch_elim import BranchElimination
+from repro.hlo.transforms.constprop import ConstantPropagation
+from repro.hlo.transforms.dce import DeadCodeElimination
+from repro.hlo.transforms.memopt import MemoryForwarding
+from repro.hlo.transforms.simplify import SimplifyCfg
+from repro.interp import run_program
+from repro.ir import Opcode, assert_valid_routine
+
+
+def optimize(sources, routine_name, passes, iterations=3):
+    """Run passes on one routine of a program; returns (routine, program)."""
+    program = compile_sources(sources)
+    ctx = OptContext(program.symtab)
+    ctx.modref = ModRefAnalysis.analyze(program.all_routines())
+    routine = program.routine(routine_name)
+    for _ in range(iterations):
+        changed = False
+        for phase in passes:
+            if phase.run(routine, ctx):
+                changed = True
+                routine.invalidate()
+        if not changed:
+            break
+    assert_valid_routine(routine)
+    return routine, program
+
+
+def instr_ops(routine):
+    return [instr.op for _, _, instr in routine.iter_instrs()]
+
+
+FULL = [SimplifyCfg(), ConstantPropagation(), MemoryForwarding(),
+        BranchElimination(), DeadCodeElimination()]
+
+
+class TestConstprop:
+    def test_folds_constants(self):
+        sources = {"m": "func main() { var x = 3 * 4 + 2; return x; }"}
+        reference = run_program(compile_sources(sources)).value
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == reference
+        # Everything folds down to one constant return.
+        ops = instr_ops(routine)
+        assert Opcode.MUL not in ops and Opcode.ADD not in ops
+
+    def test_folds_branch_on_constant(self):
+        sources = {
+            "m": "func main() { if (1 < 2) { return 10; } return 20; }"
+        }
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 10
+        assert Opcode.BR not in instr_ops(routine)
+
+    def test_algebraic_identities(self):
+        sources = {
+            "m": """
+func f(a) {
+    var z = 0;
+    return a * 1 + z + (a - a) + a * z;
+}
+func main() { return f(21); }
+"""
+        }
+        reference = run_program(compile_sources(sources)).value
+        routine, program = optimize(sources, "f", FULL)
+        assert run_program(program).value == reference
+        assert Opcode.MUL not in instr_ops(routine)
+
+    def test_copy_propagation_within_block(self):
+        sources = {
+            "m": "func f(a) { var b = a; var c = b; return c + c; }\n"
+                 "func main() { return f(5); }"
+        }
+        routine, program = optimize(sources, "f", FULL)
+        assert run_program(program).value == 10
+        assert Opcode.MOV not in instr_ops(routine)
+
+    def test_does_not_fold_across_conflicting_paths(self):
+        sources = {
+            "m": """
+func f(a) {
+    var x = 1;
+    if (a) { x = 2; }
+    return x;
+}
+func main() { return f(0) * 10 + f(1); }
+"""
+        }
+        _, program = optimize(sources, "f", FULL)
+        assert run_program(program).value == 12
+
+    def test_loop_semantics_preserved(self):
+        sources = {
+            "m": """
+func f(n) {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) { s = s + i * 2; }
+    return s;
+}
+func main() { return f(10); }
+"""
+        }
+        reference = run_program(compile_sources(sources)).value
+        _, program = optimize(sources, "f", FULL)
+        assert run_program(program).value == reference
+
+
+class TestDce:
+    def test_removes_dead_arithmetic(self):
+        sources = {
+            "m": "func main() { var dead = 3 * 3; return 7; }"
+        }
+        routine, _ = optimize(sources, "main", [DeadCodeElimination()])
+        assert Opcode.MUL not in instr_ops(routine)
+
+    def test_keeps_stores(self):
+        sources = {
+            "m": "global g = 0;\n"
+                 "func main() { g = 42; return 0; }"
+        }
+        routine, _ = optimize(sources, "main", [DeadCodeElimination()])
+        assert Opcode.STOREG in instr_ops(routine)
+
+    def test_removes_pure_call_with_unused_result(self):
+        sources = {
+            "m": """
+func pure(a) { return a * a; }
+func main() { pure(9); return 5; }
+"""
+        }
+        routine, program = optimize(sources, "main", [DeadCodeElimination()])
+        assert Opcode.CALL not in instr_ops(routine)
+        assert run_program(program).value == 5
+
+    def test_keeps_impure_call(self):
+        sources = {
+            "m": """
+global g = 0;
+func impure(a) { g = g + a; return g; }
+func main() { impure(9); return g; }
+"""
+        }
+        routine, program = optimize(sources, "main", [DeadCodeElimination()])
+        assert Opcode.CALL in instr_ops(routine)
+        assert run_program(program).value == 9
+
+
+class TestSimplify:
+    def test_removes_unreachable(self):
+        sources = {
+            "m": "func main() { return 1; return 2; }"
+        }
+        routine, _ = optimize(sources, "main", [SimplifyCfg()])
+        rets = [i for i in instr_ops(routine) if i is Opcode.RET]
+        assert len(rets) == 1
+
+    def test_merges_chains(self):
+        sources = {
+            "m": """
+func f(a) {
+    var x = a + 1;
+    if (1) { x = x + 2; }
+    return x;
+}
+func main() { return f(1); }
+"""
+        }
+        routine, program = optimize(sources, "f", FULL)
+        assert run_program(program).value == 4
+        assert len(routine.blocks) == 1
+
+    def test_threads_trivial_jumps(self):
+        sources = {
+            "m": """
+func f(a) {
+    while (a > 0) { a = a - 1; }
+    return a;
+}
+func main() { return f(3); }
+"""
+        }
+        reference = run_program(compile_sources(sources)).value
+        _, program = optimize(sources, "f", [SimplifyCfg()])
+        assert run_program(program).value == reference
+
+
+class TestBranchElim:
+    def test_dominated_branch_folded(self):
+        sources = {
+            "m": """
+func f(a) {
+    var c = a > 3;
+    if (c) {
+        if (c) { return 1; }
+        return 2;
+    }
+    return 3;
+}
+func main() { return f(10) * 10 + f(0); }
+"""
+        }
+        reference = run_program(compile_sources(sources)).value
+        routine, program = optimize(
+            sources, "f", [SimplifyCfg(), BranchElimination()]
+        )
+        assert run_program(program).value == reference
+        # Only one branch on c remains.
+        branches = [i for i in instr_ops(routine) if i is Opcode.BR]
+        assert len(branches) <= 1
+
+
+class TestMemoryForwarding:
+    def test_store_to_load(self):
+        sources = {
+            "m": """
+global g = 0;
+func main() { g = 7; var x = g; return x; }
+"""
+        }
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 7
+        assert Opcode.LOADG not in instr_ops(routine)
+
+    def test_redundant_load_eliminated(self):
+        sources = {
+            "m": """
+global g = 5;
+func main() { return g + g; }
+"""
+        }
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 10
+        loads = [i for i in instr_ops(routine) if i is Opcode.LOADG]
+        assert len(loads) == 1
+
+    def test_forwarding_across_harmless_call(self):
+        sources = {
+            "m": """
+global g = 5;
+func pure(a) { return a + 1; }
+func main() { g = 3; pure(1); return g; }
+"""
+        }
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 3
+        assert Opcode.LOADG not in instr_ops(routine)
+
+    def test_clobbering_call_kills_forwarding(self):
+        sources = {
+            "m": """
+global g = 5;
+func clobber() { g = 99; return 0; }
+func main() { g = 3; clobber(); return g; }
+"""
+        }
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 99
+        assert Opcode.LOADG in instr_ops(routine)
+
+    def test_dead_store_removed(self):
+        sources = {
+            "m": """
+global g = 0;
+func main() { g = 1; g = 2; return g; }
+"""
+        }
+        routine, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 2
+        stores = [i for i in instr_ops(routine) if i is Opcode.STOREG]
+        assert len(stores) == 1
+
+    def test_array_granularity_conservative(self):
+        sources = {
+            "m": """
+global a[4];
+func main() {
+    a[0] = 7;
+    a[1] = 9;
+    return a[0];
+}
+"""
+        }
+        _, program = optimize(sources, "main", FULL)
+        assert run_program(program).value == 7

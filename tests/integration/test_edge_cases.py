@@ -1,0 +1,144 @@
+"""Edge-case programs through the full pipeline at +O4 +P.
+
+Each case is a program shape that historically breaks compilers:
+degenerate CFGs, deep nesting, many parameters, zero-trip loops,
+recursion at the optimization boundary, wraparound arithmetic.
+"""
+
+import pytest
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.frontend import compile_sources
+from repro.interp import run_program
+
+CASES = {
+    "empty_main": {
+        "m": "func main() { }",
+    },
+    "return_only": {
+        "m": "func main() { return 0 - 9223372036854775807 - 1; }",
+    },
+    "zero_trip_loops": {
+        "m": """
+func f(n) {
+    var s = 100;
+    for (var i = 0; i < n; i = i + 1) { s = s + i; }
+    while (n > 1000) { s = s - 1; n = n - 1; }
+    return s;
+}
+func main() { return f(0); }
+""",
+    },
+    "deep_nesting": {
+        "m": """
+func classify(x) {
+    if (x > 0) { if (x > 10) { if (x > 100) { if (x > 1000) {
+        return 4; } return 3; } return 2; } return 1; }
+    return 0;
+}
+func main() {
+    return classify(5000) * 10000 + classify(500) * 1000
+        + classify(50) * 100 + classify(5) * 10 + classify(0);
+}
+""",
+    },
+    "many_params": {
+        "m": """
+func wide(a, b, c, d, e, f, g, h) {
+    return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6 + g * 7 + h * 8;
+}
+func main() { return wide(1, 2, 3, 4, 5, 6, 7, 8); }
+""",
+    },
+    "mutual_recursion": {
+        "m": """
+func is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+func is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+func main() { return is_even(40) * 10 + is_odd(17); }
+""",
+    },
+    "self_recursion_with_hot_loop": {
+        "m": """
+func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+func main() {
+    var s = 0;
+    for (var i = 1; i < 10; i = i + 1) { s = s + fact(i); }
+    return s;
+}
+""",
+    },
+    "wraparound": {
+        "m": """
+func main() {
+    var big = 9223372036854775807;
+    var wrapped = big + big;
+    return wrapped >> 1;
+}
+""",
+    },
+    "division_corners": {
+        "m": """
+func main() {
+    var z = 0;
+    var minint = 0 - 9223372036854775807 - 1;
+    return 7 / z + 7 % z + minint / -1 + minint % -1;
+}
+""",
+    },
+    "single_shared_global": {
+        "a": "global acc = 0;\nfunc bump_a() { acc = acc + 1; return acc; }",
+        "b": "func bump_b() { acc = acc + 10; return acc; }",
+        "main": """
+func main() {
+    bump_a(); bump_b(); bump_a();
+    return acc;
+}
+""",
+    },
+    "call_in_condition": {
+        "m": """
+global hits = 0;
+func probe(x) { hits = hits + 1; return x; }
+func main() {
+    var s = 0;
+    for (var i = 0; i < 10; i = i + 1) {
+        if (probe(i) % 2 == 0 && probe(i + 1) > 0) { s = s + 1; }
+    }
+    return s * 100 + hits;
+}
+""",
+    },
+    "chained_statics": {
+        "a": "static func h(x) { return x + 1; }\n"
+             "func via_a(x) { return h(x); }",
+        "b": "static func h(x) { return x + 2; }\n"
+             "func via_b(x) { return h(x); }",
+        "main": "func main() { return via_a(0) * 10 + via_b(0); }",
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_edge_case_full_pipeline(name):
+    sources = CASES[name]
+    expected = run_program(compile_sources(sources)).value
+
+    profile = train(sources, [None])
+    for options in (
+        CompilerOptions(opt_level=0),
+        CompilerOptions(opt_level=2),
+        CompilerOptions(opt_level=4, pbo=True, checked=False),
+    ):
+        build = Compiler(options).build(sources, profile_db=profile)
+        assert build.run().value == expected, (name, options.describe())
+
+
+def test_edge_cases_deterministic():
+    """The whole edge-case family builds identically twice."""
+    for name, sources in sorted(CASES.items()):
+        options = CompilerOptions(opt_level=4)
+        first = Compiler(options).build(sources)
+        second = Compiler(options).build(sources)
+        sig = lambda b: [(i.op, i.imm, i.rd) for i in b.executable.code]
+        assert sig(first) == sig(second), name

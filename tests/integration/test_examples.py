@@ -1,0 +1,44 @@
+"""Smoke tests: the shipped examples must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout
+        assert "+O4 +P" in proc.stdout
+
+    def test_incremental_build(self):
+        proc = run_example("incremental_build.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "recompiled=['rates']" in proc.stdout
+
+    def test_bug_isolation(self):
+        proc = run_example("bug_isolation.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "isolated: the injected bug" in proc.stdout
+
+    @pytest.mark.slow
+    def test_selective_cmo_small(self):
+        proc = run_example("mcad_selective_cmo.py", "--scale", "0.15")
+        assert proc.returncode == 0, proc.stderr
+        assert "operating point" in proc.stdout

@@ -1,0 +1,77 @@
+"""Objects written to disk, read back, and linked: the full make-style
+path with serialization in the middle."""
+
+import os
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.linker.objects import ObjectFile
+
+
+def write_and_reload(objects, directory):
+    reloaded = []
+    for obj in objects:
+        path = os.path.join(directory, obj.module_name + ".o")
+        with open(path, "wb") as handle:
+            handle.write(obj.to_bytes())
+        with open(path, "rb") as handle:
+            reloaded.append(ObjectFile.from_bytes(handle.read()))
+    return reloaded
+
+
+class TestSerializedLink:
+    def test_il_objects_via_disk(self, tmp_path, calc_sources,
+                                 calc_reference, calc_profile):
+        compiler = Compiler(CompilerOptions(opt_level=4, pbo=True))
+        objects = [
+            compiler.compile_object(compiler.frontend(name, text))
+            for name, text in calc_sources.items()
+        ]
+        reloaded = write_and_reload(objects, str(tmp_path))
+        build = compiler.link(reloaded, profile_db=calc_profile)
+        assert build.run().value == calc_reference
+
+    def test_code_objects_via_disk(self, tmp_path, calc_sources,
+                                   calc_reference):
+        compiler = Compiler(CompilerOptions(opt_level=2))
+        objects = [
+            compiler.compile_object(compiler.frontend(name, text))
+            for name, text in calc_sources.items()
+        ]
+        reloaded = write_and_reload(objects, str(tmp_path))
+        build = compiler.link(reloaded)
+        assert build.run().value == calc_reference
+
+    def test_mixed_kind_link(self, tmp_path, calc_sources, calc_reference,
+                             calc_profile):
+        """Some modules as fat IL objects, some as finished code --
+        the CMO set is exactly the IL objects."""
+        il_compiler = Compiler(CompilerOptions(opt_level=4, pbo=True))
+        code_compiler = Compiler(CompilerOptions(opt_level=2, pbo=True))
+        objects = []
+        for index, (name, text) in enumerate(calc_sources.items()):
+            chooser = il_compiler if index % 2 == 0 else code_compiler
+            objects.append(
+                chooser.compile_object(
+                    chooser.frontend(name, text), calc_profile
+                )
+            )
+        reloaded = write_and_reload(objects, str(tmp_path))
+        build = il_compiler.link(reloaded, profile_db=calc_profile)
+        assert build.run().value == calc_reference
+
+    def test_serialized_build_is_identical(self, tmp_path, calc_sources):
+        """Serialization must not perturb the generated image."""
+        compiler = Compiler(CompilerOptions(opt_level=4))
+        objects = [
+            compiler.compile_object(compiler.frontend(name, text))
+            for name, text in calc_sources.items()
+        ]
+        direct = compiler.link(objects)
+        reloaded = write_and_reload(objects, str(tmp_path))
+        via_disk = compiler.link(reloaded)
+        sig = lambda b: [
+            (i.op, i.subop, i.rd, i.rs1, i.rs2, i.imm, i.imm2)
+            for i in b.executable.code
+        ]
+        assert sig(direct) == sig(via_disk)

@@ -1,0 +1,103 @@
+"""End-to-end pipeline integration tests on generated applications."""
+
+import pytest
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.synth import WorkloadConfig, generate
+
+
+@pytest.fixture(scope="module")
+def app():
+    return generate(
+        WorkloadConfig(
+            "integration", n_modules=10, routines_per_module=5,
+            n_features=3, dispatch_count=120, seed=42,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def profile(app):
+    return train(app.sources, [app.make_input(seed=1)])
+
+
+@pytest.fixture(scope="module")
+def reference(app):
+    program = compile_sources(app.sources)
+    return run_program(program, inputs=app.make_input(seed=2)).value
+
+
+ALL_OPTION_SETS = [
+    ("O0", dict(opt_level=0)),
+    ("O1", dict(opt_level=1)),
+    ("O2", dict(opt_level=2)),
+    ("O2+P", dict(opt_level=2, pbo=True)),
+    ("O4", dict(opt_level=4)),
+    ("O4+P", dict(opt_level=4, pbo=True)),
+    ("O4+P sel25", dict(opt_level=4, pbo=True, selectivity_percent=25)),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("label,kwargs", ALL_OPTION_SETS)
+    def test_option_set_matches_interpreter(self, app, profile, reference,
+                                            label, kwargs):
+        build = Compiler(CompilerOptions(**kwargs)).build(
+            app.sources, profile_db=profile
+        )
+        result = build.run(inputs=app.make_input(seed=2))
+        assert result.value == reference, label
+
+    def test_adversarial_input_still_correct(self, app, profile):
+        """Profiles trained on skewed data, run on uniform data."""
+        uniform = app.make_input(seed=9, uniform=True)
+        program = compile_sources(app.sources)
+        expected = run_program(program, inputs=uniform).value
+        build = Compiler(
+            CompilerOptions(opt_level=4, pbo=True)
+        ).build(app.sources, profile_db=profile)
+        assert build.run(inputs=uniform).value == expected
+
+
+class TestPerformanceShape:
+    def test_ladder_ordering(self, app, profile):
+        cycles = {}
+        for label, kwargs in ALL_OPTION_SETS:
+            build = Compiler(CompilerOptions(**kwargs)).build(
+                app.sources, profile_db=profile
+            )
+            cycles[label] = build.run(inputs=app.make_input(seed=2)).cycles
+        # The paper's core result shape.
+        assert cycles["O0"] > cycles["O2"]
+        assert cycles["O1"] > cycles["O2"]
+        assert cycles["O4+P"] < cycles["O2"]
+        assert cycles["O4+P"] <= cycles["O2+P"]
+
+    def test_cmo_reduces_dynamic_calls(self, app, profile):
+        o2 = Compiler(CompilerOptions(opt_level=2)).build(app.sources)
+        o4 = Compiler(
+            CompilerOptions(opt_level=4, pbo=True)
+        ).build(app.sources, profile_db=profile)
+        inputs = app.make_input(seed=2)
+        assert o4.run(inputs=inputs).calls < o2.run(inputs=inputs).calls
+
+    def test_selectivity_close_to_full_cmo(self, app, profile):
+        inputs = app.make_input(seed=1)  # the trained distribution
+        full = Compiler(
+            CompilerOptions(opt_level=4, pbo=True)
+        ).build(app.sources, profile_db=profile)
+        selective = Compiler(
+            CompilerOptions(opt_level=4, pbo=True, selectivity_percent=30)
+        ).build(app.sources, profile_db=profile)
+        full_cycles = full.run(inputs=inputs).cycles
+        selective_cycles = selective.run(inputs=inputs).cycles
+        # Selective CMO captures most of the benefit (paper Figure 6).
+        baseline = Compiler(
+            CompilerOptions(opt_level=2, pbo=True)
+        ).build(app.sources, profile_db=profile).run(inputs=inputs).cycles
+        full_gain = baseline - full_cycles
+        selective_gain = baseline - selective_cycles
+        assert selective_gain >= 0.5 * full_gain

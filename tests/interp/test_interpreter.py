@@ -1,0 +1,122 @@
+"""Unit tests for the IL interpreter (reference semantics + traps)."""
+
+import pytest
+
+from repro.frontend import compile_sources
+from repro.interp import GlobalMemory, Interpreter, TrapError, run_program
+from repro.ir import IRBuilder, Module, Program, Routine
+
+
+def program_from(sources):
+    return compile_sources(sources)
+
+
+class TestExecution:
+    def test_entry_args(self):
+        program = program_from({"m": "func main() { return 1; }\n"
+                                     "func addup(a, b) { return a + b; }"})
+        result = Interpreter(program).run(entry="addup", args=[3, 4])
+        assert result.value == 7
+
+    def test_steps_and_calls_counted(self):
+        program = program_from(
+            {"m": "func f(x) { return x + 1; }\n"
+                  "func main() { return f(f(1)); }"}
+        )
+        result = run_program(program)
+        assert result.value == 3
+        assert result.calls == 3  # main + two f calls
+        assert result.steps > 4
+
+    def test_memory_reuse_between_runs(self):
+        program = program_from(
+            {"m": "global g = 0;\nfunc main() { g = g + 1; return g; }"}
+        )
+        interp = Interpreter(program)
+        memory = GlobalMemory.for_program(program)
+        assert interp.run(memory=memory).value == 1
+        assert interp.run(memory=memory).value == 2
+        # A fresh run gets fresh memory.
+        assert interp.run().value == 1
+
+    def test_wraparound_semantics(self):
+        program = program_from(
+            {"m": "func main() { var big = 9223372036854775807;"
+                  " return big + 1; }"}
+        )
+        assert run_program(program).value == -(2**63)
+
+
+class TestTraps:
+    def test_undefined_routine(self):
+        program = program_from({"m": "func main() { return ghost(); }"})
+        with pytest.raises(TrapError, match="undefined routine"):
+            run_program(program)
+
+    def test_arity_mismatch(self):
+        # Build manually: the frontend would reject this intra-module.
+        module = Module("m")
+        callee = Routine("f", n_params=2)
+        builder = IRBuilder(callee)
+        builder.ret(builder.const(0))
+        module.add_routine(builder.finish())
+        main = Routine("main", n_params=0)
+        builder = IRBuilder(main)
+        one = builder.const(1)
+        builder.ret(builder.call("f", [one]))
+        module.add_routine(builder.finish())
+        with pytest.raises(TrapError, match="expects 2"):
+            run_program(Program([module]))
+
+    def test_array_bounds(self):
+        program = program_from(
+            {"m": "global a[4];\nfunc main() { return a[9]; }"}
+        )
+        with pytest.raises(TrapError, match="out of range"):
+            run_program(program)
+
+    def test_negative_index(self):
+        program = program_from(
+            {"m": "global a[4];\nfunc main() { var i = 0 - 1; return a[i]; }"}
+        )
+        with pytest.raises(TrapError, match="out of range"):
+            run_program(program)
+
+    def test_step_budget(self):
+        program = program_from(
+            {"m": "func main() { var i = 0;"
+                  " while (1) { i = i + 1; } return i; }"}
+        )
+        with pytest.raises(TrapError, match="step budget"):
+            run_program(program, max_steps=1000)
+
+    def test_call_depth(self):
+        program = program_from(
+            {"m": "func dive(n) { return dive(n + 1); }\n"
+                  "func main() { return dive(0); }"}
+        )
+        with pytest.raises(TrapError, match="depth"):
+            run_program(program)
+
+    def test_input_too_large(self):
+        program = program_from(
+            {"m": "global a[2];\nfunc main() { return a[0]; }"}
+        )
+        with pytest.raises(TrapError, match="does not fit"):
+            run_program(program, inputs={"a": [1, 2, 3]})
+
+
+class TestProbes:
+    def test_probe_counts_collected(self):
+        from repro.profiles import instrument_program
+
+        program = program_from(
+            {"m": "func main() { var s = 0;"
+                  " for (var i = 0; i < 3; i = i + 1) { s = s + i; }"
+                  " return s; }"}
+        )
+        table = instrument_program(program)
+        result = run_program(program)
+        assert result.value == 3
+        assert sum(result.probe_counts.values()) > 0
+        assert max(result.probe_counts) < len(table)

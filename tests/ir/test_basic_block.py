@@ -1,0 +1,85 @@
+"""Unit tests for basic blocks."""
+
+import pytest
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.errors import VerifierError
+from repro.ir.instructions import Instr, Opcode
+
+
+def _const(dst, value):
+    return Instr(Opcode.CONST, dst=dst, imm=value)
+
+
+class TestTerminators:
+    def test_unterminated_block(self):
+        block = BasicBlock("b")
+        block.append(_const(0, 1))
+        assert block.terminator is None
+        assert not block.is_terminated()
+        assert block.successors() == ()
+
+    def test_set_terminator(self):
+        block = BasicBlock("b")
+        block.set_terminator(Instr(Opcode.JMP, targets=("next",)))
+        assert block.is_terminated()
+        assert block.successors() == ("next",)
+
+    def test_set_terminator_replaces(self):
+        block = BasicBlock("b")
+        block.set_terminator(Instr(Opcode.JMP, targets=("a",)))
+        block.set_terminator(Instr(Opcode.RET))
+        assert len(block) == 1
+        assert block.successors() == ()
+
+    def test_append_after_terminator_raises(self):
+        block = BasicBlock("b")
+        block.set_terminator(Instr(Opcode.RET))
+        with pytest.raises(VerifierError):
+            block.append(_const(0, 1))
+
+    def test_set_non_terminator_raises(self):
+        block = BasicBlock("b")
+        with pytest.raises(VerifierError):
+            block.set_terminator(_const(0, 1))
+
+    def test_br_successors_order(self):
+        block = BasicBlock("b")
+        block.set_terminator(Instr(Opcode.BR, a=0, targets=("t", "f")))
+        assert block.successors() == ("t", "f")
+
+
+class TestMutation:
+    def test_retarget(self):
+        block = BasicBlock("b")
+        block.set_terminator(Instr(Opcode.BR, a=0, targets=("old", "keep")))
+        block.retarget("old", "new")
+        assert block.successors() == ("new", "keep")
+
+    def test_retarget_both_targets(self):
+        block = BasicBlock("b")
+        block.set_terminator(Instr(Opcode.BR, a=0, targets=("old", "old")))
+        block.retarget("old", "new")
+        assert block.successors() == ("new", "new")
+
+    def test_body_excludes_terminator(self):
+        block = BasicBlock("b")
+        block.append(_const(0, 1))
+        block.set_terminator(Instr(Opcode.RET, a=0))
+        assert len(block.body()) == 1
+        assert block.body()[0].op is Opcode.CONST
+
+    def test_copy_deep(self):
+        block = BasicBlock("b", [_const(0, 1)])
+        block.set_terminator(Instr(Opcode.RET, a=0))
+        clone = block.copy()
+        clone.instrs[0].imm = 99
+        assert block.instrs[0].imm == 1
+
+    def test_calls_enumeration(self):
+        block = BasicBlock("b")
+        block.append(_const(0, 1))
+        block.append(Instr(Opcode.CALL, dst=1, sym="f", args=(0,)))
+        block.append(Instr(Opcode.CALL, sym="g", args=()))
+        calls = list(block.calls())
+        assert [(i, c.sym) for i, c in calls] == [(1, "f"), (2, "g")]

@@ -1,0 +1,89 @@
+"""Unit tests for the IR builder."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.ir import IRBuilder, IRError, Module, Opcode, Program, Routine
+
+
+class TestEmission:
+    def test_const_and_arith(self):
+        routine = Routine("f", n_params=2)
+        builder = IRBuilder(routine)
+        ten = builder.const(10)
+        total = builder.add(0, ten)
+        product = builder.mul(total, 1)
+        builder.ret(product)
+        module = Module("m")
+        module.add_routine(builder.finish())
+        program = Program([module])
+        from repro.interp import Interpreter
+
+        assert Interpreter(program).run(entry="f", args=[5, 3]).value == 45
+
+    def test_binop_rejects_non_binary(self):
+        builder = IRBuilder(Routine("f", n_params=1))
+        with pytest.raises(IRError):
+            builder.binop(Opcode.CONST, 0, 0)
+
+    def test_unop_rejects_non_unary(self):
+        builder = IRBuilder(Routine("f", n_params=1))
+        with pytest.raises(IRError):
+            builder.unop(Opcode.ADD, 0)
+
+    def test_call_without_result(self):
+        builder = IRBuilder(Routine("f", n_params=0))
+        result = builder.call("g", [], want_result=False)
+        assert result is None
+
+    def test_emit_const_into_existing_register(self):
+        routine = Routine("f", n_params=0)
+        builder = IRBuilder(routine)
+        reg = routine.new_reg()
+        builder.emit_const_into(reg, 7)
+        builder.ret(reg)
+        builder.finish()
+        assert routine.blocks[0].instrs[0].dst == reg
+
+    def test_memory_helpers(self):
+        routine = Routine("f", n_params=1)
+        builder = IRBuilder(routine)
+        value = builder.load_global("g")
+        builder.store_global("g", value)
+        elem = builder.load_elem("arr", 0)
+        builder.store_elem("arr", 0, elem)
+        builder.ret(elem)
+        routine = builder.finish()
+        ops = [i.op for _, _, i in routine.iter_instrs()]
+        assert ops[:4] == [Opcode.LOADG, Opcode.STOREG, Opcode.LOADE,
+                           Opcode.STOREE]
+
+
+class TestFinish:
+    def test_unterminated_block_rejected(self):
+        routine = Routine("f", n_params=0)
+        builder = IRBuilder(routine)
+        builder.const(1)  # no terminator
+        with pytest.raises(IRError):
+            builder.finish()
+
+    def test_branch_wiring(self):
+        routine = Routine("f", n_params=1)
+        builder = IRBuilder(routine)
+        then_block = builder.new_block("t")
+        else_block = builder.new_block("e")
+        builder.br(0, then_block, else_block)
+        builder.position_at(then_block)
+        builder.ret(builder.const(1))
+        builder.position_at(else_block)
+        builder.ret(builder.const(2))
+        routine = builder.finish()
+        assert routine.entry.successors() == (then_block.label,
+                                              else_block.label)
+
+    def test_is_terminated_tracks_current_block(self):
+        routine = Routine("f", n_params=0)
+        builder = IRBuilder(routine)
+        assert not builder.is_terminated()
+        builder.ret(builder.const(0))
+        assert builder.is_terminated()

@@ -1,0 +1,99 @@
+"""Unit tests for the call graph."""
+
+from repro.frontend import compile_sources
+from repro.ir.callgraph import CallGraph
+
+SOURCES = {
+    "m1": """
+func leaf(x) { return x + 1; }
+func middle(x) { return leaf(x) + leaf(x + 1); }
+""",
+    "m2": """
+func recur(n) {
+    if (n <= 0) { return 0; }
+    return recur(n - 1) + 1;
+}
+func mutual_a(n) { if (n <= 0) { return 0; } return mutual_b(n - 1); }
+func mutual_b(n) { return mutual_a(n); }
+func main() {
+    return middle(3) + recur(2) + mutual_a(2);
+}
+""",
+}
+
+
+def graph():
+    return CallGraph.build(compile_sources(SOURCES))
+
+
+class TestBuild:
+    def test_nodes_and_modules(self):
+        g = graph()
+        assert g.node("leaf").module_name == "m1"
+        assert g.node("main").module_name == "m2"
+        assert "middle" in g
+
+    def test_call_sites(self):
+        g = graph()
+        sites = g.node("middle").call_sites
+        assert len(sites) == 2
+        assert all(site.callee == "leaf" for site in sites)
+
+    def test_caller_names(self):
+        g = graph()
+        assert g.node("leaf").caller_names == ["middle"]
+        assert "main" in g.node("middle").caller_names
+
+    def test_callees_dedup(self):
+        g = graph()
+        assert g.node("middle").callees() == ["leaf"]
+
+
+class TestRecursion:
+    def test_direct_recursion(self):
+        assert graph().is_recursive("recur")
+
+    def test_mutual_recursion(self):
+        g = graph()
+        assert g.is_recursive("mutual_a")
+        assert g.is_recursive("mutual_b")
+
+    def test_non_recursive(self):
+        g = graph()
+        assert not g.is_recursive("leaf")
+        assert not g.is_recursive("middle")
+        assert not g.is_recursive("main")
+
+
+class TestOrdering:
+    def test_topo_bottom_up(self):
+        order = graph().topo_order_bottom_up()
+        assert order.index("leaf") < order.index("middle")
+        assert order.index("middle") < order.index("main")
+
+    def test_topo_contains_all(self):
+        g = graph()
+        assert sorted(g.topo_order_bottom_up()) == sorted(g.nodes)
+
+    def test_ranked_sites_deterministic(self):
+        g = graph()
+        weights = {site.key(): 10 for site in g.all_sites()}
+        g.attach_weights(weights)
+        ranked1 = [s.key() for s in g.sites_ranked_by_weight()]
+        ranked2 = [s.key() for s in graph_with_weights(weights)]
+        assert ranked1 == ranked2
+
+    def test_attach_weights_and_total(self):
+        g = graph()
+        sites = list(g.all_sites())
+        weights = {site.key(): i for i, site in enumerate(sites)}
+        g.attach_weights(weights)
+        assert g.total_call_weight() == sum(range(len(sites)))
+        ranked = g.sites_ranked_by_weight()
+        assert ranked[0].weight == len(sites) - 1
+
+
+def graph_with_weights(weights):
+    g = graph()
+    g.attach_weights(weights)
+    return g.sites_ranked_by_weight()

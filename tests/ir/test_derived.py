@@ -1,0 +1,49 @@
+"""Unit tests for the derived-data cache discipline."""
+
+from repro.ir.derived import DerivedCache
+
+
+class TestDerivedCache:
+    def test_memoizes(self):
+        cache = DerivedCache()
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return [1, 2, 3]
+
+        first = cache.get("thing", compute)
+        second = cache.get("thing", compute)
+        assert first is second
+        assert calls["n"] == 1
+        assert cache.recompute_count == 1
+
+    def test_invalidate_drops_everything(self):
+        cache = DerivedCache()
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        assert len(cache) == 2
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.invalidate_count == 1
+        # Recompute happens after invalidation.
+        assert cache.get("a", lambda: 10) == 10
+        assert cache.recompute_count == 3
+
+    def test_invalidate_empty_is_free(self):
+        cache = DerivedCache()
+        cache.invalidate()
+        assert cache.invalidate_count == 0
+
+    def test_peek_never_computes(self):
+        cache = DerivedCache()
+        assert cache.peek("missing") is None
+        cache.get("x", lambda: 42)
+        assert cache.peek("x") == 42
+        assert cache.recompute_count == 1
+
+    def test_contains(self):
+        cache = DerivedCache()
+        assert "k" not in cache
+        cache.get("k", lambda: None)
+        assert "k" in cache

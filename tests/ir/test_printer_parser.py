@@ -1,0 +1,112 @@
+"""Round-trip tests for the textual IL format."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.errors import ParseError
+from repro.ir.parser import parse_instr, parse_module
+from repro.ir.printer import format_instr, format_module, format_routine
+from repro.naim.compaction import routines_equal
+
+SOURCE = """
+global counter = 0;
+static global table[4] = {9, -3, 0, 7};
+
+func helper(a, b) {
+    var t = a * b;
+    if (t > 10 && a != 0) {
+        counter = counter + 1;
+        return t - b;
+    }
+    return table[t % 4];
+}
+
+static func hidden(x) {
+    var s = 0;
+    while (x > 0) {
+        s = s + helper(x, 2);
+        x = x - 1;
+    }
+    return s;
+}
+
+func main() {
+    return hidden(5);
+}
+"""
+
+
+def test_module_round_trip():
+    module = compile_source(SOURCE, "mod")
+    text = format_module(module)
+    parsed = parse_module(text)
+    assert format_module(parsed) == text
+    for name, routine in module.routines.items():
+        assert routines_equal(routine, parsed.routines[name])
+
+
+def test_globals_round_trip():
+    module = compile_source(SOURCE, "mod")
+    parsed = parse_module(format_module(module))
+    table = parsed.symtab.globals["mod::table"]
+    assert table.size == 4
+    assert table.init == (9, -3, 0, 7)
+    assert not table.exported
+    assert parsed.symtab.globals["counter"].exported
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "r1 = const -42",
+        "r2 = add r0, r1",
+        "r3 = mov r2",
+        "r4 = loadg @counter",
+        "storeg @counter, r4",
+        "r5 = loade @mod::table[r1]",
+        "storee @mod::table[r1], r5",
+        "r6 = call @helper(r1, r2)",
+        "call @main()",
+        "ret r6",
+        "ret",
+        "br r5, then1, else2",
+        "jmp exit0",
+        "probe 17",
+        "r7 = neg r6",
+        "r8 = shr r7, r1",
+    ],
+)
+def test_instr_round_trip(text):
+    assert format_instr(parse_instr(text)) == text
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "r1 = bogus r0",
+        "r1 = const",
+        "br r1, only_one",
+        "r1 = call helper(r0)",  # missing @
+        "= add r0, r1",
+        "storee @t[r0] r1",  # missing comma
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises((ParseError, ValueError, IndexError)):
+        parse_instr(bad, 1)
+
+
+def test_routine_header_format():
+    module = compile_source(SOURCE, "mod")
+    text = format_routine(module.routines["mod::hidden"])
+    assert text.startswith("routine mod::hidden(1) static lines=")
+
+
+def test_parse_module_requires_header():
+    with pytest.raises(ParseError):
+        parse_module("global x exported = 1")
+
+
+def test_parse_unterminated_routine():
+    with pytest.raises(ParseError):
+        parse_module("module m\nroutine f(0) exported lines=1 {\nentry0:\n")

@@ -1,0 +1,109 @@
+"""Unit tests for symbol tables and PID numbering."""
+
+import pytest
+
+from repro.ir.errors import SymbolError
+from repro.ir.symbols import GlobalVar, ModuleSymbolTable, ProgramSymbolTable
+
+
+class TestGlobalVar:
+    def test_scalar_defaults(self):
+        var = GlobalVar("x")
+        assert var.size == 1 and var.init == (0,) and not var.is_array
+
+    def test_array_init_padding_not_allowed(self):
+        with pytest.raises(SymbolError):
+            GlobalVar("a", size=4, init=[1, 2])  # length must match
+
+    def test_bad_size(self):
+        with pytest.raises(SymbolError):
+            GlobalVar("x", size=0)
+
+    def test_copy_and_equality(self):
+        var = GlobalVar("a", size=2, init=[1, 2], exported=False)
+        assert var.copy() == var
+
+
+class TestModuleSymbolTable:
+    def test_duplicate_global_rejected(self):
+        table = ModuleSymbolTable("m")
+        table.define_global(GlobalVar("x"))
+        with pytest.raises(SymbolError):
+            table.define_global(GlobalVar("x"))
+
+    def test_duplicate_routine_rejected(self):
+        table = ModuleSymbolTable("m")
+        table.add_routine("f")
+        with pytest.raises(SymbolError):
+            table.add_routine("f")
+
+    def test_extern_dedup(self):
+        table = ModuleSymbolTable("m")
+        table.record_extern("g")
+        table.record_extern("g")
+        assert table.extern_refs == ["g"]
+
+    def test_symbol_count(self):
+        table = ModuleSymbolTable("m")
+        table.define_global(GlobalVar("x"))
+        table.add_routine("f")
+        table.record_extern("g")
+        assert table.symbol_count() == 3
+
+    def test_copy_deep(self):
+        table = ModuleSymbolTable("m")
+        table.define_global(GlobalVar("x", init=[5]))
+        clone = table.copy()
+        clone.globals["x"].init = (9,)
+        assert table.globals["x"].init == (5,)
+
+
+class TestProgramSymbolTable:
+    def test_build_from_modules(self):
+        m1 = ModuleSymbolTable("m1")
+        m1.define_global(GlobalVar("x"))
+        m1.add_routine("f")
+        m2 = ModuleSymbolTable("m2")
+        m2.add_routine("g")
+        table = ProgramSymbolTable.build([m1, m2])
+        assert table.lookup_routine_module("f") == "m1"
+        assert table.lookup_routine_module("g") == "m2"
+        assert table.lookup_global("x").name == "x"
+
+    def test_duplicate_definitions_rejected(self):
+        table = ProgramSymbolTable()
+        table.define_routine("f", "m1")
+        with pytest.raises(SymbolError):
+            table.define_routine("f", "m2")
+        table.define_global(GlobalVar("x", defining_module="m1"))
+        with pytest.raises(SymbolError):
+            table.define_global(GlobalVar("x", defining_module="m2"))
+
+    def test_unresolved_lookups(self):
+        table = ProgramSymbolTable()
+        with pytest.raises(SymbolError):
+            table.lookup_global("missing")
+        with pytest.raises(SymbolError):
+            table.lookup_routine_module("missing")
+
+    def test_pids_dense_and_stable(self):
+        table = ProgramSymbolTable()
+        pid_a = table.pid_of("alpha")
+        pid_b = table.pid_of("beta")
+        assert (pid_a, pid_b) == (0, 1)
+        assert table.pid_of("alpha") == pid_a  # stable on re-intern
+        assert table.name_of(pid_b) == "beta"
+
+    def test_bad_pid(self):
+        table = ProgramSymbolTable()
+        with pytest.raises(SymbolError):
+            table.name_of(5)
+
+    def test_pid_assignment_follows_definition_order(self):
+        """Deterministic PIDs (paper section 6.2 reproducibility)."""
+        m1 = ModuleSymbolTable("m1")
+        m1.define_global(GlobalVar("z"))
+        m1.add_routine("a")
+        table = ProgramSymbolTable.build([m1])
+        assert table.pid_of("z") == 0
+        assert table.pid_of("a") == 1

@@ -1,0 +1,113 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.frontend import compile_sources
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.errors import VerifierError
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.routine import Routine
+from repro.ir.verifier import (
+    assert_valid_routine,
+    verify_program,
+    verify_routine,
+)
+
+
+def valid_routine():
+    routine = Routine("f", n_params=1)
+    builder = IRBuilder(routine)
+    one = builder.const(1)
+    builder.ret(builder.add(0, one))
+    return builder.finish()
+
+
+class TestValid:
+    def test_clean_routine(self):
+        assert verify_routine(valid_routine()) == []
+
+    def test_assert_passes(self):
+        assert_valid_routine(valid_routine())
+
+
+class TestMalformations:
+    def test_missing_terminator(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs.pop()  # drop the RET
+        problems = verify_routine(routine)
+        assert any("terminator" in p for p in problems)
+
+    def test_terminator_mid_block(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs.insert(0, Instr(Opcode.RET))
+        problems = verify_routine(routine)
+        assert any("mid-block" in p for p in problems)
+
+    def test_register_out_of_range(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs[0] = Instr(Opcode.CONST, dst=999, imm=0)
+        problems = verify_routine(routine)
+        assert any("out of range" in p for p in problems)
+
+    def test_unknown_branch_target(self):
+        routine = valid_routine()
+        routine.blocks[0].set_terminator(
+            Instr(Opcode.BR, a=0, targets=("nowhere", "entry0"))
+        )
+        problems = verify_routine(routine)
+        assert any("unknown label" in p for p in problems)
+
+    def test_duplicate_labels(self):
+        routine = valid_routine()
+        dup = BasicBlock("entry0")
+        dup.set_terminator(Instr(Opcode.RET))
+        routine.blocks.append(dup)
+        routine.invalidate()
+        problems = verify_routine(routine)
+        assert any("duplicate" in p for p in problems)
+
+    def test_missing_dst(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs[0] = Instr(Opcode.CONST, imm=0)
+        problems = verify_routine(routine)
+        assert any("lacks dst" in p for p in problems)
+
+    def test_store_must_not_define(self):
+        routine = valid_routine()
+        bad = Instr(Opcode.STOREG, sym="g", a=0)
+        bad.dst = 1
+        routine.blocks[0].instrs.insert(0, bad)
+        problems = verify_routine(routine)
+        assert any("must not define" in p for p in problems)
+
+    def test_missing_symbol(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs.insert(0, Instr(Opcode.LOADG, dst=1))
+        problems = verify_routine(routine)
+        assert any("lacks symbol" in p for p in problems)
+
+    def test_probe_needs_id(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs.insert(0, Instr(Opcode.PROBE))
+        problems = verify_routine(routine)
+        assert any("probe lacks id" in p for p in problems)
+
+    def test_assert_raises(self):
+        routine = valid_routine()
+        routine.blocks[0].instrs.pop()
+        with pytest.raises(VerifierError):
+            assert_valid_routine(routine)
+
+
+class TestProgramLevel:
+    def test_unresolved_symbol_reported(self):
+        program = compile_sources(
+            {"m": "func main() { return ghost(1); }"}
+        )
+        problems = verify_program(program)
+        assert any("unresolved symbol ghost" in p for p in problems)
+
+    def test_clean_program(self, calc_sources):
+        program = compile_sources(calc_sources)
+        assert verify_program(program) == []

@@ -1,0 +1,86 @@
+"""Unit tests for LIR structures and lowering details."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.llo.lir import LirBlock, LirRoutine, Terminator
+from repro.llo.lower import LoweringError, lower_routine
+from repro.vm.isa import MInstr, MOp
+
+
+def lowered(source, name="f"):
+    routine = compile_source(source, "m").routines[name]
+    return lower_routine(routine)
+
+
+class TestTerminator:
+    def test_successors(self):
+        assert Terminator("br", reg=1, true_label="a",
+                          false_label="b").successors() == ("a", "b")
+        assert Terminator("jmp", true_label="x").successors() == ("x",)
+        assert Terminator("ret", reg=0).successors() == ()
+
+
+class TestLirRoutine:
+    def test_block_map_and_preds(self):
+        lir = lowered("func f(a) { if (a) { return 1; } return 2; }")
+        block_map = lir.block_map()
+        assert lir.blocks[0].label in block_map
+        preds = lir.predecessors()
+        assert preds[lir.blocks[0].label] == []
+
+    def test_new_vreg_fresh(self):
+        lir = lowered("func f(a) { return a; }")
+        first = lir.new_vreg()
+        assert lir.new_vreg() == first + 1
+
+    def test_instr_count_includes_terminators(self):
+        lir = lowered("func f() { return 1; }")
+        assert lir.instr_count() >= 2  # LDI + terminator slot
+
+
+class TestLoweringShapes:
+    def test_call_becomes_args_then_call(self):
+        lir = lowered(
+            "func f(a, b) { return g(a, b); }"
+        )
+        entry_ops = [i.op for i in lir.blocks[0].instrs]
+        call_at = entry_ops.index(MOp.CALL)
+        assert entry_ops[call_at - 2 : call_at] == [MOp.ARG, MOp.ARG]
+        arg_indices = [
+            i.imm for i in lir.blocks[0].instrs if i.op is MOp.ARG
+        ]
+        assert arg_indices == [0, 1]
+
+    def test_branch_terminator_abstract(self):
+        lir = lowered("func f(a) { if (a) { return 1; } return 2; }")
+        term = lir.blocks[0].terminator
+        assert term.kind == "br"
+        assert term.true_label and term.false_label
+
+    def test_store_lowered_with_symbol(self):
+        routine = compile_source(
+            "global g = 0;\nfunc f(a) { g = a; return g; }", "m"
+        ).routines["f"]
+        lir = lower_routine(routine)
+        ops = [i for b in lir.blocks for i in b.instrs]
+        stg = next(i for i in ops if i.op is MOp.STG)
+        assert stg.sym == "g"
+
+    def test_array_ops(self):
+        routine = compile_source(
+            "global a[4];\nfunc f(i) { a[i] = i; return a[i]; }", "m"
+        ).routines["f"]
+        lir = lower_routine(routine)
+        ops = [i.op for b in lir.blocks for i in b.instrs]
+        assert MOp.STX in ops and MOp.LDX in ops
+
+    def test_unterminated_block_rejected(self):
+        from repro.ir import Routine, IRBuilder
+
+        routine = Routine("f", n_params=0)
+        builder = IRBuilder(routine)
+        builder.const(1)
+        # Bypass the builder's own check by taking the raw routine.
+        with pytest.raises(LoweringError):
+            lower_routine(routine)

@@ -1,0 +1,49 @@
+"""Unit tests for NaimConfig policy derivation."""
+
+from repro.naim.config import NaimConfig, NaimLevel
+
+
+class TestCachePools:
+    def test_explicit_wins(self):
+        config = NaimConfig(cache_pools=7)
+        assert config.cache_pools == 7
+
+    def test_derived_from_memory(self):
+        config = NaimConfig(
+            physical_memory_bytes=64 * 1024 * 1024,
+            cache_fraction=0.25,
+            avg_pool_bytes_hint=1024 * 1024,
+        )
+        assert config.cache_pools == 16
+
+    def test_minimum_floor(self):
+        config = NaimConfig(physical_memory_bytes=1024)
+        assert config.cache_pools >= 4
+
+
+class TestLevels:
+    def test_level_ordering(self):
+        assert NaimLevel.OFF < NaimLevel.IR_COMPACT
+        assert NaimLevel.IR_COMPACT < NaimLevel.ST_COMPACT
+        assert NaimLevel.ST_COMPACT < NaimLevel.OFFLOAD
+
+    def test_threshold_fractions_respected(self):
+        config = NaimConfig(
+            physical_memory_bytes=100,
+            ir_compact_fraction=0.1,
+            st_compact_fraction=0.2,
+            offload_fraction=0.3,
+        )
+        assert config.effective_level(5) is NaimLevel.OFF
+        assert config.effective_level(15) is NaimLevel.IR_COMPACT
+        assert config.effective_level(25) is NaimLevel.ST_COMPACT
+        assert config.effective_level(35) is NaimLevel.OFFLOAD
+
+    def test_pinned_factory(self):
+        config = NaimConfig.pinned(NaimLevel.ST_COMPACT, cache_pools=3)
+        assert config.level is NaimLevel.ST_COMPACT
+        assert config.cache_pools == 3
+
+    def test_repr_shows_mode(self):
+        assert "auto" in repr(NaimConfig())
+        assert "OFFLOAD" in repr(NaimConfig.pinned(NaimLevel.OFFLOAD))

@@ -1,0 +1,198 @@
+"""Unit tests for the NAIM loader: states, cache, thresholds, pinning."""
+
+import pytest
+
+from repro.frontend import compile_sources
+from repro.naim import (
+    Loader,
+    NaimConfig,
+    NaimLevel,
+    PoolState,
+    Repository,
+)
+
+
+def make_program(n_routines=12):
+    body = (
+        "func fN(a) { var t = 0; while (a > 0) "
+        "{ t = t + a; a = a - 1; } return t; }"
+    )
+    sources = {
+        "m%d" % i: body.replace("fN", "f%d" % i) for i in range(n_routines)
+    }
+    sources["mn"] = "func main() { return %s; }" % " + ".join(
+        "f%d(2)" % i for i in range(n_routines)
+    )
+    return compile_sources(sources)
+
+
+def make_loader(level, cache_pools=3, n_routines=12):
+    program = make_program(n_routines)
+    loader = Loader(
+        NaimConfig.pinned(level, cache_pools=cache_pools),
+        program.symtab,
+        repository=Repository(in_memory=True),
+    )
+    handles = {
+        routine.name: loader.register_routine(routine)
+        for routine in program.all_routines()
+    }
+    return program, loader, handles
+
+
+class TestStates:
+    def test_registered_pools_start_expanded(self):
+        _, loader, handles = make_loader(NaimLevel.OFF)
+        assert all(
+            h.peek_state() is PoolState.EXPANDED for h in handles.values()
+        )
+
+    def test_level_off_never_compacts(self):
+        _, loader, handles = make_loader(NaimLevel.OFF)
+        for handle in handles.values():
+            handle.request_unload()
+        assert loader.stats.compactions == 0
+
+    def test_ir_compact_evicts_beyond_cache(self):
+        _, loader, handles = make_loader(NaimLevel.IR_COMPACT, cache_pools=3)
+        for handle in handles.values():
+            handle.request_unload()
+        states = loader.pool_states()
+        assert states.get("compact", 0) > 0
+        assert states.get("offloaded", 0) == 0
+
+    def test_offload_goes_to_repository(self):
+        _, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=2)
+        for handle in handles.values():
+            handle.request_unload()
+        assert loader.stats.offloads > 0
+        assert len(loader.repository) > 0
+        assert loader.pool_states().get("offloaded", 0) > 0
+
+    def test_touch_restores_offloaded_pool(self):
+        program, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=2)
+        for handle in handles.values():
+            handle.request_unload()
+        victim = next(
+            h for h in handles.values()
+            if h.peek_state() is PoolState.OFFLOADED
+        )
+        routine = victim.get()
+        assert routine.name == victim.name
+        assert victim.peek_state() is PoolState.EXPANDED
+        assert loader.stats.repository_fetches >= 1
+
+
+class TestCache:
+    def test_lru_eviction_order(self):
+        _, loader, handles = make_loader(NaimLevel.IR_COMPACT, cache_pools=2)
+        names = sorted(handles)
+        # Touch in a known order, then release everything.
+        for name in names:
+            handles[name].get()
+        for name in names:
+            handles[name].request_unload()
+        # Most recently touched survive in the cache.
+        survivors = [
+            name
+            for name in names
+            if handles[name].peek_state() is PoolState.EXPANDED
+        ]
+        assert survivors == names[-len(survivors):]
+
+    def test_cache_hit_on_prompt_retouch(self):
+        _, loader, handles = make_loader(NaimLevel.IR_COMPACT, cache_pools=6)
+        name = sorted(handles)[-1]
+        handles[name].get()
+        handles[name].request_unload()
+        before = loader.stats.uncompactions
+        handles[name].get()  # still cached: no uncompaction
+        assert loader.stats.uncompactions == before
+        assert loader.stats.cache_hits >= 1
+
+    def test_mutation_survives_eviction_and_reload(self):
+        _, loader, handles = make_loader(NaimLevel.IR_COMPACT, cache_pools=1)
+        name = sorted(handles)[0]
+        routine = handles[name].get()
+        routine.source_lines = 777
+        loader.reaccount(handles[name])
+        # Force eviction by touching everything else.
+        for other in sorted(handles):
+            if other != name:
+                handles[other].get()
+                handles[other].request_unload()
+        handles[name].request_unload()
+        assert handles[name].peek_state() is not PoolState.EXPANDED
+        assert handles[name].get().source_lines == 777
+
+
+class TestPinning:
+    def test_pinned_pool_never_evicted(self):
+        _, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=1)
+        name = sorted(handles)[0]
+        handles[name].get()  # ensure expanded before pinning
+        loader.pin(handles[name])
+        loader.request_unload_all()
+        assert handles[name].peek_state() is PoolState.EXPANDED
+        loader.unpin(handles[name])
+        # Touch another pool so the unpinned one is no longer newest.
+        other = sorted(handles)[1]
+        handles[other].get()
+        loader.request_unload_all()
+        assert handles[name].peek_state() is not PoolState.EXPANDED
+
+
+class TestThresholds:
+    def test_auto_level_progression(self):
+        config = NaimConfig(physical_memory_bytes=1000)
+        assert config.effective_level(100) is NaimLevel.OFF
+        assert config.effective_level(300) is NaimLevel.IR_COMPACT
+        assert config.effective_level(600) is NaimLevel.ST_COMPACT
+        assert config.effective_level(900) is NaimLevel.OFFLOAD
+
+    def test_pinned_level_ignores_memory(self):
+        config = NaimConfig.pinned(NaimLevel.IR_COMPACT)
+        assert config.effective_level(10**12) is NaimLevel.IR_COMPACT
+
+    def test_small_compiles_pay_nothing(self):
+        """Below thresholds nothing is ever compacted (paper section 4.3)."""
+        program = make_program(3)
+        loader = Loader(
+            NaimConfig(physical_memory_bytes=1024 * 1024 * 1024),
+            program.symtab,
+        )
+        handles = [
+            loader.register_routine(r) for r in program.all_routines()
+        ]
+        for handle in handles:
+            handle.request_unload()
+        assert loader.stats.compactions == 0
+
+    def test_cache_pools_derived_from_memory(self):
+        small = NaimConfig(physical_memory_bytes=1024 * 1024)
+        big = NaimConfig(physical_memory_bytes=1024 * 1024 * 1024)
+        assert big.cache_pools > small.cache_pools
+
+
+class TestAccounting:
+    def test_memory_falls_after_eviction(self):
+        _, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=2)
+        before = loader.current_bytes()
+        for handle in handles.values():
+            handle.request_unload()
+        assert loader.current_bytes() < before
+
+    def test_duplicate_registration_rejected(self):
+        program, loader, handles = make_loader(NaimLevel.OFF)
+        with pytest.raises(ValueError):
+            loader.register_routine(program.routine("main"))
+
+    def test_drop_removes_pool(self):
+        _, loader, handles = make_loader(NaimLevel.OFF)
+        name = sorted(handles)[0]
+        loader.drop(handles[name])
+        assert (
+            loader.accountant.category_total("ir")
+            < sum(1 for _ in handles) * 10**9
+        )
+        assert all(p.name != name for p in loader.pools())

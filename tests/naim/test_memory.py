@@ -1,0 +1,119 @@
+"""Unit tests for memory accounting and the cost model."""
+
+from repro.frontend import compile_source, compile_sources
+from repro.naim.memory import (
+    MemoryAccountant,
+    callgraph_bytes,
+    expanded_routine_bytes,
+    expanded_symtab_bytes,
+    fmt_bytes,
+    llo_working_bytes,
+    program_symtab_bytes,
+)
+
+
+class TestAccountant:
+    def test_current_and_peak(self):
+        acc = MemoryAccountant()
+        acc.set_usage("ir", "a", 100)
+        acc.set_usage("ir", "b", 50)
+        assert acc.current == 150
+        acc.set_usage("ir", "a", 10)
+        assert acc.current == 60
+        assert acc.peak == 150
+
+    def test_zero_removes_entry(self):
+        acc = MemoryAccountant()
+        acc.set_usage("llo", "r", 500)
+        acc.set_usage("llo", "r", 0)
+        assert acc.current == 0
+        assert acc.by_category() == {}
+
+    def test_categories(self):
+        acc = MemoryAccountant()
+        acc.set_usage("ir", "a", 100)
+        acc.set_usage("symtab", "m", 30)
+        assert acc.category_total("ir") == 100
+        assert acc.by_category() == {"ir": 100, "symtab": 30}
+        acc.clear_category("ir")
+        assert acc.current == 30
+
+    def test_marks(self):
+        acc = MemoryAccountant()
+        acc.set_usage("ir", "a", 100)
+        acc.mark("phase1")
+        acc.set_usage("ir", "a", 200)
+        acc.mark("phase2")
+        assert acc.samples == [("phase1", 100), ("phase2", 200)]
+
+    def test_reset_peak(self):
+        acc = MemoryAccountant()
+        acc.set_usage("ir", "a", 100)
+        acc.set_usage("ir", "a", 10)
+        acc.reset_peak()
+        assert acc.peak == 10
+
+    def test_report_renders(self):
+        acc = MemoryAccountant()
+        acc.set_usage("ir", "a", 2048)
+        assert "2.0KB" in acc.report()
+
+
+class TestCostModel:
+    def test_bigger_routine_costs_more(self):
+        small = compile_source(
+            "func f() { return 1; }", "m"
+        ).routines["f"]
+        big = compile_source(
+            "func f(a) { var s = 0; while (a > 0) "
+            "{ s = s + a * 3; a = a - 1; } return s; }",
+            "m",
+        ).routines["f"]
+        assert expanded_routine_bytes(big) > expanded_routine_bytes(small)
+
+    def test_derived_data_adds_cost(self):
+        routine = compile_source(
+            "func f(a) { if (a) { return 1; } return 0; }", "m"
+        ).routines["f"]
+        bare = expanded_routine_bytes(routine)
+        routine.predecessors()  # populate derived cache
+        assert expanded_routine_bytes(routine) > bare
+
+    def test_llo_quadratic(self):
+        assert llo_working_bytes(200) - llo_working_bytes(100) > (
+            llo_working_bytes(100) - llo_working_bytes(0)
+        )
+
+    def test_global_structures_much_smaller_than_ir(self):
+        """Program-wide data must stay small relative to the IR (the
+        premise that keeps Figure 4's HLO curve sub-linear)."""
+        program = compile_sources(
+            {
+                "m": "func f(a) { return a + 1; }\n"
+                     "func main() { return f(1) + f(2); }"
+            }
+        )
+        ir_total = sum(
+            expanded_routine_bytes(r) for r in program.all_routines()
+        )
+        global_total = program_symtab_bytes(program.symtab) + callgraph_bytes(
+            program.callgraph()
+        )
+        assert global_total < ir_total
+
+    def test_symtab_cost_scales_with_symbols(self):
+        program = compile_sources(
+            {"m": "global a = 1;\nglobal b = 2;\nfunc main() { return a; }"}
+        )
+        symtab = program.modules["m"].symtab
+        base = expanded_symtab_bytes(symtab)
+        program.modules["m"].define_global("c")
+        assert expanded_symtab_bytes(symtab) > base
+
+
+class TestFmtBytes:
+    def test_units(self):
+        assert fmt_bytes(512) == "512.0B"
+        assert fmt_bytes(2048) == "2.0KB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.0MB"
+        assert fmt_bytes(5 * 1024**3) == "5.0GB"

@@ -1,0 +1,87 @@
+"""Unit tests for pools and handles."""
+
+from repro.frontend import compile_source
+from repro.naim import (
+    KIND_IR,
+    Loader,
+    NaimConfig,
+    NaimLevel,
+    Pool,
+    PoolState,
+)
+from repro.naim.memory import expanded_routine_bytes
+
+
+def routine():
+    return compile_source(
+        "func f(a) { return a * 2 + 1; }", "m"
+    ).routines["f"]
+
+
+def symtab():
+    return compile_source(
+        "global x = 1;\nfunc f() { return x; }", "m"
+    ).symtab
+
+
+class TestPool:
+    def test_initial_state(self):
+        pool = Pool(KIND_IR, "f", routine())
+        assert pool.state is PoolState.EXPANDED
+        assert not pool.unload_pending and not pool.pinned
+
+    def test_resident_bytes_by_state(self):
+        pool = Pool(KIND_IR, "f", routine())
+        expanded_size = pool.resident_bytes()
+        assert expanded_size == expanded_routine_bytes(pool.expanded)
+        pool.state = PoolState.COMPACT
+        pool.compact_bytes = b"0123456789"
+        pool.expanded = None
+        assert pool.resident_bytes() == 10
+        pool.state = PoolState.OFFLOADED
+        pool.compact_bytes = None
+        assert pool.resident_bytes() == 0
+
+    def test_key(self):
+        pool = Pool(KIND_IR, "f", routine())
+        assert pool.key() == (KIND_IR, "f")
+
+
+class TestHandle:
+    def make(self):
+        source_routine = routine()
+        program = compile_source(
+            "func f(a) { return a * 2 + 1; }", "m"
+        )
+        from repro.ir import Program, Module
+
+        module = Module("m")
+        module.add_routine(source_routine)
+        prog = Program([module])
+        loader = Loader(
+            NaimConfig.pinned(NaimLevel.IR_COMPACT, cache_pools=1),
+            prog.symtab,
+        )
+        return loader, loader.register_routine(source_routine)
+
+    def test_get_returns_routine(self):
+        _, handle = self.make()
+        assert handle.get().name == "f"
+        assert handle.name == "f"
+
+    def test_peek_does_not_load(self):
+        loader, handle = self.make()
+        handle.request_unload()
+        # Force compaction by registering noise pools? cache=1, only one
+        # pool -> stays (most recent).  Compact manually via loader API:
+        state_before = handle.peek_state()
+        touches_before = loader.stats.touches
+        handle.peek_state()
+        assert loader.stats.touches == touches_before
+
+    def test_request_unload_via_handle(self):
+        loader, handle = self.make()
+        handle.request_unload()
+        assert handle.pool.unload_pending or (
+            handle.peek_state() is not PoolState.EXPANDED
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the on-disk repository."""
+
+import os
+
+import pytest
+
+from repro.naim.repository import Repository
+
+
+class TestInMemory:
+    def test_store_fetch(self):
+        repo = Repository(in_memory=True)
+        repo.store("ir", "f", b"abc")
+        assert repo.fetch("ir", "f") == b"abc"
+        assert repo.contains("ir", "f")
+        assert repo.stored_size("ir", "f") == 3
+
+    def test_missing_key(self):
+        repo = Repository(in_memory=True)
+        with pytest.raises(KeyError):
+            repo.fetch("ir", "ghost")
+
+    def test_overwrite(self):
+        repo = Repository(in_memory=True)
+        repo.store("ir", "f", b"old")
+        repo.store("ir", "f", b"newer")
+        assert repo.fetch("ir", "f") == b"newer"
+        assert len(repo) == 1
+
+    def test_counters(self):
+        repo = Repository(in_memory=True)
+        repo.store("ir", "f", b"12345")
+        repo.fetch("ir", "f")
+        assert repo.stores == 1
+        assert repo.fetches == 1
+        assert repo.bytes_written == 5
+        assert repo.bytes_read == 5
+        assert repo.total_bytes() == 5
+
+
+class TestOnDisk:
+    def test_round_trip(self, tmp_path):
+        repo = Repository(directory=str(tmp_path))
+        repo.store("ir", "mod::fn", b"\x00\x01\x02")
+        assert repo.fetch("ir", "mod::fn") == b"\x00\x01\x02"
+        files = os.listdir(str(tmp_path))
+        assert len(files) == 1 and files[0].endswith(".pool")
+
+    def test_kinds_are_disjoint(self, tmp_path):
+        repo = Repository(directory=str(tmp_path))
+        repo.store("ir", "x", b"IR")
+        repo.store("symtab", "x", b"ST")
+        assert repo.fetch("ir", "x") == b"IR"
+        assert repo.fetch("symtab", "x") == b"ST"
+
+    def test_owned_tempdir_cleanup(self):
+        repo = Repository()
+        repo.store("ir", "f", b"data")
+        directory = repo._directory
+        assert directory is not None and os.path.isdir(directory)
+        repo.close()
+        assert not os.path.isdir(directory)
+
+    def test_context_manager(self):
+        with Repository() as repo:
+            repo.store("ir", "f", b"x")
+            directory = repo._directory
+        assert not os.path.isdir(directory)
+
+    def test_special_characters_in_names(self, tmp_path):
+        repo = Repository(directory=str(tmp_path))
+        repo.store("ir", "a::b::cl0", b"clone")
+        assert repo.fetch("ir", "a::b::cl0") == b"clone"

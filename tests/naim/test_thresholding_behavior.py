@@ -1,0 +1,58 @@
+"""Behavioural tests of NAIM auto-thresholding during real builds."""
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.naim.config import NaimConfig
+from repro.synth import WorkloadConfig, generate
+
+
+def build_with_memory(app, profile, physical_bytes):
+    options = CompilerOptions(
+        opt_level=4,
+        pbo=True,
+        naim=NaimConfig(physical_memory_bytes=physical_bytes),
+    )
+    return Compiler(options).build(app.sources, profile_db=profile)
+
+
+class TestAutoThresholds:
+    def setup_method(self):
+        self.app = generate(
+            WorkloadConfig(
+                "thresh", n_modules=16, routines_per_module=5,
+                n_features=4, dispatch_count=80, seed=77,
+            )
+        )
+        self.profile = train(self.app.sources,
+                             [self.app.make_input(seed=1)])
+
+    def test_huge_machine_never_compacts(self):
+        build = build_with_memory(self.app, self.profile,
+                                  1024 * 1024 * 1024)
+        stats = build.hlo_result.loader.stats
+        assert stats.compactions == 0
+        assert stats.offloads == 0
+
+    def test_small_machine_compacts(self):
+        build = build_with_memory(self.app, self.profile, 512 * 1024)
+        stats = build.hlo_result.loader.stats
+        assert stats.compactions > 0
+
+    def test_tiny_machine_offloads(self):
+        build = build_with_memory(self.app, self.profile, 96 * 1024)
+        stats = build.hlo_result.loader.stats
+        assert stats.offloads > 0
+
+    def test_peak_memory_tracks_machine_size(self):
+        big = build_with_memory(self.app, self.profile,
+                                1024 * 1024 * 1024)
+        small = build_with_memory(self.app, self.profile, 512 * 1024)
+        assert small.hlo_result.peak_bytes < big.hlo_result.peak_bytes
+
+    def test_all_configs_same_output(self):
+        inputs = self.app.make_input(seed=2)
+        values = set()
+        for physical in (96 * 1024, 512 * 1024, 1024 * 1024 * 1024):
+            build = build_with_memory(self.app, self.profile, physical)
+            values.add(build.run(inputs=inputs).value)
+        assert len(values) == 1

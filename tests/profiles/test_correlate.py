@@ -1,0 +1,101 @@
+"""Unit tests for profile correlation and staleness handling."""
+
+from repro.frontend import compile_source, compile_sources
+from repro.interp import run_program
+from repro.profiles import (
+    ProfileDatabase,
+    checksum_routine,
+    correlate,
+    instrument_program,
+)
+
+V1 = """
+func hot(n) {
+    var s = 0;
+    while (n > 0) { s = s + n; n = n - 1; }
+    return s;
+}
+func main() { return hot(10); }
+"""
+
+# Same control-flow structure, different arithmetic: checksum stable.
+V1_ARITH = V1.replace("s = s + n", "s = s + n * 2")
+
+# Different control flow: checksum changes.
+V2 = """
+func hot(n) {
+    var s = 0;
+    while (n > 0) {
+        if (n % 2 == 0) { s = s + n; }
+        n = n - 1;
+    }
+    return s;
+}
+func main() { return hot(10); }
+"""
+
+
+def database_for(source):
+    program = compile_sources({"m": source})
+    table = instrument_program(program)
+    result = run_program(program)
+    return ProfileDatabase.from_probe_counts(table, result.probe_counts)
+
+
+class TestChecksum:
+    def test_stable_across_compiles(self):
+        a = compile_source(V1, "m").routines["hot"]
+        b = compile_source(V1, "m").routines["hot"]
+        assert checksum_routine(a) == checksum_routine(b)
+
+    def test_insensitive_to_straightline_arithmetic(self):
+        a = compile_source(V1, "m").routines["hot"]
+        b = compile_source(V1_ARITH, "m").routines["hot"]
+        assert checksum_routine(a) == checksum_routine(b)
+
+    def test_sensitive_to_control_flow(self):
+        a = compile_source(V1, "m").routines["hot"]
+        b = compile_source(V2, "m").routines["hot"]
+        assert checksum_routine(a) != checksum_routine(b)
+
+
+class TestCorrelation:
+    def test_exact_match(self):
+        database = database_for(V1)
+        routine = compile_source(V1, "m").routines["hot"]
+        profile = correlate(database, routine)
+        assert profile is not None and not profile.stale
+
+    def test_unknown_routine(self):
+        database = database_for(V1)
+        routine = compile_source(
+            "func other() { return 1; }", "m"
+        ).routines["other"]
+        assert correlate(database, routine) is None
+
+    def test_stale_profile_partial_match(self):
+        database = database_for(V1)
+        routine = compile_source(V2, "m").routines["hot"]
+        profile = correlate(database, routine)
+        # Shared labels (entry, loop head...) survive; marked stale.
+        assert profile is not None
+        assert profile.stale
+        assert profile.entry_count == 1
+
+    def test_stale_profile_drops_unknown_labels(self):
+        database = database_for(V1)
+        routine = compile_source(V2, "m").routines["hot"]
+        profile = correlate(database, routine)
+        labels = set(routine.block_labels())
+        assert set(profile.block_counts) <= labels
+
+    def test_completely_different_structure(self):
+        database = database_for(V1)
+        # A routine with disjoint labels: rename by rebuilding.
+        source = "func hot(n) { return n; }"
+        routine = compile_source(source, "m").routines["hot"]
+        profile = correlate(database, routine)
+        # entry0 exists in both, so a (stale) profile may survive; if it
+        # does, it must be marked stale.
+        if profile is not None:
+            assert profile.stale

@@ -1,0 +1,104 @@
+"""Unit tests for the profile database."""
+
+import os
+
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.profiles import ProfileDatabase, instrument_program
+
+SOURCES = {
+    "m": """
+func tick(n) {
+    var s = 0;
+    while (n > 0) { s = s + n; n = n - 1; }
+    return s;
+}
+func main() { return tick(5) + tick(3); }
+"""
+}
+
+
+def collect():
+    program = compile_sources(SOURCES)
+    table = instrument_program(program)
+    result = run_program(program)
+    return ProfileDatabase.from_probe_counts(table, result.probe_counts)
+
+
+class TestCollection:
+    def test_entry_counts(self):
+        database = collect()
+        assert database.profile_for("tick").entry_count == 2
+        assert database.profile_for("main").entry_count == 1
+
+    def test_hottest_routines(self):
+        database = collect()
+        names = [name for name, _ in database.hottest_routines(2)]
+        assert names[0] == "tick"
+
+    def test_call_site_weights(self):
+        database = collect()
+        weights = database.call_site_weights()
+        main_sites = {k: v for k, v in weights.items() if k[0] == "main"}
+        assert sum(main_sites.values()) == 2
+
+    def test_total_call_count(self):
+        database = collect()
+        assert database.total_call_count() == 2
+
+
+class TestMergeAndPersistence:
+    def test_merge_accumulates(self):
+        a = collect()
+        b = collect()
+        a.merge(b)
+        assert a.profile_for("tick").entry_count == 4
+        assert a.run_count == 2
+
+    def test_merge_structural_change_takes_newest(self):
+        a = collect()
+        b = collect()
+        b.profile_for("tick").checksum = 12345  # simulate changed code
+        old_entry = b.profile_for("tick").entry_count
+        a.merge(b)
+        assert a.profile_for("tick").entry_count == old_entry
+
+    def test_json_round_trip(self):
+        database = collect()
+        restored = ProfileDatabase.from_json(database.to_json())
+        for name in database.routines:
+            original = database.profile_for(name)
+            copy = restored.profile_for(name)
+            assert copy.block_counts == original.block_counts
+            assert copy.edge_counts == original.edge_counts
+            assert copy.call_counts == original.call_counts
+            assert copy.entry_count == original.entry_count
+
+    def test_save_and_load(self, tmp_path):
+        database = collect()
+        path = os.path.join(str(tmp_path), "profile.json")
+        database.save(path)
+        loaded = ProfileDatabase.load(path)
+        assert len(loaded) == len(database)
+
+    def test_bad_version_rejected(self):
+        import json
+
+        import pytest
+
+        payload = json.dumps({"version": 99, "routines": {}})
+        with pytest.raises(ValueError):
+            ProfileDatabase.from_json(payload)
+
+
+class TestFiltering:
+    def test_filtered_to_labels(self):
+        database = collect()
+        profile = database.profile_for("tick")
+        surviving = set(list(profile.block_counts)[:2])
+        filtered = profile.filtered_to_labels(surviving)
+        assert set(filtered.block_counts) == surviving
+        assert all(
+            f in surviving and t in surviving
+            for f, t in filtered.edge_counts
+        )

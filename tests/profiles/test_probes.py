@@ -1,0 +1,136 @@
+"""Unit tests for probe insertion and exact count recovery."""
+
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.ir import Opcode, assert_valid_program
+from repro.profiles import ProfileDatabase, instrument_program
+
+LOOPY = {
+    "m": """
+func work(n) {
+    var total = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i % 3 == 0) { total = total + i; }
+        else { total = total - 1; }
+    }
+    return total;
+}
+func main() { return work(30); }
+"""
+}
+
+
+def instrumented(sources=None):
+    program = compile_sources(sources or LOOPY)
+    table = instrument_program(program)
+    return program, table
+
+
+class TestInsertion:
+    def test_instrumented_program_valid(self):
+        program, _ = instrumented()
+        assert_valid_program(program)
+
+    def test_block_probes_everywhere(self):
+        program, table = instrumented()
+        work = program.routine("work")
+        for label in table.block_labels["work"]:
+            block = work.block(label)
+            assert block.instrs[0].op is Opcode.PROBE
+
+    def test_critical_edges_split(self):
+        # An if WITHOUT else: the BR's false edge goes straight to the
+        # join block, which the then-branch also reaches -> the edge is
+        # critical and must be split with a probe trampoline.
+        sources = {
+            "m": """
+func work(n) {
+    var t = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) { t = t + 1; }
+    }
+    return t;
+}
+func main() { return work(9); }
+"""
+        }
+        program, table = instrumented(sources)
+        edges = table.edges["work"]
+        assert edges, "conditional edges recorded"
+        labels = set(program.routine("work").block_labels())
+        trampolines = labels - set(table.block_labels["work"])
+        assert trampolines, "trampoline blocks were inserted"
+        # And the split edge's count is exact.
+        result = run_program(program)
+        database = ProfileDatabase.from_probe_counts(
+            table, result.probe_counts
+        )
+        profile = database.profile_for("work")
+        join_edges = {
+            (f, t): c
+            for (f, t), c in profile.edge_counts.items()
+            if "join" in t
+        }
+        body_to_join = [
+            c for (f, t), c in join_edges.items() if "for_body" in f
+        ]
+        assert body_to_join == [4]  # odd i in 0..8: 1,3,5,7
+
+    def test_semantics_unchanged(self):
+        plain = compile_sources(LOOPY)
+        program, _ = instrumented()
+        assert run_program(program).value == run_program(plain).value
+
+    def test_checksums_recorded_pre_instrumentation(self):
+        from repro.profiles import checksum_routine
+
+        plain = compile_sources(LOOPY)
+        _, table = instrumented()
+        assert table.checksums["work"] == checksum_routine(
+            plain.routine("work")
+        )
+
+
+class TestExactCounts:
+    def test_block_and_edge_counts(self):
+        program, table = instrumented()
+        result = run_program(program)
+        database = ProfileDatabase.from_probe_counts(
+            table, result.probe_counts
+        )
+        profile = database.profile_for("work")
+        assert profile.entry_count == 1
+        # Loop executes 30 times; head evaluated 31 times.
+        head = [l for l in profile.block_counts if "for_head" in l][0]
+        assert profile.block_counts[head] == 31
+        # if-branch: 10 multiples of 3 in [0..29], 20 others.
+        taken = [
+            count
+            for (f, t), count in profile.edge_counts.items()
+            if "then" in t
+        ]
+        assert taken == [10]
+
+    def test_call_counts_derived_from_blocks(self):
+        program, table = instrumented()
+        result = run_program(program)
+        database = ProfileDatabase.from_probe_counts(
+            table, result.probe_counts
+        )
+        main_profile = database.profile_for("main")
+        assert sum(main_profile.call_counts.values()) == 1
+
+    def test_edge_counts_sum_to_branch_count(self):
+        program, table = instrumented()
+        result = run_program(program)
+        database = ProfileDatabase.from_probe_counts(
+            table, result.probe_counts
+        )
+        profile = database.profile_for("work")
+        body = [l for l in profile.block_counts if "for_body" in l][0]
+        outgoing = [
+            count
+            for (f, _), count in profile.edge_counts.items()
+            if f == body
+        ]
+        assert sum(outgoing) == profile.block_counts[body]

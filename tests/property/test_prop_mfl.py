@@ -1,0 +1,64 @@
+"""Property tests for mixed-language pipelines.
+
+Generated applications with a random MFL fraction must behave
+identically to the interpreter at every optimization level -- the
+frontends are interchangeable producers of the same IL.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.frontend import compile_sources, detect_language
+from repro.interp import run_program
+from repro.synth import WorkloadConfig, generate
+
+
+def mixed_app(seed, fraction):
+    config = WorkloadConfig(
+        "mix%d" % seed,
+        n_modules=5,
+        routines_per_module=3,
+        n_features=2,
+        dispatch_count=40,
+        input_size=24,
+        mfl_fraction=fraction,
+        seed=seed,
+    )
+    return generate(config)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    fraction=st.sampled_from([0.3, 0.6, 1.0]),
+)
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mixed_language_cmo_matches_interpreter(seed, fraction):
+    app = mixed_app(seed, fraction)
+    inputs = app.make_input(seed=seed + 1)
+    expected = run_program(
+        compile_sources(app.sources), inputs=inputs
+    ).value
+    profile = train(app.sources, [inputs])
+    build = Compiler(
+        CompilerOptions(opt_level=4, pbo=True)
+    ).build(app.sources, profile_db=profile)
+    assert build.run(inputs=inputs).value == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_full_mfl_app_at_o2(seed):
+    app = mixed_app(seed, 1.0)
+    languages = {detect_language(t) for n, t in app.sources.items()
+                 if n != "main"}
+    assert languages == {"mfl"}
+    inputs = app.make_input(seed=seed + 1)
+    expected = run_program(
+        compile_sources(app.sources), inputs=inputs
+    ).value
+    build = Compiler(CompilerOptions(opt_level=2)).build(app.sources)
+    assert build.run(inputs=inputs).value == expected

@@ -1,0 +1,151 @@
+"""Property-based tests on core data structures and encodings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    Opcode,
+    fold_binary,
+    sdiv64,
+    smod64,
+    wrap64,
+)
+from repro.naim.compaction import (
+    Writer,
+    Reader,
+    compact_routine,
+    routines_equal,
+    uncompact_routine,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.synth import WorkloadConfig, generate
+from repro.frontend import compile_source
+
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestArithmeticProperties:
+    @given(a=i64, b=i64)
+    @settings(max_examples=300, deadline=None)
+    def test_wrap64_in_range(self, a, b):
+        for op in BINARY_OPS:
+            result = fold_binary(op, a, b)
+            assert -(2**63) <= result < 2**63
+
+    @given(a=i64, b=i64)
+    @settings(max_examples=300, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        assert wrap64(sdiv64(a, b) * b + smod64(a, b)) == (
+            a if b != 0 else 0
+        )
+
+    @given(a=i64)
+    @settings(max_examples=200, deadline=None)
+    def test_double_negation(self, a):
+        from repro.ir.instructions import fold_unary
+
+        assert fold_unary(
+            Opcode.NEG, fold_unary(Opcode.NEG, a)
+        ) == a or a == -(2**63)
+
+    @given(a=i64, b=i64)
+    @settings(max_examples=200, deadline=None)
+    def test_comparison_trichotomy(self, a, b):
+        lt = fold_binary(Opcode.LT, a, b)
+        gt = fold_binary(Opcode.GT, a, b)
+        eq = fold_binary(Opcode.EQ, a, b)
+        assert lt + gt + eq == 1
+
+
+class TestEncodingProperties:
+    @given(value=i64)
+    @settings(max_examples=300, deadline=None)
+    def test_zigzag_round_trip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=2**62),
+                           max_size=30))
+    @settings(max_examples=150, deadline=None)
+    def test_varint_stream_round_trip(self, values):
+        writer = Writer()
+        for value in values:
+            writer.u(value)
+        reader = Reader(writer.finish())
+        assert [reader.u() for _ in values] == values
+
+    @given(texts=st.lists(
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=500),
+                max_size=20),
+        max_size=12,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_string_table_round_trip(self, texts):
+        writer = Writer()
+        for text in texts:
+            writer.string_ref(text)
+        reader = Reader(writer.finish())
+        assert [reader.string_ref() for _ in texts] == texts
+
+
+class TestCompactionProperties:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_routines_round_trip(self, seed):
+        from repro.frontend import compile_sources
+
+        config = WorkloadConfig(
+            "prop", n_modules=2, routines_per_module=3,
+            dispatch_count=10, seed=seed,
+        )
+        app = generate(config)
+        program = compile_sources(app.sources)
+        symtab = program.symtab
+        for routine in program.all_routines():
+            data = compact_routine(routine, symtab)
+            assert routines_equal(
+                routine, uncompact_routine(data, symtab)
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_compaction_idempotent(self, seed):
+        from repro.frontend import compile_sources
+
+        config = WorkloadConfig(
+            "prop", n_modules=2, routines_per_module=2,
+            dispatch_count=10, seed=seed,
+        )
+        app = generate(config)
+        program = compile_sources(app.sources)
+        symtab = program.symtab
+        routine = program.all_routines()[0]
+        once = compact_routine(routine, symtab)
+        again = compact_routine(uncompact_routine(once, symtab), symtab)
+        assert once == again
+
+
+class TestProfileProperties:
+    @given(seed=st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=10, deadline=None)
+    def test_merge_is_additive(self, seed):
+        from repro.frontend import compile_sources
+        from repro.interp import run_program
+        from repro.profiles import ProfileDatabase, instrument_program
+
+        config = WorkloadConfig(
+            "prop", n_modules=2, routines_per_module=2,
+            dispatch_count=15, seed=seed,
+        )
+        app = generate(config)
+        program = compile_sources(app.sources)
+        table = instrument_program(program)
+        outcome = run_program(program, inputs=app.make_input(seed=1))
+        db1 = ProfileDatabase.from_probe_counts(table, outcome.probe_counts)
+        db2 = ProfileDatabase.from_probe_counts(table, outcome.probe_counts)
+        db1.merge(db2)
+        for name, profile in db1.routines.items():
+            single = db2.profile_for(name)
+            for label, count in profile.block_counts.items():
+                assert count == 2 * single.block_counts[label]

@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic-application generator."""
+
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.ir import assert_valid_program
+from repro.synth import (
+    WorkloadConfig,
+    full_suite,
+    generate,
+    mcad_suite,
+    spec_like_suite,
+    tiny_config,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sources(self):
+        a = generate(tiny_config(seed=5))
+        b = generate(tiny_config(seed=5))
+        assert a.sources == b.sources
+
+    def test_different_seed_different_sources(self):
+        a = generate(tiny_config(seed=5))
+        b = generate(tiny_config(seed=6))
+        assert a.sources != b.sources
+
+    def test_inputs_deterministic(self):
+        app = generate(tiny_config())
+        assert app.make_input(seed=3) == app.make_input(seed=3)
+        assert app.make_input(seed=3) != app.make_input(seed=4)
+
+
+class TestStructure:
+    def test_compiles_and_verifies(self):
+        app = generate(tiny_config())
+        program = compile_sources(app.sources)
+        assert_valid_program(program)
+
+    def test_runs_and_terminates(self):
+        app = generate(tiny_config())
+        program = compile_sources(app.sources)
+        result = run_program(program, inputs=app.make_input(seed=1))
+        assert result.steps > 100  # did real work
+
+    def test_feature_roots_exist(self):
+        app = generate(tiny_config())
+        program = compile_sources(app.sources)
+        for root in app.feature_roots:
+            assert program.find_routine(root) is not None
+
+    def test_module_count(self):
+        config = WorkloadConfig("t", n_modules=6, routines_per_module=3,
+                                dispatch_count=20)
+        app = generate(config)
+        assert len(app.sources) == 7  # 6 + main
+
+    def test_cross_module_calls_present(self):
+        app = generate(tiny_config())
+        program = compile_sources(app.sources)
+        cross = 0
+        for module in program.module_list():
+            for routine in module.routine_list():
+                for callee in routine.callees():
+                    callee_module = program.symtab.lookup_routine_module(
+                        callee
+                    )
+                    if callee_module != module.name:
+                        cross += 1
+        assert cross > 0
+
+    def test_line_count_reported(self):
+        app = generate(tiny_config())
+        program = compile_sources(app.sources)
+        assert abs(app.source_lines() - program.source_lines()) < 10
+
+
+class TestWorkloadSkew:
+    def test_zipf_inputs_favour_hot_features(self):
+        config = WorkloadConfig("t", n_modules=8, routines_per_module=3,
+                                n_features=4, zipf_s=2.0, input_size=400,
+                                dispatch_count=50, seed=3)
+        app = generate(config)
+        values = app.make_input(seed=1)["input_data"]
+        counts = [values.count(f) for f in range(4)]
+        assert counts[0] > counts[-1]
+
+    def test_uniform_inputs_flatter(self):
+        config = WorkloadConfig("t", n_modules=8, routines_per_module=3,
+                                n_features=4, zipf_s=2.0, input_size=400,
+                                dispatch_count=50, seed=3)
+        app = generate(config)
+        uniform = app.make_input(seed=1, uniform=True)["input_data"]
+        counts = [uniform.count(f) for f in range(4)]
+        assert max(counts) < 2 * (sum(counts) / len(counts))
+
+    def test_different_inputs_change_result(self):
+        app = generate(tiny_config())
+        program = compile_sources(app.sources)
+        a = run_program(program, inputs=app.make_input(seed=1)).value
+        program2 = compile_sources(app.sources)
+        b = run_program(program2, inputs=app.make_input(seed=99)).value
+        # Overwhelmingly likely to differ for distinct input streams.
+        assert a != b
+
+
+class TestSuites:
+    def test_spec_suite_names(self):
+        names = [c.name for c in spec_like_suite()]
+        assert "gcc_like" in names and len(names) == 8
+
+    def test_mcad_suite_scaling(self):
+        full = mcad_suite()[0]
+        half = mcad_suite(0.5)[0]
+        assert half.n_modules < full.n_modules
+
+    def test_full_suite_keys(self):
+        suite = full_suite()
+        assert "mcad1_like" in suite and "vortex_like" in suite
+
+    def test_scaled_preserves_other_fields(self):
+        config = mcad_suite()[0]
+        scaled = config.scaled(0.5)
+        assert scaled.zipf_s == config.zipf_s
+        assert scaled.seed == config.seed

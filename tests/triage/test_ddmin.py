@@ -1,0 +1,61 @@
+"""Unit tests for the delta-debugging reducer itself."""
+
+from repro.triage.isolate import _ddmin
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        items = ["m%d" % i for i in range(8)]
+
+        def fails(subset):
+            return "m3" in subset
+
+        assert _ddmin(items, fails) == ["m3"]
+
+    def test_pair_culprit(self):
+        items = ["m%d" % i for i in range(8)]
+
+        def fails(subset):
+            return "m1" in subset and "m6" in subset
+
+        result = _ddmin(items, fails)
+        assert sorted(result) == ["m1", "m6"]
+
+    def test_all_required(self):
+        items = ["a", "b", "c"]
+
+        def fails(subset):
+            return len(subset) == 3
+
+        assert _ddmin(items, fails) == ["a", "b", "c"]
+
+    def test_result_still_fails(self):
+        items = ["m%d" % i for i in range(10)]
+
+        def fails(subset):
+            return "m2" in subset and "m7" in subset and "m9" in subset
+
+        result = _ddmin(items, fails)
+        assert fails(result)
+        assert len(result) == 3
+
+    def test_order_preserved(self):
+        items = ["a", "b", "c", "d"]
+
+        def fails(subset):
+            return "b" in subset and "d" in subset
+
+        assert _ddmin(items, fails) == ["b", "d"]
+
+    def test_call_count_reasonable(self):
+        items = ["m%d" % i for i in range(32)]
+        calls = {"n": 0}
+
+        def fails(subset):
+            calls["n"] += 1
+            return "m17" in subset
+
+        result = _ddmin(items, fails)
+        assert result == ["m17"]
+        # Far fewer probes than the 2^32 subsets.
+        assert calls["n"] < 120

@@ -1,0 +1,113 @@
+"""Tests for the optimizer-bug isolation workflow (paper §6.3).
+
+A deliberate miscompile is injected after the N-th inline operation;
+the triage tools must (a) shrink the CMO module set to the modules
+involved and (b) pinpoint the exact inline operation.
+"""
+
+import pytest
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+from repro.hlo.options import HloOptions
+from repro.triage import isolate_failing_modules, isolate_inline_operation
+
+SOURCES = {
+    "alpha": "func a_fn(x) { return x * 2 + 1; }",
+    "beta": "func b_fn(x) { return a_fn(x) + 3; }",
+    "gamma": "func c_fn(x) { return x - 4; }",
+    "main_mod": """
+func main() {
+    return b_fn(10) * 100 + c_fn(5);
+}
+""",
+}
+
+EXPECTED = (10 * 2 + 1 + 3) * 100 + (5 - 4)
+
+
+def make_predicate(reference):
+    def failed(build):
+        try:
+            return build.run().value != reference
+        except Exception:
+            return True
+
+    return failed
+
+
+@pytest.fixture(scope="module")
+def reference_value():
+    build = Compiler(CompilerOptions(opt_level=2)).build(SOURCES)
+    value = build.run().value
+    assert value == EXPECTED
+    return value
+
+
+def buggy_options(after=1):
+    """+O4 options with a miscompile injected at the given inline."""
+    return CompilerOptions(
+        opt_level=4,
+        hlo=HloOptions(inject_inline_bug_after=after),
+    )
+
+
+class TestInjection:
+    def test_bug_actually_fires(self, reference_value):
+        build = Compiler(buggy_options()).build(SOURCES)
+        assert build.run().value != reference_value
+
+    def test_clean_compiler_passes(self, reference_value):
+        build = Compiler(CompilerOptions(opt_level=4)).build(SOURCES)
+        assert build.run().value == reference_value
+
+
+class TestModuleIsolation:
+    def test_minimal_module_set(self, reference_value):
+        report = isolate_failing_modules(
+            SOURCES,
+            make_predicate(reference_value),
+            base_options=buggy_options(),
+        )
+        # The failing inline is the first one performed; the minimal set
+        # must still reproduce it and be smaller than everything.
+        assert report.minimal_modules
+        assert len(report.minimal_modules) < len(SOURCES)
+        assert report.builds_tried > 1
+
+    def test_non_cmo_failure_reports_empty(self, reference_value):
+        report = isolate_failing_modules(
+            SOURCES,
+            make_predicate(reference_value),
+            base_options=CompilerOptions(opt_level=4),  # clean compiler
+        )
+        assert report.minimal_modules == []
+
+
+class TestInlineIsolation:
+    @pytest.mark.parametrize("bug_at", [1, 2])
+    def test_finds_exact_operation(self, reference_value, bug_at):
+        report = isolate_inline_operation(
+            SOURCES,
+            make_predicate(reference_value),
+            base_options=buggy_options(after=bug_at),
+        )
+        assert report.failing_inline_index == bug_at
+        assert report.suspect_inline is not None
+
+    def test_clean_build_reports_nothing(self, reference_value):
+        report = isolate_inline_operation(
+            SOURCES,
+            make_predicate(reference_value),
+            base_options=CompilerOptions(opt_level=4),
+        )
+        assert report.failing_inline_index is None
+
+    def test_suspect_names_caller_callee(self, reference_value):
+        report = isolate_inline_operation(
+            SOURCES,
+            make_predicate(reference_value),
+            base_options=buggy_options(after=1),
+        )
+        caller, callee = report.suspect_inline
+        assert caller and callee

@@ -1,0 +1,84 @@
+"""Cost-model knob tests: each cycle parameter is actually charged."""
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+from repro.vm.cost import CostModel
+
+CALLY = {
+    "m": """
+func leaf(x) { return x + 1; }
+func main() {
+    var s = 0;
+    for (var i = 0; i < 50; i = i + 1) { s = leaf(s); }
+    return s;
+}
+"""
+}
+
+BRANCHY = {
+    "m": """
+func main() {
+    var s = 0;
+    for (var i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) { s = s + 1; } else { s = s + 2; }
+    }
+    return s;
+}
+"""
+}
+
+
+def cycles(sources, **model_kwargs):
+    build = Compiler(CompilerOptions(opt_level=2)).build(sources)
+    return build.run(cost_model=CostModel(**model_kwargs)).cycles
+
+
+class TestKnobs:
+    def test_call_overhead(self):
+        cheap = cycles(CALLY, call_overhead=0, ret_overhead=0)
+        dear = cycles(CALLY, call_overhead=30, ret_overhead=10)
+        # 51 calls (stub + 50 leaf calls) x 40 extra cycles.
+        assert dear - cheap == 51 * 40
+
+    def test_taken_branch_penalty(self):
+        flat = cycles(BRANCHY, taken_branch_penalty=0)
+        steep = cycles(BRANCHY, taken_branch_penalty=5)
+        assert steep > flat
+        build = Compiler(CompilerOptions(opt_level=2)).build(BRANCHY)
+        taken = build.run(
+            cost_model=CostModel(taken_branch_penalty=0)
+        ).taken_branches
+        assert steep - flat == 5 * taken
+
+    def test_icache_penalty(self):
+        cold = cycles(BRANCHY, icache_miss_penalty=100)
+        warm = cycles(BRANCHY, icache_miss_penalty=0)
+        assert cold > warm
+
+    def test_icache_geometry_changes_misses(self):
+        build = Compiler(CompilerOptions(opt_level=2)).build(CALLY)
+        tiny = build.run(
+            cost_model=CostModel(icache_lines=2, icache_line_words=2)
+        ).icache_misses
+        huge = build.run(
+            cost_model=CostModel(icache_lines=4096, icache_line_words=16)
+        ).icache_misses
+        assert tiny > huge
+
+    def test_load_cycles(self):
+        sources = {
+            "m": "global g = 1;\n"
+                 "func main() { var s = 0;"
+                 " for (var i = 0; i < 20; i = i + 1) { s = s + g; }"
+                 " return s; }"
+        }
+        slow_loads = cycles(sources, load_cycles=10)
+        fast_loads = cycles(sources, load_cycles=1)
+        assert slow_loads > fast_loads
+
+    def test_results_value_independent_of_costs(self):
+        build = Compiler(CompilerOptions(opt_level=2)).build(CALLY)
+        a = build.run(cost_model=CostModel(call_overhead=0))
+        b = build.run(cost_model=CostModel(call_overhead=99))
+        assert a.value == b.value
+        assert a.instructions == b.instructions

@@ -1,0 +1,43 @@
+"""Unit tests for executable-image helpers."""
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+
+
+def build(calc_sources):
+    return Compiler(CompilerOptions(opt_level=2)).build(calc_sources)
+
+
+class TestImageQueries:
+    def test_routine_addr_and_meta(self, calc_sources):
+        image = build(calc_sources).executable
+        addr = image.routine_addr("main")
+        meta = image.meta_by_addr[addr]
+        assert meta.name == "main"
+        assert meta.size > 0
+
+    def test_find_routine_containing(self, calc_sources):
+        image = build(calc_sources).executable
+        meta = image.routine_meta["scale"]
+        inside = image.find_routine_containing(meta.addr + 1)
+        assert inside is not None and inside.name == "scale"
+        assert image.find_routine_containing(10**9) is None
+
+    def test_global_accessors(self, calc_sources):
+        result = build(calc_sources)
+        outcome = result.run()
+        image = result.executable
+        # `calls` is incremented 40 times by scale().
+        assert image.global_value(outcome.data, "calls") == 40
+        buf = image.global_array(outcome.data, "result_buf")
+        assert len(buf) == 16
+        assert any(v != 0 for v in buf)
+
+    def test_code_size_and_layout(self, calc_sources):
+        image = build(calc_sources).executable
+        assert image.code_size() == len(image.code)
+        assert set(image.layout_order) == set(image.routine_meta)
+        # The startup stub occupies the first two slots.
+        assert image.entry_addr == 0
+        total = sum(meta.size for meta in image.routine_meta.values())
+        assert image.code_size() == total + 2
