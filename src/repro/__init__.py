@@ -25,7 +25,7 @@ See README.md for the architecture tour and DESIGN.md for the
 paper-to-module map.
 """
 
-from .driver.build import BuildEngine, RebuildReport
+from .driver.build import BuildEngine, BuildError, RebuildReport
 from .driver.compiler import BuildResult, Compiler, train
 from .driver.options import CompilerOptions
 from .driver.selectivity import SelectivityPlan, plan_selectivity
@@ -37,6 +37,7 @@ from .ir import Module, Program, Routine
 from .linker.objects import ObjectFile
 from .naim.config import NaimConfig, NaimLevel
 from .profiles.database import ProfileDatabase
+from .sched import ArtifactCache, EventLog, Executor, TaskGraph
 from .triage import isolate_failing_modules, isolate_inline_operation
 from .vm.cost import CostModel
 from .vm.machine import Machine, MachineResult, run_image
@@ -45,7 +46,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BuildEngine",
+    "BuildError",
     "RebuildReport",
+    "ArtifactCache",
+    "EventLog",
+    "Executor",
+    "TaskGraph",
     "BuildResult",
     "Compiler",
     "train",

@@ -26,6 +26,7 @@ from typing import Dict, List
 from ..frontend import compile_source, detect_language
 from ..ir.printer import format_module
 from ..naim.memory import fmt_bytes
+from ..sched.events import EventLog
 from .compiler import Compiler, train as train_profile
 from .options import CompilerOptions
 from ..profiles.database import ProfileDatabase
@@ -62,6 +63,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--checked", action="store_true",
                         help="fail the build on interface mismatches")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="compile-task workers (1 = serial; output is identical)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="TRACE.json",
+        help="write a Chrome trace_event JSON of the build",
+    )
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -75,10 +84,21 @@ def cmd_build(args: argparse.Namespace) -> int:
         selectivity_percent=args.selectivity,
         checked=args.checked,
     )
-    build = Compiler(options).build(sources, profile_db=profile_db)
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    events = EventLog()
+    build = Compiler(options).build(sources, profile_db=profile_db,
+                                    jobs=args.jobs, events=events)
     print("build %s: %d modules, %d lines -> %d machine instrs (%.2fs)"
           % (options.describe(), len(sources), build.source_lines,
              build.executable.code_size(), build.timings.total()))
+    if args.jobs > 1:
+        print("jobs: %d workers, %d tasks" % (args.jobs,
+                                              len(events.spans())))
+    if args.trace_out:
+        events.write_chrome_trace(args.trace_out)
+        print("trace: %d events -> %s" % (len(events.events),
+                                          args.trace_out))
     if build.interface_problems:
         for problem in build.interface_problems:
             print("warning: interface mismatch: %s" % problem,

@@ -12,15 +12,30 @@ work while HLO re-optimizes the whole program at link time -- the
 trade-off the paper explicitly chose over a persistent program
 database ("the disadvantage is that no persistent program library is
 available to minimize re-compilation").
+
+Builds are scheduled through :mod:`repro.sched`: per-module compile
+tasks form a DAG feeding one link task, dispatched on ``jobs`` workers
+(serial at ``jobs=1``, byte-identical output either way).  A shared
+:class:`~repro.sched.ArtifactCache` memoizes compiled objects by
+content -- ``hash(module, language, options, source)`` -- across
+engine instances, generalizing the per-engine fingerprint dict, and
+every task emits trace events into the engine's
+:class:`~repro.sched.EventLog`.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..linker.objects import ObjectFile
+from ..naim.memory import MemoryAccountant
 from ..profiles.database import ProfileDatabase
+from ..sched.artifacts import ArtifactCache
+from ..sched.events import EventLog
+from ..sched.executor import Executor, TaskError
+from ..sched.graph import TaskGraph
 from .compiler import BuildResult, Compiler
 from .options import CompilerOptions
 
@@ -33,12 +48,33 @@ class RebuildReport:
         self.reused: List[str] = []
         self.removed: List[str] = []
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RebuildReport):
+            return NotImplemented
+        return (self.recompiled == other.recompiled
+                and self.reused == other.reused
+                and self.removed == other.removed)
+
     def __repr__(self) -> str:
-        return "<RebuildReport recompiled=%r reused=%d removed=%r>" % (
-            self.recompiled,
-            len(self.reused),
-            self.removed,
+        return "<RebuildReport recompiled=%d %r reused=%d %r removed=%d %r>" % (
+            len(self.recompiled), self.recompiled,
+            len(self.reused), self.reused,
+            len(self.removed), self.removed,
         )
+
+
+class BuildError(TaskError):
+    """A build failed; every module's diagnostic is collected.
+
+    ``failures`` maps task id (``compile:<module>``) to the exception;
+    ``cancelled`` lists tasks skipped because a dependency failed (the
+    link, for a compile failure); ``report`` records what the healthy
+    modules did before the failure surfaced.
+    """
+
+    def __init__(self, failures, cancelled, report: RebuildReport) -> None:
+        super().__init__(failures, cancelled)
+        self.report = report
 
 
 class BuildEngine:
@@ -46,16 +82,28 @@ class BuildEngine:
 
     ``object_dir=None`` keeps objects in memory; a directory persists
     them as ``.o`` files across engine instances (a real make-style
-    workspace).
+    workspace).  ``jobs`` sets the compile-task worker count (or pass
+    a preconfigured ``scheduler``); ``artifact_cache`` plugs in a
+    shared content-addressed object store.
     """
 
     def __init__(
         self,
         options: Optional[CompilerOptions] = None,
         object_dir: Optional[str] = None,
+        jobs: int = 1,
+        artifact_cache: Optional[ArtifactCache] = None,
+        scheduler: Optional[Executor] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.compiler = Compiler(options or CompilerOptions(opt_level=4))
         self.object_dir = object_dir
+        self.artifact_cache = artifact_cache
+        if scheduler is not None:
+            self.scheduler = scheduler
+        else:
+            self.scheduler = Executor(jobs=jobs, events=events)
+        self.events = self.scheduler.events
         #: module name -> (fingerprint, object).
         self._cache: Dict[str, Tuple[str, ObjectFile]] = {}
         if object_dir is not None:
@@ -74,8 +122,17 @@ class BuildEngine:
             if not entry.endswith(".o"):
                 continue
             path = os.path.join(self.object_dir, entry)
-            with open(path, "rb") as handle:
-                obj = ObjectFile.from_bytes(handle.read())
+            try:
+                with open(path, "rb") as handle:
+                    obj = ObjectFile.from_bytes(handle.read())
+            except Exception as exc:
+                # Corrupt or truncated object: recompile instead of
+                # taking the whole workspace down.
+                warnings.warn(
+                    "skipping unreadable object %s (%s: %s)"
+                    % (path, type(exc).__name__, exc)
+                )
+                continue
             self._cache[obj.module_name] = (obj.source_fingerprint, obj)
 
     def _store(self, obj: ObjectFile) -> None:
@@ -91,6 +148,61 @@ class BuildEngine:
             if os.path.exists(path):
                 os.unlink(path)
 
+    # -- Compile tasks -----------------------------------------------------------
+
+    def _artifact_key(self, name: str, text: str) -> str:
+        return ArtifactCache.key(
+            text,
+            language="auto",
+            options=self.compiler.options.describe(),
+            module=name,
+        )
+
+    def _compile_module(
+        self,
+        name: str,
+        text: str,
+        profile_db: Optional[ProfileDatabase],
+    ) -> Tuple[ObjectFile, str, Optional[MemoryAccountant], object]:
+        """Produce ``name``'s object, via caches when possible.
+
+        Returns ``(object, how, accountant, llo_stats)`` where ``how``
+        is "reused" (fingerprint match), "cache" (artifact-cache hit)
+        or "recompiled".
+        """
+        fingerprint = ObjectFile.fingerprint(text)
+        cached = self._cache.get(name)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1], "reused", None, None
+
+        art_key = None
+        if self.artifact_cache is not None:
+            art_key = self._artifact_key(name, text)
+            data = self.artifact_cache.get(art_key)
+            if data is not None:
+                try:
+                    obj = ObjectFile.from_bytes(data)
+                except Exception:
+                    obj = None  # corrupt artifact: fall through, recompile
+                if obj is not None and obj.module_name == name and (
+                    obj.source_fingerprint == fingerprint
+                ):
+                    self.events.instant("cache_hit:%s" % name,
+                                        category="cache")
+                    self._store(obj)
+                    return obj, "cache", None, None
+
+        module = self.compiler.frontend(name, text)
+        accountant = MemoryAccountant()
+        obj, llo_stats = self.compiler.compile_object_with_stats(
+            module, profile_db, fingerprint=fingerprint,
+            accountant=accountant,
+        )
+        self._store(obj)
+        if art_key is not None:
+            self.artifact_cache.put(art_key, obj.to_bytes())
+        return obj, "recompiled", accountant, llo_stats
+
     # -- Building ------------------------------------------------------------------
 
     def build(
@@ -98,28 +210,61 @@ class BuildEngine:
         sources: Dict[str, str],
         profile_db: Optional[ProfileDatabase] = None,
     ) -> Tuple[BuildResult, RebuildReport]:
-        """Recompile what changed, relink, return both artifacts."""
+        """Recompile what changed, relink, return both artifacts.
+
+        Raises :class:`BuildError` if any module fails to compile; all
+        sibling modules still run first, so the error carries every
+        module's diagnostic, not just the first.
+        """
         report = RebuildReport()
 
         for stale in [name for name in self._cache if name not in sources]:
             self._drop(stale)
             report.removed.append(stale)
 
-        objects: List[ObjectFile] = []
+        graph = TaskGraph()
+        compile_ids = []
         for name, text in sources.items():
-            fingerprint = ObjectFile.fingerprint(text)
-            cached = self._cache.get(name)
-            if cached is not None and cached[0] == fingerprint:
-                objects.append(cached[1])
-                report.reused.append(name)
-                continue
-            module = self.compiler.frontend(name, text)
-            obj = self.compiler.compile_object(
-                module, profile_db, fingerprint=fingerprint
-            )
-            self._store(obj)
-            objects.append(obj)
-            report.recompiled.append(name)
+            task_id = "compile:%s" % name
 
-        result = self.compiler.link(objects, profile_db)
+            def run(_inputs, name=name, text=text):
+                return self._compile_module(name, text, profile_db)
+
+            graph.add(task_id, run, category="compile")
+            compile_ids.append(task_id)
+
+        def link(inputs):
+            objects = [inputs[task_id][0] for task_id in compile_ids]
+            return self.compiler.link(objects, profile_db)
+
+        graph.add("link", link, deps=compile_ids, category="link")
+        outcome = self.scheduler.run(graph)
+
+        # Report in source order, independent of completion order.
+        for name in sources:
+            compiled = outcome.results.get("compile:%s" % name)
+            if compiled is None:
+                continue
+            how = compiled[1]
+            if how == "recompiled":
+                report.recompiled.append(name)
+            else:
+                report.reused.append(name)
+
+        if not outcome.ok:
+            raise BuildError(outcome.failures, outcome.cancelled, report)
+
+        result: BuildResult = outcome.results["link"]
+        # Fold per-worker codegen stats into the linked result.
+        for name in sources:
+            _obj, _how, accountant, llo_stats = (
+                outcome.results["compile:%s" % name]
+            )
+            if accountant is not None:
+                result.accountant.merge(accountant)
+            if llo_stats is not None:
+                if result.llo_stats is None:
+                    result.llo_stats = llo_stats
+                else:
+                    result.llo_stats.merge(llo_stats)
         return result, report

@@ -25,6 +25,9 @@ from ..linker.objects import KIND_IL, LinkError, ObjectFile
 from ..llo.driver import LloOptions, LloStats, LowLevelOptimizer
 from ..naim.memory import MemoryAccountant
 from ..naim.repository import Repository
+from ..sched.events import EventLog
+from ..sched.executor import Executor
+from ..sched.graph import TaskGraph
 from ..profiles.correlate import correlate
 from ..profiles.database import ProfileDatabase
 from ..profiles.probes import ProbeTable, instrument_program
@@ -118,13 +121,6 @@ class Compiler:
             language = detect_language(source)
         return compile_source(source, name, language)
 
-    def _to_modules(self, sources: Sources) -> List[Module]:
-        if isinstance(sources, dict):
-            return [
-                self.frontend(name, text) for name, text in sources.items()
-            ]
-        return list(sources)
-
     # -- Separate compilation ------------------------------------------------------
 
     def compile_object(
@@ -134,16 +130,36 @@ class Compiler:
         fingerprint: str = "",
     ) -> ObjectFile:
         """Compile one module to an object file (the `cc -c` step)."""
+        obj, _stats = self.compile_object_with_stats(
+            module, profile_db, fingerprint=fingerprint
+        )
+        return obj
+
+    def compile_object_with_stats(
+        self,
+        module: Module,
+        profile_db: Optional[ProfileDatabase] = None,
+        fingerprint: str = "",
+        accountant: Optional[MemoryAccountant] = None,
+    ):
+        """:meth:`compile_object`, also returning the codegen stats.
+
+        The scheduler's per-module compile tasks run with a private
+        ``accountant`` each; the driver merges them afterwards in
+        source order, so parallel builds report the same numbers as
+        serial ones.
+        """
         if self.options.is_cmo:
             # Fat object: IL dumped directly (paper §3).
-            return ObjectFile.from_il_module(module, fingerprint)
-        machines, _stats = self._codegen_module(module, profile_db, None)
-        return ObjectFile.from_machine_routines(
+            return ObjectFile.from_il_module(module, fingerprint), None
+        machines, stats = self._codegen_module(module, profile_db, accountant)
+        obj = ObjectFile.from_machine_routines(
             module,
             machines,
             source_fingerprint=fingerprint,
             opt_summary=self.options.describe(),
         )
+        return obj, stats
 
     def _codegen_module(
         self,
@@ -181,28 +197,102 @@ class Compiler:
         self,
         sources: Sources,
         profile_db: Optional[ProfileDatabase] = None,
+        jobs: int = 1,
+        events: Optional[EventLog] = None,
+        scheduler: Optional[Executor] = None,
     ) -> BuildResult:
-        """Frontend + compile + link in one call."""
+        """Frontend + compile + link in one call.
+
+        Per-module frontend and codegen tasks are dispatched through a
+        :class:`~repro.sched.TaskGraph` on ``jobs`` workers (or a
+        caller-supplied ``scheduler``); the link stays serial.  Output
+        is byte-identical for every ``jobs`` value.  ``events``
+        collects start/finish/error spans for every task, exportable
+        as a Chrome trace.
+        """
         result = BuildResult()
         result.options_used = self.options.describe()
-        with _Timer(result.timings, "frontend"):
-            modules = self._to_modules(sources)
+        executor = scheduler if scheduler is not None else (
+            Executor(jobs=jobs, events=events)
+        )
+
+        graph = TaskGraph()
+        if isinstance(sources, dict):
+            names = list(sources)
+            for name, text in sources.items():
+
+                def run_frontend(_inputs, name=name, text=text):
+                    start = time.perf_counter()
+                    module = self.frontend(name, text)
+                    return module, time.perf_counter() - start
+
+                graph.add("frontend:%s" % name, run_frontend,
+                          category="frontend")
+        else:
+            modules_in = list(sources)
+            names = [module.name for module in modules_in]
+            for module in modules_in:
+
+                def run_premade(_inputs, module=module):
+                    return module, 0.0
+
+                graph.add("frontend:%s" % module.name, run_premade,
+                          category="frontend")
+
+        instrument = self.options.instrument
+        if not instrument:
+            for name in names:
+
+                def run_compile(inputs, name=name):
+                    module, _secs = inputs["frontend:%s" % name]
+                    start = time.perf_counter()
+                    accountant = MemoryAccountant()
+                    obj, stats = self.compile_object_with_stats(
+                        module, profile_db,
+                        fingerprint=ObjectFile.fingerprint(module.name),
+                        accountant=accountant,
+                    )
+                    return (obj, time.perf_counter() - start,
+                            accountant, stats)
+
+                graph.add("compile:%s" % name, run_compile,
+                          deps=["frontend:%s" % name], category="compile")
+
+        outcome = executor.run(graph)
+        if not outcome.ok:
+            outcome.raise_first()
+
+        modules = []
+        frontend_seconds = 0.0
+        for name in names:
+            module, seconds = outcome.results["frontend:%s" % name]
+            modules.append(module)
+            frontend_seconds += seconds
+        result.timings.add("frontend", frontend_seconds)
         result.source_lines = sum(m.source_lines for m in modules)
 
-        if self.options.instrument:
+        if instrument:
             self._build_instrumented(modules, result)
             return result
 
-        with _Timer(result.timings, "compile"):
-            objects = [
-                self.compile_object(
-                    module, profile_db,
-                    fingerprint=ObjectFile.fingerprint(module.name),
-                )
-                for module in modules
-            ]
+        objects = []
+        compile_seconds = 0.0
+        for name in names:
+            obj, seconds, accountant, stats = (
+                outcome.results["compile:%s" % name]
+            )
+            objects.append(obj)
+            compile_seconds += seconds
+            result.accountant.merge(accountant)
+            if stats is not None:
+                if result.llo_stats is None:
+                    result.llo_stats = stats
+                else:
+                    result.llo_stats.merge(stats)
+        result.timings.add("compile", compile_seconds)
         result.objects = objects
-        self.link_into(objects, profile_db, result)
+        with executor.events.span("link", "link"):
+            self.link_into(objects, profile_db, result)
         return result
 
     def link(
@@ -314,9 +404,7 @@ class Compiler:
                     if result.llo_stats is None:
                         result.llo_stats = llo.stats
                     else:
-                        result.llo_stats.routines += llo.stats.routines
-                        result.llo_stats.instructions += llo.stats.instructions
-                        result.llo_stats.spilled += llo.stats.spilled
+                        result.llo_stats.merge(llo.stats)
 
         # Drop globals defined by routines that no longer exist?  No:
         # globals live independently of routine liveness.

@@ -310,6 +310,62 @@ def _encode_machine_routine(writer: Writer, machine: MachineRoutine) -> None:
             writer.string_ref(instr.sym)
 
 
+def encode_executable(executable) -> bytes:
+    """Canonical byte encoding of a linked :class:`Executable`.
+
+    Covers everything observable about the image -- code, data segment,
+    entry point, routine/data address maps, layout order -- so two
+    images are behaviourally identical iff their encodings are equal.
+    This is the witness for the scheduler's determinism guarantee
+    (parallel and serial builds must produce byte-identical images).
+    """
+    writer = Writer()
+    writer.u(len(executable.code))
+    for instr in executable.code:
+        _encode_minstr(writer, instr)
+    writer.u(len(executable.data_init))
+    for value in executable.data_init:
+        writer.s(value)
+    writer.u(executable.entry_addr)
+    writer.u(len(executable.routine_meta))
+    for name in sorted(executable.routine_meta):
+        meta = executable.routine_meta[name]
+        writer.string_ref(name)
+        writer.u(meta.n_params)
+        writer.u(meta.frame_size)
+        writer.u(meta.addr)
+        writer.u(meta.size)
+    writer.u(len(executable.data_addr))
+    for name in sorted(executable.data_addr):
+        writer.string_ref(name)
+        writer.u(executable.data_addr[name])
+        writer.u(executable.data_size.get(name, 0))
+    writer.u(len(executable.layout_order))
+    for name in executable.layout_order:
+        writer.string_ref(name)
+    return writer.finish()
+
+
+def _encode_minstr(writer: Writer, instr: MInstr) -> None:
+    writer.u(_MOP_INDEX[instr.op])
+    writer.u(0 if instr.subop is None else OPCODE_WIRE_INDEX[instr.subop] + 1)
+    writer.opt_reg(instr.rd)
+    writer.opt_reg(instr.rs1)
+    writer.opt_reg(instr.rs2)
+    if instr.imm is None:
+        writer.u(0)
+    else:
+        writer.u(1)
+        writer.s(instr.imm)
+    writer.u(0 if instr.imm2 is None else instr.imm2 + 1)
+    for symbolic in (instr.sym, instr.target):
+        if symbolic is None:
+            writer.u(0)
+        else:
+            writer.u(1)
+            writer.string_ref(symbolic)
+
+
 def _decode_machine_routine(reader: Reader) -> MachineRoutine:
     name = reader.string_ref()
     source_module = reader.string_ref()

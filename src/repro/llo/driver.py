@@ -67,6 +67,15 @@ class LloStats:
         self.stall_fills = 0
         self.peak_working_bytes = 0
 
+    def merge(self, other: "LloStats") -> None:
+        """Fold another code generator's counters into this one."""
+        self.routines += other.routines
+        self.instructions += other.instructions
+        self.spilled += other.spilled
+        self.stall_fills += other.stall_fills
+        if other.peak_working_bytes > self.peak_working_bytes:
+            self.peak_working_bytes = other.peak_working_bytes
+
     def __repr__(self) -> str:
         return "<LloStats routines=%d instrs=%d spilled=%d fills=%d>" % (
             self.routines,

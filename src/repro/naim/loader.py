@@ -47,6 +47,12 @@ class LoaderStats:
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
+    def merge(self, other: "LoaderStats") -> None:
+        """Fold another loader's counters into this one (cross-worker
+        aggregation)."""
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+
     def __repr__(self) -> str:
         return (
             "<LoaderStats touches=%d hits=%d compact=%d uncompact=%d "

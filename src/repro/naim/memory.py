@@ -147,6 +147,25 @@ class MemoryAccountant:
         """Record a named sample of the current total."""
         self.samples.append((label, self._total))
 
+    def merge(self, other: "MemoryAccountant") -> None:
+        """Fold a worker's accountant into this one.
+
+        Sequential-composition semantics: the other accountant's
+        activity is accounted as if it ran after ours, so merging
+        per-module worker accountants in source order reproduces
+        exactly the numbers a serial build would have reported --
+        deterministic regardless of the actual interleaving.
+        """
+        base = self._total
+        if base + other.peak > self.peak:
+            self.peak = base + other.peak
+        for (category, name), nbytes in other._usage.items():
+            key = (category, name)
+            self.set_usage(category, name, self._usage.get(key, 0) + nbytes)
+        self.samples.extend(
+            (label, base + total) for label, total in other.samples
+        )
+
     # -- Queries --------------------------------------------------------------
 
     @property

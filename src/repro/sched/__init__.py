@@ -1,0 +1,35 @@
+"""Build orchestration: task DAG, parallel executor, artifact cache,
+build-event tracing.
+
+The paper's framework makes cross-module optimization *scale*; this
+package makes the surrounding build scale the same way GCC's WHOPR
+does -- per-module frontend/codegen work is embarrassingly parallel,
+so the driver models a build as a task DAG (per-module compile tasks
+feeding one link task), dispatches ready tasks onto a worker pool, and
+memoizes compiled objects in a content-addressed artifact cache shared
+across build engines.  Every task emits structured build events that
+export as Chrome ``trace_event`` JSON.
+
+Layering: ``graph`` (pure DAG) <- ``executor`` (worker pool) and
+``artifacts``/``events`` (storage / telemetry); ``repro.driver`` wires
+them into :class:`~repro.driver.build.BuildEngine` and
+:meth:`~repro.driver.compiler.Compiler.build`.
+"""
+
+from .artifacts import ArtifactCache, CacheStats
+from .events import BuildEvent, EventLog
+from .executor import ExecutionOutcome, Executor, TaskError
+from .graph import Task, TaskGraph, TaskState
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "BuildEvent",
+    "EventLog",
+    "ExecutionOutcome",
+    "Executor",
+    "TaskError",
+    "Task",
+    "TaskGraph",
+    "TaskState",
+]

@@ -1,0 +1,176 @@
+"""The task executor: runs a :class:`TaskGraph` on a worker pool.
+
+``jobs=1`` is a pure serial loop (no threads, no locks on the hot
+path) and is the reference semantics; ``jobs>1`` dispatches ready
+tasks onto a ``ThreadPoolExecutor`` as their dependencies complete.
+Either way results land keyed by task id and consumers read them in
+graph insertion order, so parallel and serial builds observe the same
+result ordering -- the determinism the driver's byte-identical-output
+guarantee rests on.
+
+Failures never abort the whole run: a failing task cancels only its
+transitive dependents (via :meth:`TaskGraph.mark_failed`) and the
+executor keeps draining every task that remains runnable, so all
+diagnostics are collected in one pass.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Dict, List, Optional
+
+from .events import EventLog
+from .graph import Task, TaskGraph, TaskState
+
+
+class TaskError(Exception):
+    """One or more tasks failed; carries every collected diagnostic."""
+
+    def __init__(self, failures: Dict[str, BaseException],
+                 cancelled: List[str]) -> None:
+        self.failures = failures
+        self.cancelled = cancelled
+        inner = "; ".join(
+            "%s: %s" % (tid, exc) for tid, exc in failures.items()
+        )
+        super().__init__(
+            "%d task(s) failed (%d cancelled): %s"
+            % (len(failures), len(cancelled), inner)
+        )
+
+
+class ExecutionOutcome:
+    """Everything one executor run produced, in graph insertion order."""
+
+    def __init__(self) -> None:
+        #: task id -> result, for every DONE task.
+        self.results: Dict[str, object] = {}
+        #: task id -> exception, for every FAILED task.
+        self.failures: Dict[str, BaseException] = {}
+        #: ids cancelled because an ancestor failed.
+        self.cancelled: List[str] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_first(self) -> None:
+        """Re-raise the first failure (graph insertion order) verbatim."""
+        for exc in self.failures.values():
+            raise exc
+
+    def raise_all(self) -> None:
+        """Raise a :class:`TaskError` bundling every diagnostic."""
+        if self.failures:
+            raise TaskError(dict(self.failures), list(self.cancelled))
+
+    def __repr__(self) -> str:
+        return "<ExecutionOutcome %d done, %d failed, %d cancelled>" % (
+            len(self.results), len(self.failures), len(self.cancelled)
+        )
+
+
+class Executor:
+    """Runs task graphs with a configurable degree of parallelism."""
+
+    def __init__(self, jobs: int = 1,
+                 events: Optional[EventLog] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.events = events if events is not None else EventLog()
+
+    # -- Entry point -------------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> ExecutionOutcome:
+        graph.validate()
+        if self.jobs == 1:
+            self._run_serial(graph)
+        else:
+            self._run_parallel(graph)
+        # Report in graph insertion order, whatever the completion
+        # order was.
+        outcome = ExecutionOutcome()
+        for task_id, task in graph.tasks.items():
+            if task.state == TaskState.DONE:
+                outcome.results[task_id] = task.result
+            elif task.state == TaskState.FAILED:
+                assert task.error is not None
+                outcome.failures[task_id] = task.error
+            elif task.state == TaskState.CANCELLED:
+                outcome.cancelled.append(task_id)
+        return outcome
+
+    # -- Serial reference semantics ----------------------------------------------
+
+    def _run_serial(self, graph: TaskGraph) -> None:
+        while True:
+            ready = graph.ready()
+            if not ready:
+                break  # settled, or blocked behind failures
+            for task in ready:
+                graph.mark_running(task.task_id)
+                self._settle(graph, task, self._call(graph, task, worker=0))
+
+    # -- Worker-pool path --------------------------------------------------------
+
+    def _run_parallel(self, graph: TaskGraph) -> None:
+        lock = threading.Lock()
+        worker_ids: Dict[int, int] = {}
+
+        def current_worker() -> int:
+            ident = threading.get_ident()
+            with lock:
+                return worker_ids.setdefault(ident, len(worker_ids))
+
+        with ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="sched"
+        ) as pool:
+            in_flight = {}
+
+            def submit_ready() -> None:
+                for task in graph.ready():
+                    graph.mark_running(task.task_id)
+                    future = pool.submit(
+                        lambda t=task: self._call(graph, t, current_worker())
+                    )
+                    in_flight[future] = task
+
+            submit_ready()
+            while in_flight:
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    task = in_flight.pop(future)
+                    self._settle(graph, task, future.result())
+                submit_ready()
+
+    # -- Shared task plumbing ------------------------------------------------------
+
+    def _call(self, graph: TaskGraph, task: Task,
+              worker: int) -> Optional[BaseException]:
+        """Run one task body; returns the exception instead of raising.
+
+        The result is parked on ``task.result``; the graph state
+        machine advances in :meth:`_settle` (main thread only, so
+        graph mutation needs no locking).
+        """
+        # Dependencies are DONE before submission; reading their
+        # results is race-free.
+        inputs = {dep: graph.tasks[dep].result for dep in task.deps}
+        try:
+            with self.events.span(task.task_id, task.category, worker):
+                task.result = task.fn(inputs)
+            return None
+        except BaseException as exc:  # collected, not raised
+            return exc
+
+    def _settle(self, graph: TaskGraph, task: Task,
+                error: Optional[BaseException]) -> None:
+        if error is None:
+            graph.mark_done(task.task_id, task.result)
+        else:
+            graph.mark_failed(task.task_id, error)
+
+    def __repr__(self) -> str:
+        return "<Executor jobs=%d>" % self.jobs

@@ -1,0 +1,194 @@
+"""The build task DAG.
+
+A :class:`TaskGraph` models one build as named tasks with explicit
+dependencies: per-module frontend+codegen tasks feed a link task.  The
+graph owns state transitions and failure propagation -- a failing task
+cancels its transitive dependents *only*, so independent tasks still
+run and every diagnostic is collected -- while the executor decides
+when and where ready tasks actually run.
+
+Determinism contract: :meth:`TaskGraph.ready` always returns runnable
+tasks in task-insertion order, so a serial executor visits tasks in
+exactly the order a ``for`` loop over the sources would have.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class TaskState:
+    """Lifecycle of one task (plain constants, no enum ceremony)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class GraphError(Exception):
+    """Structural problem with a task graph (cycle, unknown dep...)."""
+
+
+class Task:
+    """One schedulable unit of build work.
+
+    ``fn`` receives a dict mapping each dependency id to that
+    dependency's result; its return value becomes this task's result.
+    ``category`` labels the task for tracing ("frontend", "compile",
+    "link"...).
+    """
+
+    __slots__ = ("task_id", "fn", "deps", "category", "state", "result",
+                 "error")
+
+    def __init__(
+        self,
+        task_id: str,
+        fn: Callable[[Dict[str, object]], object],
+        deps: List[str],
+        category: str = "task",
+    ) -> None:
+        self.task_id = task_id
+        self.fn = fn
+        self.deps = deps
+        self.category = category
+        self.state = TaskState.PENDING
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+    def __repr__(self) -> str:
+        return "<Task %s (%s, deps=%r)>" % (
+            self.task_id, self.state, self.deps
+        )
+
+
+class TaskGraph:
+    """A DAG of build tasks with topological dispatch."""
+
+    def __init__(self) -> None:
+        #: Insertion-ordered task table (drives deterministic dispatch).
+        self.tasks: Dict[str, Task] = {}
+        #: task id -> ids that depend on it (forward edges).
+        self._dependents: Dict[str, List[str]] = {}
+
+    # -- Construction ------------------------------------------------------------
+
+    def add(
+        self,
+        task_id: str,
+        fn: Callable[[Dict[str, object]], object],
+        deps: Optional[List[str]] = None,
+        category: str = "task",
+    ) -> Task:
+        if task_id in self.tasks:
+            raise GraphError("duplicate task id %r" % task_id)
+        deps = list(deps or [])
+        for dep in deps:
+            if dep not in self.tasks:
+                raise GraphError(
+                    "task %r depends on unknown task %r" % (task_id, dep)
+                )
+        task = Task(task_id, fn, deps, category)
+        self.tasks[task_id] = task
+        self._dependents[task_id] = []
+        for dep in deps:
+            self._dependents[dep].append(task_id)
+        return task
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.tasks
+
+    # -- Dispatch ----------------------------------------------------------------
+
+    def ready(self) -> List[Task]:
+        """Pending tasks whose dependencies are all DONE, in insertion
+        order."""
+        out = []
+        for task in self.tasks.values():
+            if task.state != TaskState.PENDING:
+                continue
+            if all(
+                self.tasks[dep].state == TaskState.DONE for dep in task.deps
+            ):
+                out.append(task)
+        return out
+
+    def is_settled(self) -> bool:
+        """True once every task is in a terminal state."""
+        return all(
+            task.state in TaskState.TERMINAL for task in self.tasks.values()
+        )
+
+    # -- State transitions -------------------------------------------------------
+
+    def mark_running(self, task_id: str) -> None:
+        self.tasks[task_id].state = TaskState.RUNNING
+
+    def mark_done(self, task_id: str, result: object) -> None:
+        task = self.tasks[task_id]
+        task.state = TaskState.DONE
+        task.result = result
+
+    def mark_failed(self, task_id: str, error: BaseException) -> List[str]:
+        """Fail a task and cancel its transitive dependents.
+
+        Returns the cancelled ids (insertion order).  Tasks not
+        downstream of the failure are untouched, so their diagnostics
+        are still collected.
+        """
+        task = self.tasks[task_id]
+        task.state = TaskState.FAILED
+        task.error = error
+        cancelled: List[str] = []
+        stack = list(self._dependents[task_id])
+        hit = set()
+        while stack:
+            dep_id = stack.pop()
+            if dep_id in hit:
+                continue
+            hit.add(dep_id)
+            stack.extend(self._dependents[dep_id])
+        for dep_id in self.tasks:  # insertion order
+            if dep_id in hit and (
+                self.tasks[dep_id].state == TaskState.PENDING
+            ):
+                self.tasks[dep_id].state = TaskState.CANCELLED
+                cancelled.append(dep_id)
+        return cancelled
+
+    # -- Queries -----------------------------------------------------------------
+
+    def in_state(self, state: str) -> List[Task]:
+        return [t for t in self.tasks.values() if t.state == state]
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` if the graph has a cycle."""
+        indegree = {tid: len(t.deps) for tid, t in self.tasks.items()}
+        queue = [tid for tid, deg in indegree.items() if deg == 0]
+        seen = 0
+        while queue:
+            tid = queue.pop()
+            seen += 1
+            for dep_id in self._dependents[tid]:
+                indegree[dep_id] -= 1
+                if indegree[dep_id] == 0:
+                    queue.append(dep_id)
+        if seen != len(self.tasks):
+            stuck = sorted(tid for tid, deg in indegree.items() if deg > 0)
+            raise GraphError("task graph has a cycle through %r" % (stuck,))
+
+    def __repr__(self) -> str:
+        by_state: Dict[str, int] = {}
+        for task in self.tasks.values():
+            by_state[task.state] = by_state.get(task.state, 0) + 1
+        inner = " ".join(
+            "%s=%d" % (state, count) for state, count in sorted(by_state.items())
+        )
+        return "<TaskGraph %d tasks (%s)>" % (len(self.tasks), inner)

@@ -1,0 +1,107 @@
+"""Unit tests for the content-addressed artifact cache."""
+
+import os
+
+import pytest
+
+from repro.sched.artifacts import ArtifactCache
+
+
+class TestKey:
+    def test_stable(self):
+        assert ArtifactCache.key("src", "mll", "+O2") == (
+            ArtifactCache.key("src", "mll", "+O2")
+        )
+
+    def test_every_component_participates(self):
+        base = ArtifactCache.key("src", "mll", "+O2", module="m")
+        assert ArtifactCache.key("src2", "mll", "+O2", module="m") != base
+        assert ArtifactCache.key("src", "mfl", "+O2", module="m") != base
+        assert ArtifactCache.key("src", "mll", "+O4", module="m") != base
+        assert ArtifactCache.key("src", "mll", "+O2", module="n") != base
+
+    def test_no_concatenation_collisions(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert ArtifactCache.key("ab", "c") != ArtifactCache.key("a", "bc")
+
+
+class TestLru:
+    def test_hit_miss_counters(self):
+        cache = ArtifactCache(max_bytes=1024)
+        key = ArtifactCache.key("s")
+        assert cache.get(key) is None
+        cache.put(key, b"artifact")
+        assert cache.get(key) == b"artifact"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate() == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = ArtifactCache(max_bytes=30)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"x" * 10)
+        cache.put("c", b"x" * 10)
+        cache.get("a")  # refresh a; b is now the oldest
+        cache.put("d", b"x" * 10)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+
+    def test_size_bound_respected(self):
+        cache = ArtifactCache(max_bytes=100)
+        for i in range(20):
+            cache.put("k%d" % i, b"y" * 30)
+        assert cache.total_bytes <= 100
+        assert len(cache) == 3
+
+    def test_replacing_entry_does_not_leak_bytes(self):
+        cache = ArtifactCache(max_bytes=100)
+        cache.put("k", b"a" * 40)
+        cache.put("k", b"b" * 10)
+        assert cache.total_bytes == 10
+        assert cache.get("k") == b"b" * 10
+
+    def test_oversized_artifact_still_stored(self):
+        cache = ArtifactCache(max_bytes=10)
+        cache.put("big", b"z" * 50)
+        assert cache.get("big") == b"z" * 50
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_bytes=0)
+
+
+class TestPersistence:
+    def test_round_trip_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        first = ArtifactCache(directory=directory)
+        first.put("deadbeef", b"object bytes")
+
+        second = ArtifactCache(directory=directory)
+        assert second.get("deadbeef") == b"object bytes"
+        assert second.stats.hits == 1
+
+    def test_eviction_removes_files(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ArtifactCache(max_bytes=20, directory=directory)
+        cache.put("aaaa", b"x" * 15)
+        cache.put("bbbb", b"x" * 15)
+        assert not os.path.exists(os.path.join(directory, "aaaa.art"))
+        assert os.path.exists(os.path.join(directory, "bbbb.art"))
+
+    def test_clear_removes_files(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ArtifactCache(directory=directory)
+        cache.put("cccc", b"data")
+        cache.clear()
+        assert len(cache) == 0
+        assert os.listdir(directory) == []
+
+    def test_foreign_files_ignored(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        os.makedirs(directory)
+        with open(os.path.join(directory, "README.txt"), "w") as handle:
+            handle.write("not an artifact")
+        cache = ArtifactCache(directory=directory)
+        assert len(cache) == 0

@@ -1,0 +1,91 @@
+"""Unit tests for build-event tracing and Chrome trace export."""
+
+import json
+
+from repro.sched.events import EventLog
+
+
+class TestSpans:
+    def test_span_records_duration_and_category(self):
+        log = EventLog()
+        with log.span("compile:m1", "compile", worker=2):
+            pass
+        (span,) = log.spans()
+        assert span.name == "compile:m1"
+        assert span.category == "compile"
+        assert span.worker == 2
+        assert span.dur_us >= 0
+
+    def test_span_on_exception_records_error(self):
+        log = EventLog()
+        try:
+            with log.span("compile:bad", "compile"):
+                raise RuntimeError("parse error")
+        except RuntimeError:
+            pass
+        (span,) = log.spans()
+        assert "parse error" in str(span.args["error"])
+        assert log.count(category="error") == 1
+
+    def test_instant_events_counted(self):
+        log = EventLog()
+        log.instant("cache_hit:m1", category="cache")
+        log.instant("cache_hit:m2", category="cache")
+        assert log.count(kind="instant", category="cache") == 2
+
+    def test_filtering_by_category(self):
+        log = EventLog()
+        with log.span("a", "compile"):
+            pass
+        with log.span("b", "link"):
+            pass
+        assert [e.name for e in log.spans("link")] == ["b"]
+
+
+class TestChromeTrace:
+    def _sample_log(self):
+        log = EventLog()
+        with log.span("compile:m1", "compile", worker=0):
+            pass
+        with log.span("link", "link", worker=1):
+            pass
+        log.instant("cache_hit:m2", category="cache", worker=1)
+        return log
+
+    def test_trace_is_json_serializable(self):
+        trace = self._sample_log().to_chrome_trace()
+        json.dumps(trace)  # must not raise
+
+    def test_trace_event_schema(self):
+        trace = self._sample_log().to_chrome_trace()
+        assert "traceEvents" in trace
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == 2
+        for record in spans:
+            assert {"name", "cat", "pid", "tid", "ts", "dur"} <= set(record)
+        instants = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+        assert len(instants) == 1
+
+    def test_worker_thread_metadata(self):
+        trace = self._sample_log().to_chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+        assert {m["args"]["name"] for m in meta} == {"worker-0", "worker-1"}
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        self._sample_log().write_chrome_trace(path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["traceEvents"]
+
+
+class TestSummary:
+    def test_summary_mentions_categories_and_hits(self):
+        log = EventLog()
+        with log.span("compile:m1", "compile"):
+            pass
+        log.instant("cache_hit:m1", category="cache")
+        text = log.summary()
+        assert "compile" in text
+        assert "cache hits: 1" in text
+        assert "slowest" in text

@@ -1,0 +1,136 @@
+"""Unit tests for the task executor (serial and worker-pool paths)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sched.events import EventLog
+from repro.sched.executor import Executor, TaskError
+from repro.sched.graph import TaskGraph
+
+
+def _const(value):
+    return lambda _inputs: value
+
+
+def _build_pipeline_graph():
+    """Three compiles feeding a link that sums them."""
+    graph = TaskGraph()
+    for i in range(3):
+        graph.add("compile:%d" % i, _const(i * 10), category="compile")
+
+    def link(inputs):
+        return sum(inputs.values())
+
+    graph.add("link", link, deps=["compile:0", "compile:1", "compile:2"],
+              category="link")
+    return graph
+
+
+class TestSerial:
+    def test_runs_to_completion(self):
+        outcome = Executor(jobs=1).run(_build_pipeline_graph())
+        assert outcome.ok
+        assert outcome.results["link"] == 30
+
+    def test_results_in_insertion_order(self):
+        outcome = Executor(jobs=1).run(_build_pipeline_graph())
+        assert list(outcome.results) == [
+            "compile:0", "compile:1", "compile:2", "link",
+        ]
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+
+class TestParallel:
+    def test_same_results_as_serial(self):
+        serial = Executor(jobs=1).run(_build_pipeline_graph())
+        parallel = Executor(jobs=4).run(_build_pipeline_graph())
+        assert serial.results == parallel.results
+        assert list(serial.results) == list(parallel.results)
+
+    def test_actually_overlaps_tasks(self):
+        """With enough workers, two sleeping tasks run concurrently."""
+        graph = TaskGraph()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def rendezvous(_inputs):
+            barrier.wait()  # deadlocks unless both run at once
+            return True
+
+        graph.add("a", rendezvous)
+        graph.add("b", rendezvous)
+        outcome = Executor(jobs=2).run(graph)
+        assert outcome.results == {"a": True, "b": True}
+
+    def test_dependency_results_visible(self):
+        graph = TaskGraph()
+        graph.add("producer", _const([1, 2, 3]))
+        graph.add("consumer", lambda inputs: sum(inputs["producer"]),
+                  deps=["producer"])
+        outcome = Executor(jobs=3).run(graph)
+        assert outcome.results["consumer"] == 6
+
+
+class TestFailures:
+    def _failing_graph(self):
+        graph = TaskGraph()
+
+        def boom(_inputs):
+            raise ValueError("frontend error in m1")
+
+        graph.add("compile:m0", _const("obj0"), category="compile")
+        graph.add("compile:m1", boom, category="compile")
+        graph.add("compile:m2", _const("obj2"), category="compile")
+        graph.add("link", lambda inputs: "exe",
+                  deps=["compile:m0", "compile:m1", "compile:m2"],
+                  category="link")
+        return graph
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_siblings_still_run_diagnostics_collected(self, jobs):
+        outcome = Executor(jobs=jobs).run(self._failing_graph())
+        assert not outcome.ok
+        assert list(outcome.failures) == ["compile:m1"]
+        assert isinstance(outcome.failures["compile:m1"], ValueError)
+        assert outcome.cancelled == ["link"]
+        # Healthy siblings completed despite the failure.
+        assert outcome.results["compile:m0"] == "obj0"
+        assert outcome.results["compile:m2"] == "obj2"
+
+    def test_raise_first_preserves_type(self):
+        outcome = Executor(jobs=1).run(self._failing_graph())
+        with pytest.raises(ValueError, match="frontend error"):
+            outcome.raise_first()
+
+    def test_raise_all_bundles(self):
+        outcome = Executor(jobs=1).run(self._failing_graph())
+        with pytest.raises(TaskError, match="1 task\\(s\\) failed"):
+            outcome.raise_all()
+
+
+class TestEvents:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_every_task_gets_a_span(self, jobs):
+        log = EventLog()
+        Executor(jobs=jobs, events=log).run(_build_pipeline_graph())
+        names = {event.name for event in log.spans()}
+        assert names == {"compile:0", "compile:1", "compile:2", "link"}
+
+    def test_failed_task_emits_error(self):
+        graph = TaskGraph()
+        graph.add("bad", lambda _inputs: 1 / 0)
+        log = EventLog()
+        Executor(jobs=1, events=log).run(graph)
+        assert log.count(category="error") >= 1
+
+    def test_spans_have_durations(self):
+        graph = TaskGraph()
+        graph.add("sleepy", lambda _inputs: time.sleep(0.01))
+        log = EventLog()
+        Executor(jobs=1, events=log).run(graph)
+        (span,) = log.spans()
+        assert span.dur_us >= 5_000

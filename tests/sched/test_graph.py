@@ -1,0 +1,97 @@
+"""Unit tests for the build task DAG."""
+
+import pytest
+
+from repro.sched.graph import GraphError, TaskGraph, TaskState
+
+
+def _noop(_inputs):
+    return None
+
+
+class TestConstruction:
+    def test_duplicate_id_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", _noop)
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add("a", _noop)
+
+    def test_unknown_dep_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(GraphError, match="unknown task"):
+            graph.add("a", _noop, deps=["ghost"])
+
+    def test_cycle_detected(self):
+        graph = TaskGraph()
+        graph.add("a", _noop)
+        graph.add("b", _noop, deps=["a"])
+        # Forge a cycle behind the API's back.
+        graph.tasks["a"].deps.append("b")
+        graph._dependents["b"].append("a")
+        with pytest.raises(GraphError, match="cycle"):
+            graph.validate()
+
+    def test_len_and_contains(self):
+        graph = TaskGraph()
+        graph.add("a", _noop)
+        graph.add("b", _noop, deps=["a"])
+        assert len(graph) == 2
+        assert "a" in graph and "c" not in graph
+
+
+class TestDispatch:
+    def test_ready_is_insertion_ordered(self):
+        graph = TaskGraph()
+        for name in ("c", "a", "b"):
+            graph.add(name, _noop)
+        assert [t.task_id for t in graph.ready()] == ["c", "a", "b"]
+
+    def test_dependent_not_ready_until_dep_done(self):
+        graph = TaskGraph()
+        graph.add("compile", _noop)
+        graph.add("link", _noop, deps=["compile"])
+        assert [t.task_id for t in graph.ready()] == ["compile"]
+        graph.mark_running("compile")
+        assert graph.ready() == []
+        graph.mark_done("compile", "obj")
+        assert [t.task_id for t in graph.ready()] == ["link"]
+
+    def test_settled(self):
+        graph = TaskGraph()
+        graph.add("a", _noop)
+        assert not graph.is_settled()
+        graph.mark_done("a", 1)
+        assert graph.is_settled()
+
+
+class TestFailurePropagation:
+    def _diamond(self):
+        """a, b independent; link depends on both; post depends on link."""
+        graph = TaskGraph()
+        graph.add("a", _noop)
+        graph.add("b", _noop)
+        graph.add("link", _noop, deps=["a", "b"])
+        graph.add("post", _noop, deps=["link"])
+        return graph
+
+    def test_failure_cancels_only_dependents(self):
+        graph = self._diamond()
+        cancelled = graph.mark_failed("a", ValueError("boom"))
+        assert cancelled == ["link", "post"]
+        # The sibling is untouched and still runnable.
+        assert [t.task_id for t in graph.ready()] == ["b"]
+        assert graph.tasks["b"].state == TaskState.PENDING
+
+    def test_failure_records_error(self):
+        graph = self._diamond()
+        error = ValueError("boom")
+        graph.mark_failed("a", error)
+        assert graph.tasks["a"].state == TaskState.FAILED
+        assert graph.tasks["a"].error is error
+
+    def test_transitive_cancellation_once(self):
+        graph = self._diamond()
+        graph.mark_failed("a", ValueError("x"))
+        # A second failure upstream of already-cancelled tasks does not
+        # re-cancel them.
+        assert graph.mark_failed("b", ValueError("y")) == []

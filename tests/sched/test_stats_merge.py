@@ -1,0 +1,81 @@
+"""Cross-worker stat aggregation: accountant / codegen / loader merges."""
+
+from repro.llo.driver import LloStats
+from repro.naim.loader import LoaderStats
+from repro.naim.memory import MemoryAccountant
+
+
+class TestMemoryAccountantMerge:
+    def test_sequential_composition_matches_serial(self):
+        """Merging worker accountants in order reproduces the numbers
+        one accountant doing all the work serially would report."""
+        serial = MemoryAccountant()
+        serial.set_usage("ir", "r1", 1000)
+        serial.set_usage("ir", "r1", 0)
+        serial.set_usage("ir", "r2", 700)
+
+        w1 = MemoryAccountant()
+        w1.set_usage("ir", "r1", 1000)
+        w1.set_usage("ir", "r1", 0)
+        w2 = MemoryAccountant()
+        w2.set_usage("ir", "r2", 700)
+
+        merged = MemoryAccountant()
+        merged.merge(w1)
+        merged.merge(w2)
+        assert merged.current == serial.current == 700
+        assert merged.peak == serial.peak == 1000
+
+    def test_merge_offsets_peak_by_current_base(self):
+        base = MemoryAccountant()
+        base.set_usage("global", "symtab", 500)
+        worker = MemoryAccountant()
+        worker.set_usage("llo", "r", 800)
+        worker.set_usage("llo", "r", 0)
+        base.merge(worker)
+        assert base.peak == 1300
+        assert base.current == 500
+
+    def test_merge_sums_overlapping_usage(self):
+        a = MemoryAccountant()
+        a.set_usage("ir", "pool", 100)
+        b = MemoryAccountant()
+        b.set_usage("ir", "pool", 50)
+        a.merge(b)
+        assert a.category_total("ir") == 150
+
+    def test_merge_rebases_samples(self):
+        a = MemoryAccountant()
+        a.set_usage("ir", "x", 100)
+        b = MemoryAccountant()
+        b.set_usage("ir", "y", 10)
+        b.mark("after-y")
+        a.merge(b)
+        assert ("after-y", 110) in a.samples
+
+
+class TestLloStatsMerge:
+    def test_counters_sum_peak_maxes(self):
+        a = LloStats()
+        a.routines, a.instructions, a.spilled = 2, 100, 3
+        a.stall_fills, a.peak_working_bytes = 5, 9000
+        b = LloStats()
+        b.routines, b.instructions, b.spilled = 1, 40, 1
+        b.stall_fills, b.peak_working_bytes = 2, 12000
+        a.merge(b)
+        assert (a.routines, a.instructions, a.spilled) == (3, 140, 4)
+        assert a.stall_fills == 7
+        assert a.peak_working_bytes == 12000
+
+
+class TestLoaderStatsMerge:
+    def test_all_counters_sum(self):
+        a = LoaderStats()
+        a.touches, a.cache_hits, a.offloads = 10, 4, 1
+        b = LoaderStats()
+        b.touches, b.cache_hits, b.repository_fetches = 5, 2, 3
+        a.merge(b)
+        assert a.touches == 15
+        assert a.cache_hits == 6
+        assert a.offloads == 1
+        assert a.repository_fetches == 3
