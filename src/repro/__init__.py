@@ -32,6 +32,7 @@ from .driver.selectivity import SelectivityPlan, plan_selectivity
 from .frontend import compile_source, compile_sources
 from .hlo.driver import HighLevelOptimizer, HloResult
 from .hlo.options import HloOptions
+from .incr import IncrementalState, IncrLinkReport, ModuleSummary
 from .interp import Interpreter, run_program
 from .ir import Module, Program, Routine
 from .linker.objects import ObjectFile
@@ -63,6 +64,9 @@ __all__ = [
     "HighLevelOptimizer",
     "HloResult",
     "HloOptions",
+    "IncrementalState",
+    "IncrLinkReport",
+    "ModuleSummary",
     "Interpreter",
     "run_program",
     "Module",

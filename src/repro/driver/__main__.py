@@ -27,6 +27,7 @@ from ..frontend import compile_source, detect_language
 from ..ir.printer import format_module
 from ..naim.memory import fmt_bytes
 from ..sched.events import EventLog
+from .build import BuildEngine
 from .compiler import Compiler, train as train_profile
 from .options import CompilerOptions
 from ..profiles.database import ProfileDatabase
@@ -87,11 +88,25 @@ def cmd_build(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     events = EventLog()
-    build = Compiler(options).build(sources, profile_db=profile_db,
-                                    jobs=args.jobs, events=events)
+    incremental = args.incremental or args.state_dir is not None
+    if incremental:
+        engine = BuildEngine(options, jobs=args.jobs, events=events,
+                             incremental=True, state_dir=args.state_dir)
+        build, report = engine.build(sources, profile_db=profile_db)
+    else:
+        build = Compiler(options).build(sources, profile_db=profile_db,
+                                        jobs=args.jobs, events=events)
     print("build %s: %d modules, %d lines -> %d machine instrs (%.2fs)"
           % (options.describe(), len(sources), build.source_lines,
              build.executable.code_size(), build.timings.total()))
+    if incremental:
+        print("incremental: %d objects recompiled, %d reused"
+              % (len(report.recompiled), len(report.reused)))
+        if build.incr_report is not None:
+            print("incremental cmo: %d modules reused, %d reoptimized "
+                  "(changed: %s)"
+                  % (len(report.cmo_reused), len(report.cmo_reoptimized),
+                     ", ".join(build.incr_report.changed_modules) or "-"))
     if args.jobs > 1:
         print("jobs: %d workers, %d tasks" % (args.jobs,
                                               len(events.spans())))
@@ -157,6 +172,16 @@ def main(argv=None) -> int:
     _add_common(build_parser)
     build_parser.add_argument("--run", action="store_true",
                               help="execute the image after linking")
+    build_parser.add_argument(
+        "--incremental", action="store_true",
+        help="summary-based incremental CMO: reuse cached per-module "
+             "codegen when consumed cross-module facts are unchanged",
+    )
+    build_parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="persist incremental state (objects, summaries, codegen "
+             "cache) in DIR across runs; implies --incremental",
+    )
     build_parser.set_defaults(func=cmd_build)
 
     train_parser = subparsers.add_parser(

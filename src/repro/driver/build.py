@@ -41,26 +41,44 @@ from .options import CompilerOptions
 
 
 class RebuildReport:
-    """Which modules were recompiled vs reused on one build."""
+    """Which modules were recompiled vs reused on one build.
+
+    ``recompiled``/``reused``/``removed`` track the make-level object
+    step (frontend + fat-object emission).  Under incremental CMO the
+    ``cmo_*`` fields additionally track the link-time optimization
+    step: which CMO modules re-ran the scalar pipeline + codegen vs
+    splicing cached machine code, and which the dependency graph
+    predicted would be dirty.
+    """
 
     def __init__(self) -> None:
         self.recompiled: List[str] = []
         self.reused: List[str] = []
         self.removed: List[str] = []
+        self.cmo_reused: List[str] = []
+        self.cmo_reoptimized: List[str] = []
+        self.cmo_predicted_dirty: List[str] = []
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RebuildReport):
             return NotImplemented
         return (self.recompiled == other.recompiled
                 and self.reused == other.reused
-                and self.removed == other.removed)
+                and self.removed == other.removed
+                and self.cmo_reused == other.cmo_reused
+                and self.cmo_reoptimized == other.cmo_reoptimized)
 
     def __repr__(self) -> str:
-        return "<RebuildReport recompiled=%d %r reused=%d %r removed=%d %r>" % (
+        text = "<RebuildReport recompiled=%d %r reused=%d %r removed=%d %r" % (
             len(self.recompiled), self.recompiled,
             len(self.reused), self.reused,
             len(self.removed), self.removed,
         )
+        if self.cmo_reused or self.cmo_reoptimized:
+            text += " cmo_reused=%d cmo_reoptimized=%d" % (
+                len(self.cmo_reused), len(self.cmo_reoptimized)
+            )
+        return text + ">"
 
 
 class BuildError(TaskError):
@@ -85,6 +103,15 @@ class BuildEngine:
     workspace).  ``jobs`` sets the compile-task worker count (or pass
     a preconfigured ``scheduler``); ``artifact_cache`` plugs in a
     shared content-addressed object store.
+
+    ``incremental=True`` turns on summary-based incremental CMO: the
+    link records per-module summaries, dependency edges and codegen
+    blobs in an :class:`~repro.incr.IncrementalState`, so editing one
+    module re-optimizes only the modules whose consumed cross-module
+    facts changed -- byte-identical to a clean build.  ``state_dir``
+    persists that state (plus objects, unless ``object_dir`` is given)
+    across processes; without it the state lives in memory for the
+    engine's lifetime.
     """
 
     def __init__(
@@ -95,10 +122,24 @@ class BuildEngine:
         artifact_cache: Optional[ArtifactCache] = None,
         scheduler: Optional[Executor] = None,
         events: Optional[EventLog] = None,
+        incremental: bool = False,
+        state_dir: Optional[str] = None,
     ) -> None:
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+            if object_dir is None:
+                object_dir = os.path.join(state_dir, "objects")
         self.compiler = Compiler(options or CompilerOptions(opt_level=4))
         self.object_dir = object_dir
         self.artifact_cache = artifact_cache
+        self.incr_state = None
+        if incremental or state_dir is not None:
+            from ..incr.state import IncrementalState
+
+            self.incr_state = IncrementalState(
+                directory=os.path.join(state_dir, "incr-cmo")
+                if state_dir is not None else None
+            )
         if scheduler is not None:
             self.scheduler = scheduler
         else:
@@ -235,7 +276,8 @@ class BuildEngine:
 
         def link(inputs):
             objects = [inputs[task_id][0] for task_id in compile_ids]
-            return self.compiler.link(objects, profile_db)
+            return self.compiler.link(objects, profile_db,
+                                      incr_state=self.incr_state)
 
         graph.add("link", link, deps=compile_ids, category="link")
         outcome = self.scheduler.run(graph)
@@ -255,6 +297,12 @@ class BuildEngine:
             raise BuildError(outcome.failures, outcome.cancelled, report)
 
         result: BuildResult = outcome.results["link"]
+        if result.incr_report is not None:
+            report.cmo_reused = list(result.incr_report.reused)
+            report.cmo_reoptimized = list(result.incr_report.reoptimized)
+            report.cmo_predicted_dirty = list(
+                result.incr_report.predicted_dirty
+            )
         # Fold per-worker codegen stats into the linked result.
         for name in sources:
             _obj, _how, accountant, llo_stats = (

@@ -86,6 +86,13 @@ class BuildResult:
         self.interface_problems: List[str] = []
         self.source_lines = 0
         self.options_used = ""
+        #: Incremental-CMO outcome (an :class:`repro.incr.IncrLinkReport`)
+        #: when the link ran with an IncrementalState; None otherwise.
+        self.incr_report = None
+        #: CMO modules whose codegen came from the incremental cache.
+        self.cmo_reused_modules: List[str] = []
+        #: CMO modules re-optimized (scalar pipeline + LLO) this link.
+        self.cmo_reoptimized_modules: List[str] = []
 
     def run(self, inputs=None, cost_model=None,
             max_instructions: int = 200_000_000) -> MachineResult:
@@ -299,13 +306,20 @@ class Compiler:
         self,
         objects: List[ObjectFile],
         profile_db: Optional[ProfileDatabase] = None,
+        incr_state=None,
     ) -> BuildResult:
-        """Link previously compiled objects (the `ld` step)."""
+        """Link previously compiled objects (the `ld` step).
+
+        ``incr_state`` (an :class:`repro.incr.IncrementalState`)
+        enables summary-based incremental CMO: modules whose consumed
+        cross-module facts are unchanged reuse cached codegen, with
+        byte-identical output.
+        """
         result = BuildResult()
         result.options_used = self.options.describe()
         result.objects = list(objects)
         result.source_lines = sum(o.source_lines for o in objects)
-        self.link_into(objects, profile_db, result)
+        self.link_into(objects, profile_db, result, incr_state=incr_state)
         return result
 
     # -- The link pipeline -------------------------------------------------------------
@@ -315,6 +329,7 @@ class Compiler:
         objects: List[ObjectFile],
         profile_db: Optional[ProfileDatabase],
         result: BuildResult,
+        incr_state=None,
     ) -> None:
         options = self.options
         accountant = result.accountant
@@ -367,6 +382,7 @@ class Compiler:
                         code_objects,
                         use_db,
                         result,
+                        incr_state=incr_state,
                     )
                 )
 
@@ -440,10 +456,26 @@ class Compiler:
         code_objects: List[ObjectFile],
         profile_db: Optional[ProfileDatabase],
         result: BuildResult,
+        incr_state=None,
     ) -> List[MachineRoutine]:
-        """Route the CMO module set through HLO, then LLO each routine."""
+        """Route the CMO module set through HLO, then LLO each routine.
+
+        With ``incr_state``, module summaries are fingerprinted before
+        HLO, consumption is recorded during it, and codegen splices
+        cached machine routines (in unit order, so layout is
+        unchanged) for every module whose reuse key hit.
+        """
         options = self.options
         accountant = result.accountant
+
+        incr_session = None
+        if incr_state is not None:
+            from ..incr.summary import options_fingerprint
+
+            with _Timer(result.timings, "incr_summaries"):
+                incr_session = incr_state.begin_link(
+                    cmo_modules, options_fingerprint(options)
+                )
 
         externally_callable: Set[str] = set()
         externally_visible_globals: Set[str] = set()
@@ -476,6 +508,7 @@ class Compiler:
                 accountant=accountant,
                 externally_callable=externally_callable,
                 externally_visible_globals=externally_visible_globals,
+                incr_session=incr_session,
             )
             selected: Optional[Set[str]] = None
             if result.plan is not None and (
@@ -495,15 +528,38 @@ class Compiler:
             )
             machines: List[MachineRoutine] = []
             unit = hlo_result.unit
+            cached = (
+                incr_session.cached_machines if incr_session is not None
+                else {}
+            )
+            fresh_by_module: Dict[str, List[MachineRoutine]] = {}
+            # One pass in unit order: cached and fresh routines splice
+            # into the same positions a clean build would give them, so
+            # layout (and hence the image bytes) is unaffected by reuse.
             for name in unit.routine_names():
+                module_name = unit.routine_module.get(name, "")
+                if module_name in cached:
+                    machine = cached[module_name].get(name)
+                    if machine is not None:
+                        machines.append(machine)
+                    unit.unload(name)
+                    continue
                 routine = unit.routine(name)
                 if routine is None:
                     continue
-                machines.append(
-                    llo.compile_routine(routine, hlo_result.views.get(name))
+                machine = llo.compile_routine(
+                    routine, hlo_result.views.get(name)
                 )
+                machines.append(machine)
+                fresh_by_module.setdefault(module_name, []).append(machine)
                 unit.unload(name)
             result.llo_stats = llo.stats
+
+        if incr_session is not None:
+            incr_session.fresh_machines = fresh_by_module
+            result.incr_report = incr_state.commit(incr_session)
+            result.cmo_reused_modules = result.incr_report.reused
+            result.cmo_reoptimized_modules = result.incr_report.reoptimized
         return machines
 
     # -- Instrumented builds (+I) -----------------------------------------------------

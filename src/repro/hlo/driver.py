@@ -163,6 +163,9 @@ class HloResult:
         self.clones = clones
         #: Peak modeled bytes observed during the HLO phase.
         self.peak_bytes = 0
+        #: Modules whose scalar pipeline + codegen are served from the
+        #: incremental cache (empty without an incremental session).
+        self.reused_modules: Set[str] = set()
 
     @property
     def views(self) -> Dict[str, ProfileView]:
@@ -198,6 +201,7 @@ class HighLevelOptimizer:
         accountant: Optional[MemoryAccountant] = None,
         externally_callable: Optional[Set[str]] = None,
         externally_visible_globals: Optional[Set[str]] = None,
+        incr_session=None,
     ) -> None:
         self.program = program
         self.options = options or HloOptions()
@@ -208,6 +212,11 @@ class HighLevelOptimizer:
         #: Routines callable from outside the CMO set (selective mode).
         self.externally_callable = set(externally_callable or ())
         self.externally_visible_globals = set(externally_visible_globals or ())
+        #: Incremental-CMO session (:class:`repro.incr.IncrLinkSession`).
+        #: When present, the driver records summary consumption and
+        #: skips the scalar pipeline for modules whose post-inline
+        #: reuse key matches a cached codegen blob.
+        self.incr_session = incr_session
 
     # -- Main entry ---------------------------------------------------------------
 
@@ -224,10 +233,16 @@ class HighLevelOptimizer:
         program = self.program
         options = self.options
 
+        incr = self.incr_session
+
         # Phase 0: dead-function elimination on the whole-program view.
         removed: List[str] = []
         if options.dead_function_elim_enabled and not self.externally_callable:
-            removed = eliminate_dead_functions(program)
+            removal_log: Dict[str, List[str]] = {}
+            removed = eliminate_dead_functions(program,
+                                               removal_log=removal_log)
+            if incr is not None and removal_log:
+                incr.record_dfe(removal_log)
 
         symtab = program.symtab
         loader = Loader(
@@ -274,7 +289,7 @@ class HighLevelOptimizer:
             selected = set(selected_routines) & set(all_names)
 
         # Phase 2: interprocedural constant facts.
-        publish_interprocedural_facts(
+        bound = publish_interprocedural_facts(
             ctx,
             all_names,
             unit.routine,
@@ -286,6 +301,8 @@ class HighLevelOptimizer:
         )
         for name in all_names:
             unit.unload(name)
+        if incr is not None and bound:
+            incr.record_ipcp_edges(bound, callgraph, unit.routine_module)
         accountant.mark("ipcp")
 
         # Phase 3: procedure cloning (selected callers only).
@@ -322,11 +339,32 @@ class HighLevelOptimizer:
         inline_stats = engine.run(inline_order)
         accountant.mark("inlined")
 
+        # Phase 4.5 (incremental only): fingerprint each module's exact
+        # post-inline state -- bodies, views, consumed interprocedural
+        # facts -- and splice in cached codegen for key matches.  The
+        # whole-program phases above always re-run (they are the thin
+        # link); only the per-module phases below are skippable.
+        reused_modules: Set[str] = set()
+        if incr is not None:
+            from ..incr.summary import compute_module_keys
+
+            incr.record_inline_edges(inline_stats, unit.routine_module)
+            keys, consumed = compute_module_keys(
+                unit, ctx, selected, set(clones), incr.options_fp
+            )
+            incr.record_consumption(consumed, unit.routine_module, symtab)
+            reused_modules = incr.decide_reuse(keys)
+            accountant.mark("summarized")
+
         # Phase 5: scalar pipeline over selected routines (fine-grained
-        # selectivity: everything else stays unloaded).
+        # selectivity: everything else stays unloaded).  Modules being
+        # reused from the incremental cache skip it entirely -- their
+        # cached machine code already reflects this pipeline's output.
         pipeline = standard_pipeline()
         for name in all_names + clones:
             if name not in selected and name not in clones:
+                continue
+            if unit.routine_module.get(name) in reused_modules:
                 continue
             routine = unit.routine(name)
             if routine is None:
@@ -353,6 +391,7 @@ class HighLevelOptimizer:
             clones=clones,
         )
         result.peak_bytes = hlo_peak
+        result.reused_modules = reused_modules
         return result
 
     # -- Helpers ---------------------------------------------------------------------

@@ -29,8 +29,14 @@ def reachable_routines(program: Program, roots=None) -> Set[str]:
     return seen
 
 
-def eliminate_dead_functions(program: Program, roots=None) -> List[str]:
-    """Delete unreachable routines; returns the removed names."""
+def eliminate_dead_functions(
+    program: Program, roots=None, removal_log=None
+) -> List[str]:
+    """Delete unreachable routines; returns the removed names.
+
+    ``removal_log`` (a dict) receives module -> removed names, which
+    the incremental engine records as dead-import elisions.
+    """
     graph = program.callgraph()
     if roots is None and ENTRY_NAME not in graph.nodes:
         return []  # no entry: a library; keep everything
@@ -42,6 +48,8 @@ def eliminate_dead_functions(program: Program, roots=None) -> List[str]:
             del module.routines[name]
             module.symtab.routine_names.remove(name)
             removed.append(name)
+        if dead and removal_log is not None:
+            removal_log[module.name] = dead
     if removed:
         program.invalidate()
     return removed

@@ -48,6 +48,9 @@ class InlineStats:
         self.module_pairs: Dict[Tuple[str, str], int] = {}
         #: Loader-locality trace: callee modules in execution order.
         self.callee_module_trace: List[str] = []
+        #: Summary consumption: caller module -> callee routines whose
+        #: bodies it spliced in (the incremental engine's inline edges).
+        self.consumed_bodies: Dict[str, set] = {}
 
     def record(self, caller_module: str, callee_module: str,
                caller: str = "", callee: str = "") -> None:
@@ -56,6 +59,8 @@ class InlineStats:
         key = (caller_module, callee_module)
         self.module_pairs[key] = self.module_pairs.get(key, 0) + 1
         self.callee_module_trace.append(callee_module)
+        if callee:
+            self.consumed_bodies.setdefault(caller_module, set()).add(callee)
 
     def cross_module_count(self) -> int:
         return sum(

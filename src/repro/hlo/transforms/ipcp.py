@@ -129,6 +129,7 @@ def publish_interprocedural_facts(
     all_global_names: Iterable[str],
     externally_callable: "frozenset[str]" = frozenset(),
     externally_visible_globals: "frozenset[str]" = frozenset(),
+    fact_log: Optional[Dict[str, List[Optional[int]]]] = None,
 ) -> Dict[str, int]:
     """Fill ctx.readonly_globals / ctx.const_returns; bind const params.
 
@@ -138,6 +139,11 @@ def publish_interprocedural_facts(
     are suppressed for ``externally_callable`` routines and
     ``externally_visible_globals`` symbols (referenced by non-CMO
     objects).  Returns {routine_name: n params bound}.
+
+    ``fact_log`` (a dict) receives routine -> the per-parameter
+    constants materialized into it -- the lattice facts the routine's
+    module consumed from its callers, recorded for the incremental
+    engine's dependency edges.
     """
     bound: Dict[str, int] = {}
     if not ctx.options.ipcp_enabled:
@@ -168,6 +174,8 @@ def publish_interprocedural_facts(
             if count:
                 bound[name] = count
                 ctx.stats.bump("ipcp_params", count)
+                if fact_log is not None:
+                    fact_log[name] = list(constants)
 
     for name in routine_names:
         routine = resolve(name)

@@ -1,0 +1,318 @@
+"""Persistent incremental-CMO state and the per-link session.
+
+:class:`IncrementalState` owns everything that survives between
+builds, stored in a NAIM :class:`~repro.naim.repository.Repository`
+(in-memory, or on disk next to the artifact cache):
+
+* the previous build's :class:`ModuleSummary` per CMO module,
+* the recorded :class:`CrossModuleDeps` edge set,
+* each module's post-inline reuse key, and
+* one cached codegen blob (machine routines) per reuse key.
+
+:class:`IncrLinkSession` is the scratchpad for one link: the compiler
+driver opens it with the current module set, the HLO driver records
+consumption edges and decides reuse against the cached blobs, the
+codegen loop splices cached/fresh machine routines, and ``commit``
+atomically replaces the persistent state and prunes stale blobs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set
+
+from ..linker.objects import (
+    decode_machine_routines,
+    encode_machine_routines,
+)
+from ..naim.repository import Repository
+from ..sched.artifacts import PIPELINE_EPOCH
+from .depgraph import (
+    KIND_FACT,
+    KIND_GLOBAL,
+    KIND_INLINE,
+    KIND_IPCP,
+    CrossModuleDeps,
+)
+from .summary import SUMMARY_FORMAT, ModuleSummary
+
+_INDEX_KIND = "incr"
+_INDEX_NAME = "index"
+_MACHINE_KIND = "mach"
+
+
+class IncrLinkReport:
+    """What one incremental link did, for humans and benchmarks."""
+
+    def __init__(self) -> None:
+        self.first_build = False
+        #: Modules whose source-level summary changed since last build.
+        self.changed_modules: List[str] = []
+        #: Dep-graph prediction of what would need re-optimization.
+        self.predicted_dirty: List[str] = []
+        #: Modules whose cached codegen was spliced in unchanged.
+        self.reused: List[str] = []
+        #: Modules that went through the scalar pipeline + LLO again.
+        self.reoptimized: List[str] = []
+        #: Dependency-edge counts by kind, as recorded this build.
+        self.edge_counts: Dict[str, int] = {}
+        #: Routines dropped by dead-function elimination, per module.
+        self.dfe_removed: Dict[str, List[str]] = {}
+
+    def reuse_fraction(self) -> float:
+        total = len(self.reused) + len(self.reoptimized)
+        return len(self.reused) / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return ("<IncrLinkReport reused=%d reoptimized=%d changed=%r "
+                "predicted=%r%s>") % (
+            len(self.reused), len(self.reoptimized),
+            self.changed_modules, self.predicted_dirty,
+            " first-build" if self.first_build else "",
+        )
+
+
+class IncrLinkSession:
+    """Mutable per-link record threaded through the CMO pipeline."""
+
+    def __init__(self, state: "IncrementalState", options_fp: str) -> None:
+        self.state = state
+        self.options_fp = options_fp
+        #: Current build's summaries (module name -> ModuleSummary).
+        self.summaries: Dict[str, ModuleSummary] = {}
+        self.changed_modules: List[str] = []
+        self.predicted_dirty: List[str] = []
+        self.first_build = False
+        #: Edges recorded while HLO runs.
+        self.deps = CrossModuleDeps()
+        #: Post-inline reuse key per module.
+        self.module_keys: Dict[str, str] = {}
+        #: Modules whose cached codegen will be spliced in.
+        self.reused_modules: Set[str] = set()
+        #: module -> routine name -> MachineRoutine (decoded cache hits).
+        self.cached_machines: Dict[str, Dict[str, object]] = {}
+        #: module -> machine routines in unit order (fresh codegen).
+        self.fresh_machines: Dict[str, List[object]] = {}
+        self.dfe_removed: Dict[str, List[str]] = {}
+
+    # -- Recording hooks (called from the HLO driver) ------------------------------
+
+    def record_inline_edges(self, inline_stats, routine_module) -> None:
+        """Inlines performed: caller's module consumed callee's body."""
+        for caller, callee in inline_stats.performed_list:
+            caller_module = routine_module.get(caller)
+            callee_module = routine_module.get(callee)
+            if caller_module and callee_module:
+                self.deps.add(caller_module, callee_module, KIND_INLINE,
+                              item=callee)
+
+    def record_ipcp_edges(self, bound: Dict[str, int], callgraph,
+                          routine_module) -> None:
+        """Constants propagated: callee's module consumed caller facts."""
+        for routine_name in bound:
+            consumer = routine_module.get(routine_name)
+            node = callgraph.nodes.get(routine_name)
+            if consumer is None or node is None:
+                continue
+            for caller in node.caller_names:
+                producer = routine_module.get(caller)
+                if producer:
+                    self.deps.add(consumer, producer, KIND_IPCP,
+                                  item=routine_name)
+
+    def record_consumption(self, consumed, routine_module, symtab) -> None:
+        """Fact-slice edges from the reuse-key computation.
+
+        ``consumed`` maps module -> :class:`ConsumedFacts`; callee
+        facts (mod/ref, constant returns) and foreign globals
+        (readonly promotion, initializers) become edges to the
+        producing module.
+        """
+        for module_name, facts in consumed.items():
+            for callee in sorted(facts.callees):
+                producer = routine_module.get(callee)
+                if producer:
+                    self.deps.add(module_name, producer, KIND_FACT,
+                                  item=callee)
+            for global_name in sorted(facts.globals):
+                if symtab.has_global(global_name):
+                    producer = symtab.lookup_global(global_name).defining_module
+                    if producer:
+                        self.deps.add(module_name, producer, KIND_GLOBAL,
+                                      item=global_name)
+
+    def record_dfe(self, removed_by_module: Dict[str, List[str]]) -> None:
+        self.dfe_removed = dict(removed_by_module)
+
+    # -- Reuse decision -------------------------------------------------------------
+
+    def decide_reuse(self, module_keys: Dict[str, str]) -> Set[str]:
+        """Modules whose cached codegen blob matches the exact key.
+
+        The blob is decoded *now*: a module is only reused once its
+        machine routines are in hand, so a corrupt or missing blob
+        degrades to a fresh compile instead of a broken skip.
+        """
+        self.module_keys = dict(module_keys)
+        self.reused_modules = set()
+        self.cached_machines = {}
+        for module_name, key in module_keys.items():
+            machines = self.state.load_machines(key)
+            if machines is None:
+                continue
+            self.reused_modules.add(module_name)
+            self.cached_machines[module_name] = {
+                machine.name: machine for machine in machines
+            }
+        return self.reused_modules
+
+
+class IncrementalState:
+    """Summary/dep/codegen state persisted across CMO links."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.repository = Repository(
+            directory=directory, in_memory=directory is None
+        )
+        #: Previous build's summaries, serialized form.
+        self.summaries: Dict[str, dict] = {}
+        self.deps = CrossModuleDeps()
+        self.module_keys: Dict[str, str] = {}
+        self.options_fp = ""
+        self.last_report: Optional[IncrLinkReport] = None
+        if directory is not None:
+            self.repository.reindex()
+        self._load_index()
+
+    # -- Index persistence ----------------------------------------------------------
+
+    def _load_index(self) -> None:
+        if not self.repository.contains(_INDEX_KIND, _INDEX_NAME):
+            return
+        try:
+            data = json.loads(
+                self.repository.fetch(_INDEX_KIND, _INDEX_NAME).decode("utf-8")
+            )
+        except Exception:
+            return  # unreadable state: behave like a first build
+        if data.get("epoch") != PIPELINE_EPOCH or (
+            data.get("format") != SUMMARY_FORMAT
+        ):
+            return  # older compiler version: invalidate wholesale
+        self.summaries = data.get("summaries", {})
+        self.deps = CrossModuleDeps.from_list(data.get("deps", []))
+        self.module_keys = data.get("module_keys", {})
+        self.options_fp = data.get("options_fp", "")
+
+    def _save_index(self) -> None:
+        data = {
+            "epoch": PIPELINE_EPOCH,
+            "format": SUMMARY_FORMAT,
+            "options_fp": self.options_fp,
+            "summaries": self.summaries,
+            "deps": self.deps.to_list(),
+            "module_keys": self.module_keys,
+        }
+        self.repository.store(
+            _INDEX_KIND, _INDEX_NAME,
+            json.dumps(data, sort_keys=True).encode("utf-8"),
+        )
+
+    # -- Machine-code blobs -----------------------------------------------------------
+
+    def load_machines(self, key: str) -> Optional[list]:
+        if not self.repository.contains(_MACHINE_KIND, key):
+            return None
+        try:
+            return decode_machine_routines(
+                self.repository.fetch(_MACHINE_KIND, key)
+            )
+        except Exception:
+            self.repository.discard(_MACHINE_KIND, key)
+            return None
+
+    def store_machines(self, key: str, machines: list) -> None:
+        self.repository.store(
+            _MACHINE_KIND, key, encode_machine_routines(machines)
+        )
+
+    # -- Session lifecycle ------------------------------------------------------------
+
+    def begin_link(self, modules, options_fp: str) -> IncrLinkSession:
+        """Open a session for one link of ``modules`` (pre-HLO copies)."""
+        session = IncrLinkSession(self, options_fp)
+        session.summaries = {
+            module.name: ModuleSummary.from_module(module)
+            for module in modules
+        }
+        previous_fps = {
+            name: ModuleSummary.from_dict(data).fingerprint()
+            for name, data in self.summaries.items()
+        }
+        session.first_build = (
+            not previous_fps or options_fp != self.options_fp
+        )
+        changed = [
+            name for name, summary in session.summaries.items()
+            if previous_fps.get(name) != summary.fingerprint()
+        ]
+        dropped = [
+            name for name in previous_fps if name not in session.summaries
+        ]
+        session.changed_modules = sorted(changed)
+        if session.first_build:
+            session.predicted_dirty = sorted(session.summaries)
+        else:
+            dirty = self.deps.dirty_modules(changed + dropped)
+            session.predicted_dirty = sorted(
+                dirty & set(session.summaries)
+            )
+        return session
+
+    def commit(self, session: IncrLinkSession) -> IncrLinkReport:
+        """Persist the session's outcome; returns the link report."""
+        for module_name, machines in session.fresh_machines.items():
+            key = session.module_keys.get(module_name)
+            if key is not None:
+                self.store_machines(key, machines)
+
+        self.summaries = {
+            name: summary.to_dict()
+            for name, summary in session.summaries.items()
+        }
+        self.deps = session.deps
+        self.module_keys = dict(session.module_keys)
+        self.options_fp = session.options_fp
+        self._save_index()
+        self._prune_machines()
+
+        report = IncrLinkReport()
+        report.first_build = session.first_build
+        report.changed_modules = session.changed_modules
+        report.predicted_dirty = session.predicted_dirty
+        report.reused = sorted(session.reused_modules)
+        report.reoptimized = sorted(
+            name for name in session.module_keys
+            if name not in session.reused_modules
+        )
+        report.edge_counts = session.deps.by_kind()
+        report.dfe_removed = session.dfe_removed
+        self.last_report = report
+        return report
+
+    def _prune_machines(self) -> None:
+        """Drop codegen blobs no current module key references."""
+        live = set(self.module_keys.values())
+        for kind, name in list(self.repository._known):
+            if kind == _MACHINE_KIND and name not in live:
+                self.repository.discard(kind, name)
+
+    def close(self) -> None:
+        self.repository.close()
+
+    def __repr__(self) -> str:
+        return "<IncrementalState %d modules, %d deps, %d cached blobs>" % (
+            len(self.summaries), len(self.deps),
+            sum(1 for kind, _ in self.repository._known
+                if kind == _MACHINE_KIND),
+        )

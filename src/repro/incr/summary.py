@@ -1,0 +1,274 @@
+"""Module summaries and reuse fingerprints for incremental CMO.
+
+Two layers of fingerprinting drive the incremental engine:
+
+* **Source-level summaries** (:class:`ModuleSummary`) are emitted per
+  module before HLO runs: exported routine signatures, body hashes of
+  every (potentially inlinable) routine, and global-variable shapes.
+  Comparing them against the previous build's summaries yields the
+  *changed* module set, which the dependency graph turns into a
+  cheap prediction of what will need re-optimization.
+
+* **Reuse keys** (:func:`compute_module_keys`) are exact per-module
+  fingerprints taken *after* the whole-program phases (DFE, IPCP,
+  cloning, inlining) but before the scalar pipeline and code
+  generation.  The key covers everything those two expensive phases
+  can observe about a module -- post-inline routine bodies, profile
+  views, selectivity membership, and the interprocedural fact slice
+  (callee mod/ref + constant returns, readonly globals and their
+  initializers).  Equal key therefore implies byte-identical machine
+  code, so cached codegen output can be spliced in unchanged.  This
+  is the WHOPR-style split: the cheap "thin link" analysis re-runs
+  every build; only per-module optimization and codegen are skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Set, Tuple
+
+from ..ir.module import Module
+from ..ir.routine import Routine
+from ..ir.symbols import ProgramSymbolTable
+from ..naim.compaction import compact_routine
+from ..sched.artifacts import PIPELINE_EPOCH
+
+#: Bump when the summary/key wire format itself changes.
+SUMMARY_FORMAT = 1
+
+
+def _hexdigest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def routine_body_hash(routine: Routine) -> str:
+    """Content hash of one routine body.
+
+    Encodes through :func:`compact_routine` with a private symbol
+    table, so the hash depends only on the routine's own content and
+    identity (name, module, intra-module ordinal) -- editing a sibling
+    routine's body never disturbs it, and program-wide PID numbering
+    never leaks in.
+    """
+    return _hexdigest(compact_routine(routine, ProgramSymbolTable()))
+
+
+def view_fingerprint(view) -> str:
+    """Hash of a profile view's counts (measured or static)."""
+    if view is None:
+        return "-"
+    digest = hashlib.sha256()
+    digest.update(b"static" if view.is_static_estimate else b"measured")
+    for label in sorted(view.block_counts):
+        digest.update(
+            ("%s=%d;" % (label, view.block_counts[label])).encode("utf-8")
+        )
+    for edge in sorted(view.edge_counts):
+        digest.update(
+            ("%s>%s=%d;" % (edge[0], edge[1], view.edge_counts[edge]))
+            .encode("utf-8")
+        )
+    return digest.hexdigest()[:16]
+
+
+def modref_fingerprint(info) -> str:
+    """Canonical string of one routine's mod/ref facts."""
+    if info.unknown:
+        return "unknown"
+    return "mod=%s|ref=%s" % (
+        ",".join(sorted(info.mod)), ",".join(sorted(info.ref))
+    )
+
+
+def options_fingerprint(options) -> str:
+    """Fingerprint of every option that can steer CMO or codegen.
+
+    ``options`` is a :class:`~repro.driver.options.CompilerOptions`;
+    the HLO knob set is hashed field-by-field so any new knob
+    automatically participates.
+    """
+    digest = hashlib.sha256()
+    digest.update(PIPELINE_EPOCH.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(options.describe().encode("utf-8"))
+    digest.update(b"\x00")
+    for name in sorted(vars(options.hlo)):
+        digest.update(
+            ("%s=%r;" % (name, getattr(options.hlo, name))).encode("utf-8")
+        )
+    digest.update(b"\x00")
+    digest.update(("multi_layer=%r" % options.multi_layer).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+class ModuleSummary:
+    """What other modules can observe about one module, fingerprinted."""
+
+    def __init__(self, module_name: str) -> None:
+        self.module_name = module_name
+        #: routine name -> (n_params, exported flag).
+        self.signatures: Dict[str, Tuple[int, bool]] = {}
+        #: routine name -> body content hash (inlining candidates).
+        self.body_hashes: Dict[str, str] = {}
+        #: global name -> (size, exported flag, init hash).
+        self.globals: Dict[str, Tuple[int, bool, str]] = {}
+
+    @staticmethod
+    def from_module(module: Module) -> "ModuleSummary":
+        summary = ModuleSummary(module.name)
+        for routine in module.routine_list():
+            summary.signatures[routine.name] = (
+                routine.n_params, bool(routine.exported)
+            )
+            summary.body_hashes[routine.name] = routine_body_hash(routine)
+        for var in module.symtab.globals.values():
+            summary.globals[var.name] = (
+                var.size, bool(var.exported), _hexdigest(repr(var.init).encode())
+            )
+        return summary
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.module_name.encode("utf-8"))
+        for name in sorted(self.signatures):
+            n_params, exported = self.signatures[name]
+            digest.update(
+                ("r:%s/%d/%d=%s;" % (name, n_params, int(exported),
+                                     self.body_hashes.get(name, "-")))
+                .encode("utf-8")
+            )
+        for name in sorted(self.globals):
+            size, exported, init_hash = self.globals[name]
+            digest.update(
+                ("g:%s/%d/%d=%s;" % (name, size, int(exported), init_hash))
+                .encode("utf-8")
+            )
+        return digest.hexdigest()[:16]
+
+    # -- Serialization (JSON-friendly) --------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module_name,
+            "signatures": {
+                name: [n, int(e)] for name, (n, e) in self.signatures.items()
+            },
+            "body_hashes": dict(self.body_hashes),
+            "globals": {
+                name: [size, int(e), h]
+                for name, (size, e, h) in self.globals.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ModuleSummary":
+        summary = ModuleSummary(data["module"])
+        summary.signatures = {
+            name: (int(n), bool(e))
+            for name, (n, e) in data.get("signatures", {}).items()
+        }
+        summary.body_hashes = dict(data.get("body_hashes", {}))
+        summary.globals = {
+            name: (int(size), bool(e), h)
+            for name, (size, e, h) in data.get("globals", {}).items()
+        }
+        return summary
+
+    def __repr__(self) -> str:
+        return "<ModuleSummary %s (%d routines, %d globals) %s>" % (
+            self.module_name, len(self.signatures), len(self.globals),
+            self.fingerprint(),
+        )
+
+
+class ConsumedFacts:
+    """The foreign facts one module's downstream phases can observe."""
+
+    def __init__(self, module_name: str) -> None:
+        self.module_name = module_name
+        #: Callee names referenced from this module's post-inline bodies.
+        self.callees: Set[str] = set()
+        #: Global names referenced from this module's post-inline bodies.
+        self.globals: Set[str] = set()
+
+
+def compute_module_keys(
+    unit,
+    ctx,
+    selected: Set[str],
+    clones: Set[str],
+    options_fp: str,
+) -> Tuple[Dict[str, str], Dict[str, ConsumedFacts]]:
+    """Exact per-module reuse keys over post-inline program state.
+
+    ``unit`` is the HLO :class:`~repro.hlo.driver.CmoUnit` after the
+    inlining phase; ``ctx`` the :class:`~repro.hlo.passes.OptContext`
+    carrying the published interprocedural facts.  Returns
+    ``(keys, consumed)``: the reuse key and the consumed-fact record
+    for every module in the unit.
+
+    Soundness: the scalar pipeline and LLO consume, per routine, the
+    routine body, its profile view, ``ctx.modref`` / ``ctx.const_returns``
+    facts about its callees, and ``ctx.readonly_globals`` plus global
+    initializers for its referenced globals.  All of those are hashed
+    here, so key equality implies the downstream phases would produce
+    identical output.
+    """
+    routines_of: Dict[str, List[str]] = {}
+    for name in unit.routine_names():
+        routines_of.setdefault(unit.routine_module[name], []).append(name)
+
+    keys: Dict[str, str] = {}
+    consumed: Dict[str, ConsumedFacts] = {}
+    in_unit = set(unit.routine_names())
+
+    for module_name, names in routines_of.items():
+        digest = hashlib.sha256()
+        digest.update(("v%d|" % SUMMARY_FORMAT).encode("utf-8"))
+        digest.update(options_fp.encode("utf-8"))
+        digest.update(("|%s|" % module_name).encode("utf-8"))
+        facts = ConsumedFacts(module_name)
+
+        for name in names:
+            routine = unit.routine(name)
+            if routine is None:
+                digest.update(("!%s;" % name).encode("utf-8"))
+                continue
+            optimized = name in selected or name in clones
+            digest.update(
+                ("r:%s/%d=%s+%s;" % (
+                    name, int(optimized), routine_body_hash(routine),
+                    view_fingerprint(ctx.views.get(name)),
+                )).encode("utf-8")
+            )
+            facts.callees.update(routine.callees())
+            facts.globals.update(routine.referenced_globals())
+            unit.unload(name)
+
+        # The interprocedural fact slice this module's passes can read.
+        for callee in sorted(facts.callees):
+            modref = (
+                modref_fingerprint(ctx.modref.for_routine(callee))
+                if ctx.modref is not None else "-"
+            )
+            digest.update(
+                ("c:%s/%s/%r/%d;" % (
+                    callee, modref, ctx.const_returns.get(callee),
+                    int(callee in in_unit),
+                )).encode("utf-8")
+            )
+        for global_name in sorted(facts.globals):
+            readonly = global_name in ctx.readonly_globals
+            if ctx.symtab.has_global(global_name):
+                var = ctx.symtab.lookup_global(global_name)
+                shape = "%d/%r" % (var.size, var.init)
+            else:
+                shape = "extern"
+            digest.update(
+                ("g:%s/%d/%s;" % (global_name, int(readonly), shape))
+                .encode("utf-8")
+            )
+
+        keys[module_name] = digest.hexdigest()
+        consumed[module_name] = facts
+    return keys, consumed

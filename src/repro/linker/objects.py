@@ -310,6 +310,31 @@ def _encode_machine_routine(writer: Writer, machine: MachineRoutine) -> None:
             writer.string_ref(instr.sym)
 
 
+def encode_machine_routines(machines: List[MachineRoutine]) -> bytes:
+    """Standalone blob of codegen output (incremental-CMO cache entry).
+
+    Unlike a full :class:`ObjectFile` this carries no symbol or module
+    metadata -- the incremental state stores one blob per CMO module,
+    keyed by the module's reuse fingerprint, and the relinker splices
+    the decoded routines back in unit order.
+    """
+    writer = Writer()
+    writer.u(_OBJ_VERSION)
+    writer.u(len(machines))
+    for machine in machines:
+        _encode_machine_routine(writer, machine)
+    return writer.finish()
+
+
+def decode_machine_routines(data: bytes) -> List[MachineRoutine]:
+    """Inverse of :func:`encode_machine_routines`."""
+    reader = Reader(data)
+    version = reader.u()
+    if version != _OBJ_VERSION:
+        raise LinkError("unsupported machine-blob version %d" % version)
+    return [_decode_machine_routine(reader) for _ in range(reader.u())]
+
+
 def encode_executable(executable) -> bytes:
     """Canonical byte encoding of a linked :class:`Executable`.
 

@@ -15,6 +15,13 @@ import os
 import tempfile
 from typing import Dict, Optional, Tuple
 
+#: Characters stored verbatim in pool filenames.  ``_`` is *not* safe:
+#: it is the escape lead-in, so escaped text can never contain the
+#: ``__`` kind/name separator by accident.
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-"
+)
+
 
 class Repository:
     """Disk-backed store of relocatable pool encodings.
@@ -50,10 +57,56 @@ class Repository:
         return self._directory
 
     @staticmethod
-    def _filename(kind: str, name: str) -> str:
-        # Symbol names may contain '::'; keep filenames safe and unique.
-        safe = name.replace(":", "_c").replace("/", "_s")
-        return "%s__%s.pool" % (kind, safe)
+    def _escape(text: str) -> str:
+        """Collision-free filename encoding of an arbitrary name.
+
+        Unsafe characters become ``_xxxx`` (four hex digits), so
+        distinct names always map to distinct filenames -- the old
+        lossy scheme mapped both ``x:`` and the literal ``x_c`` to
+        ``x_c``, letting one pool silently overwrite another.  The
+        encoding is reversible (see :meth:`_parse_filename`), which is
+        what makes :meth:`reindex` possible.
+        """
+        return "".join(
+            ch if ch in _SAFE_CHARS else "_%04x" % ord(ch) for ch in text
+        )
+
+    @staticmethod
+    def _unescape(text: str) -> str:
+        out = []
+        position = 0
+        while position < len(text):
+            ch = text[position]
+            if ch != "_":
+                out.append(ch)
+                position += 1
+                continue
+            code = text[position + 1 : position + 5]
+            if len(code) != 4:
+                raise ValueError("truncated escape in %r" % text)
+            out.append(chr(int(code, 16)))
+            position += 5
+        return "".join(out)
+
+    @classmethod
+    def _filename(cls, kind: str, name: str) -> str:
+        return "%s__%s.pool" % (cls._escape(kind), cls._escape(name))
+
+    @classmethod
+    def _parse_filename(cls, filename: str) -> Optional[Tuple[str, str]]:
+        """Invert :meth:`_filename`; None for foreign/legacy files."""
+        if not filename.endswith(".pool"):
+            return None
+        stem = filename[: -len(".pool")]
+        # Escaped text never contains "__" (every "_" is followed by a
+        # hex digit), so the first occurrence is the separator.
+        kind_part, separator, name_part = stem.partition("__")
+        if not separator:
+            return None
+        try:
+            return cls._unescape(kind_part), cls._unescape(name_part)
+        except ValueError:
+            return None
 
     def _path(self, kind: str, name: str) -> str:
         return os.path.join(self._ensure_directory(), self._filename(kind, name))
@@ -81,6 +134,44 @@ class Repository:
                 data = handle.read()
         self.bytes_read += len(data)
         return data
+
+    def discard(self, kind: str, name: str) -> bool:
+        """Drop one pool if present; returns whether it existed."""
+        if (kind, name) not in self._known:
+            return False
+        del self._known[(kind, name)]
+        self._mem.pop((kind, name), None)
+        if not self._in_memory:
+            try:
+                os.unlink(self._path(kind, name))
+            except OSError:
+                pass
+        return True
+
+    def reindex(self) -> int:
+        """Rebuild the (kind, name) index from an existing directory.
+
+        A fresh Repository instance only knows about pools it stored
+        itself; pointing it at a directory written by an earlier
+        process and calling ``reindex`` makes those pools fetchable
+        again.  Unparseable filenames (foreign files, pre-escape
+        legacy pools) are skipped.  Returns the number of indexed
+        pools.
+        """
+        if self._in_memory or self._directory is None:
+            return len(self._known)
+        if not os.path.isdir(self._directory):
+            return 0
+        for entry in sorted(os.listdir(self._directory)):
+            parsed = self._parse_filename(entry)
+            if parsed is None:
+                continue
+            try:
+                size = os.path.getsize(os.path.join(self._directory, entry))
+            except OSError:
+                continue
+            self._known.setdefault(parsed, size)
+        return len(self._known)
 
     def contains(self, kind: str, name: str) -> bool:
         return (kind, name) in self._known

@@ -16,12 +16,13 @@ them into :class:`~repro.driver.build.BuildEngine` and
 :meth:`~repro.driver.compiler.Compiler.build`.
 """
 
-from .artifacts import ArtifactCache, CacheStats
+from .artifacts import PIPELINE_EPOCH, ArtifactCache, CacheStats
 from .events import BuildEvent, EventLog
 from .executor import ExecutionOutcome, Executor, TaskError
 from .graph import Task, TaskGraph, TaskState
 
 __all__ = [
+    "PIPELINE_EPOCH",
     "ArtifactCache",
     "CacheStats",
     "BuildEvent",

@@ -1,8 +1,8 @@
 """Content-addressed artifact cache for compiled objects.
 
-Keys are ``sha256(module, language, options, source)``: any input that
-could change the compiled object participates, so a hit is always safe
-to reuse -- across :class:`~repro.driver.build.BuildEngine` instances,
+Keys are ``sha256(epoch, module, language, options, source)``: any
+input that could change the compiled object participates -- including
+the pipeline version epoch -- so a hit is always safe to reuse -- across :class:`~repro.driver.build.BuildEngine` instances,
 across processes (with ``directory=``), and across differently-named
 workspaces.  This subsumes the engine's old per-instance fingerprint
 dict: the fingerprint dict answered "did *this engine* already compile
@@ -22,6 +22,13 @@ import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional
+
+#: Version epoch of the compile pipeline.  It participates in every
+#: artifact key (and in the incremental-CMO state index), so artifacts
+#: produced by an older compiler version miss instead of being reused.
+#: Bump it whenever codegen, the optimizer pipeline, or any serialized
+#: wire format changes in a way that could make old artifacts stale.
+PIPELINE_EPOCH = "2"
 
 
 class CacheStats:
@@ -80,10 +87,14 @@ class ArtifactCache:
 
     @staticmethod
     def key(source: str, language: str = "auto", options: str = "",
-            module: str = "") -> str:
-        """The content address of one compilation's inputs."""
+            module: str = "", epoch: str = PIPELINE_EPOCH) -> str:
+        """The content address of one compilation's inputs.
+
+        ``epoch`` defaults to the current :data:`PIPELINE_EPOCH`, so
+        entries written by an older compiler version never hit.
+        """
         digest = hashlib.sha256()
-        for part in (module, language, options, source):
+        for part in (epoch, module, language, options, source):
             digest.update(part.encode("utf-8"))
             digest.update(b"\x00")
         return digest.hexdigest()

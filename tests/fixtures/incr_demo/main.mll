@@ -1,0 +1,12 @@
+global result_buf[16];
+
+func main() {
+    var total = 0;
+    for (var i = 0; i < 40; i = i + 1) {
+        var v = scale(lookup(i));
+        v = clamp(v, 0, 20);
+        store_result(i, v);
+        total = total + v;
+    }
+    return total + calls + writes;
+}

@@ -1,0 +1,13 @@
+static global factor = 3;
+global calls = 0;
+
+func scale(x) {
+    calls = calls + 1;
+    return x * factor;
+}
+
+func clamp(v, lo, hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}

@@ -1,0 +1,95 @@
+"""Unit tests for the cross-module dependency edge set."""
+
+from __future__ import annotations
+
+from repro.incr.depgraph import (
+    KIND_FACT,
+    KIND_GLOBAL,
+    KIND_INLINE,
+    KIND_IPCP,
+    CrossModuleDeps,
+    DepEdge,
+)
+
+
+def chain():
+    """a inlined from b, b consumed facts about c."""
+    deps = CrossModuleDeps()
+    deps.add("a", "b", KIND_INLINE, item="helper")
+    deps.add("b", "c", KIND_FACT, item="leaf")
+    return deps
+
+
+class TestEdges:
+    def test_self_edges_dropped(self):
+        deps = CrossModuleDeps()
+        deps.add("a", "a", KIND_INLINE, item="local")
+        assert len(deps) == 0
+
+    def test_duplicates_collapse(self):
+        deps = CrossModuleDeps()
+        deps.add("a", "b", KIND_INLINE, item="helper")
+        deps.add("a", "b", KIND_INLINE, item="helper")
+        assert len(deps) == 1
+
+    def test_kinds_are_distinct_edges(self):
+        deps = CrossModuleDeps()
+        deps.add("a", "b", KIND_INLINE, item="helper")
+        deps.add("a", "b", KIND_FACT, item="helper")
+        assert len(deps) == 2
+        assert deps.by_kind() == {KIND_INLINE: 1, KIND_FACT: 1}
+
+    def test_navigation(self):
+        deps = chain()
+        assert deps.consumers_of("b") == {"a"}
+        assert deps.producers_of("b") == {"c"}
+        assert deps.consumers_of("a") == set()
+
+
+class TestDirtyPropagation:
+    def test_direct_consumer_is_dirty(self):
+        assert chain().dirty_modules(["b"]) == {"a", "b"}
+
+    def test_transitive_closure(self):
+        """c changed -> b's post-inline body changed -> a's splice of b
+        changed.  The fixpoint must reach a."""
+        assert chain().dirty_modules(["c"]) == {"a", "b", "c"}
+
+    def test_leaf_change_stays_local(self):
+        deps = chain()
+        deps.add("d", "c", KIND_GLOBAL, item="shared_buf")
+        assert deps.dirty_modules(["a"]) == {"a"}
+        assert deps.dirty_modules(["c"]) == {"a", "b", "c", "d"}
+
+    def test_cycle_terminates(self):
+        deps = CrossModuleDeps()
+        deps.add("a", "b", KIND_IPCP, item="f")
+        deps.add("b", "a", KIND_IPCP, item="g")
+        assert deps.dirty_modules(["a"]) == {"a", "b"}
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        deps = chain()
+        restored = CrossModuleDeps.from_list(deps.to_list())
+        assert restored.to_list() == deps.to_list()
+        assert len(restored) == len(deps)
+        assert restored.dirty_modules(["c"]) == deps.dirty_modules(["c"])
+
+    def test_list_is_sorted_and_json_friendly(self):
+        deps = CrossModuleDeps()
+        deps.add("z", "y", KIND_FACT, item="f")
+        deps.add("a", "b", KIND_INLINE, item="g")
+        listed = deps.to_list()
+        assert listed == sorted(listed)
+        assert all(
+            isinstance(field, str) for edge in listed for field in edge
+        )
+
+    def test_edge_identity(self):
+        assert DepEdge("a", "b", KIND_INLINE, "f") == (
+            DepEdge("a", "b", KIND_INLINE, "f")
+        )
+        assert DepEdge("a", "b", KIND_INLINE, "f") != (
+            DepEdge("a", "b", KIND_FACT, "f")
+        )

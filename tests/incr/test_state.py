@@ -1,0 +1,166 @@
+"""Unit tests for persistent incremental-CMO state."""
+
+from __future__ import annotations
+
+import json
+
+from repro.frontend import compile_source
+from repro.incr.depgraph import KIND_INLINE
+from repro.incr.state import IncrementalState
+from repro.incr.summary import SUMMARY_FORMAT
+from repro.llo.driver import LowLevelOptimizer
+from repro.sched.artifacts import PIPELINE_EPOCH
+
+MODULES = {
+    "alpha": "func one() { return 1; }",
+    "beta": "func two() { return 2; }\nfunc main() { return one() + two(); }",
+}
+
+
+def _modules():
+    return [compile_source(text, name) for name, text in MODULES.items()]
+
+
+def _machines():
+    llo = LowLevelOptimizer()
+    return [
+        llo.compile_routine(compile_source(MODULES["alpha"], "alpha")
+                            .routines["one"])
+    ]
+
+
+def _committed_state(directory=None):
+    """A state with one committed link: summaries, an edge, one blob."""
+    state = IncrementalState(directory=directory)
+    session = state.begin_link(_modules(), "opts-fp")
+    assert session.first_build
+    session.deps.add("beta", "alpha", KIND_INLINE, item="one")
+    session.module_keys = {"alpha": "key-alpha", "beta": "key-beta"}
+    session.fresh_machines = {"alpha": _machines(), "beta": []}
+    state.commit(session)
+    return state
+
+
+class TestSessionLifecycle:
+    def test_first_build_predicts_everything_dirty(self):
+        state = IncrementalState()
+        session = state.begin_link(_modules(), "opts-fp")
+        assert session.first_build
+        assert session.predicted_dirty == sorted(MODULES)
+        assert session.changed_modules == sorted(MODULES)
+
+    def test_unchanged_rebuild_predicts_nothing(self):
+        state = _committed_state()
+        session = state.begin_link(_modules(), "opts-fp")
+        assert not session.first_build
+        assert session.changed_modules == []
+        assert session.predicted_dirty == []
+
+    def test_edit_propagates_along_edges(self):
+        state = _committed_state()
+        edited = [
+            compile_source(MODULES["alpha"].replace("1", "9"), "alpha"),
+            compile_source(MODULES["beta"], "beta"),
+        ]
+        session = state.begin_link(edited, "opts-fp")
+        assert session.changed_modules == ["alpha"]
+        # beta inlined alpha's routine, so it is predicted dirty too.
+        assert session.predicted_dirty == ["alpha", "beta"]
+
+    def test_options_change_forces_first_build(self):
+        state = _committed_state()
+        session = state.begin_link(_modules(), "other-fp")
+        assert session.first_build
+        assert session.predicted_dirty == sorted(MODULES)
+
+    def test_report_contents(self):
+        state = IncrementalState()
+        session = state.begin_link(_modules(), "opts-fp")
+        session.module_keys = {"alpha": "ka", "beta": "kb"}
+        session.reused_modules = {"alpha"}
+        session.fresh_machines = {"beta": []}
+        report = state.commit(session)
+        assert report.reused == ["alpha"]
+        assert report.reoptimized == ["beta"]
+        assert report.first_build
+        assert report.reuse_fraction() == 0.5
+
+
+class TestMachineBlobs:
+    def test_roundtrip(self):
+        state = IncrementalState()
+        machines = _machines()
+        state.store_machines("key-1", machines)
+        loaded = state.load_machines("key-1")
+        assert loaded is not None
+        assert [m.name for m in loaded] == [m.name for m in machines]
+
+    def test_missing_key(self):
+        assert IncrementalState().load_machines("absent") is None
+
+    def test_corrupt_blob_degrades_to_miss(self):
+        state = IncrementalState()
+        state.repository.store("mach", "key-bad", b"not a machine blob")
+        assert state.load_machines("key-bad") is None
+        # And the corrupt blob is discarded, not retried forever.
+        assert not state.repository.contains("mach", "key-bad")
+
+    def test_commit_prunes_unreferenced_blobs(self):
+        state = _committed_state()
+        state.store_machines("stale-key", _machines())
+        session = state.begin_link(_modules(), "opts-fp")
+        session.module_keys = {"alpha": "key-alpha", "beta": "key-beta"}
+        state.commit(session)
+        assert state.load_machines("stale-key") is None
+        assert state.load_machines("key-alpha") is not None
+
+
+class TestPersistence:
+    def test_disk_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "incr")
+        _committed_state(directory=directory).close()
+        reloaded = IncrementalState(directory=directory)
+        assert set(reloaded.summaries) == set(MODULES)
+        assert reloaded.module_keys == {
+            "alpha": "key-alpha", "beta": "key-beta"
+        }
+        assert reloaded.deps.dirty_modules(["alpha"]) == {"alpha", "beta"}
+        assert reloaded.options_fp == "opts-fp"
+        assert reloaded.load_machines("key-alpha") is not None
+
+    def test_epoch_mismatch_invalidates(self, tmp_path):
+        directory = str(tmp_path / "incr")
+        state = _committed_state(directory=directory)
+        index = json.loads(
+            state.repository.fetch("incr", "index").decode("utf-8")
+        )
+        index["epoch"] = PIPELINE_EPOCH + "-older"
+        state.repository.store(
+            "incr", "index", json.dumps(index).encode("utf-8")
+        )
+        state.close()
+        reloaded = IncrementalState(directory=directory)
+        assert reloaded.summaries == {}
+        assert reloaded.module_keys == {}
+
+    def test_format_mismatch_invalidates(self, tmp_path):
+        directory = str(tmp_path / "incr")
+        state = _committed_state(directory=directory)
+        index = json.loads(
+            state.repository.fetch("incr", "index").decode("utf-8")
+        )
+        index["format"] = SUMMARY_FORMAT + 1
+        state.repository.store(
+            "incr", "index", json.dumps(index).encode("utf-8")
+        )
+        state.close()
+        assert IncrementalState(directory=directory).summaries == {}
+
+    def test_garbage_index_treated_as_first_build(self, tmp_path):
+        directory = str(tmp_path / "incr")
+        state = _committed_state(directory=directory)
+        state.repository.store("incr", "index", b"{truncated")
+        state.close()
+        reloaded = IncrementalState(directory=directory)
+        assert reloaded.summaries == {}
+        assert reloaded.begin_link(_modules(), "opts-fp").first_build

@@ -71,3 +71,72 @@ class TestOnDisk:
         repo = Repository(directory=str(tmp_path))
         repo.store("ir", "a::b::cl0", b"clone")
         assert repo.fetch("ir", "a::b::cl0") == b"clone"
+
+
+class TestFilenameEncoding:
+    def test_similar_names_do_not_collide(self, tmp_path):
+        """Historical bug: ``x:`` and ``x_c`` (or any escaped/literal
+        pair) used to map to the same file and clobber each other."""
+        repo = Repository(directory=str(tmp_path))
+        repo.store("ir", "x:", b"colon")
+        repo.store("ir", "x_c", b"underscore")
+        repo.store("ir", "x c", b"space")
+        assert repo.fetch("ir", "x:") == b"colon"
+        assert repo.fetch("ir", "x_c") == b"underscore"
+        assert repo.fetch("ir", "x c") == b"space"
+        assert len(os.listdir(str(tmp_path))) == 3
+
+    def test_kind_name_boundary_unambiguous(self, tmp_path):
+        """(``a_b``, ``c``) and (``a``, ``b_c``) must be distinct
+        entries -- the separator can't be forged from name text."""
+        repo = Repository(directory=str(tmp_path))
+        repo.store("a_b", "c", b"first")
+        repo.store("a", "b_c", b"second")
+        assert repo.fetch("a_b", "c") == b"first"
+        assert repo.fetch("a", "b_c") == b"second"
+
+    def test_escape_roundtrip(self):
+        for name in ["plain", "x:", "x_c", "a::b::cl0", "m/n\\o",
+                     "sp ace", "_", "__", "café", ""]:
+            assert Repository._unescape(Repository._escape(name)) == name
+
+    def test_unescape_rejects_truncated_escape(self):
+        with pytest.raises(ValueError):
+            Repository._unescape("_00")
+
+
+class TestDiscardAndReindex:
+    def test_discard(self, tmp_path):
+        repo = Repository(directory=str(tmp_path))
+        repo.store("ir", "f", b"data")
+        assert repo.discard("ir", "f")
+        assert not repo.contains("ir", "f")
+        assert os.listdir(str(tmp_path)) == []
+        assert not repo.discard("ir", "f")  # second discard is a no-op
+
+    def test_discard_in_memory(self):
+        repo = Repository(in_memory=True)
+        repo.store("ir", "f", b"data")
+        assert repo.discard("ir", "f")
+        with pytest.raises(KeyError):
+            repo.fetch("ir", "f")
+
+    def test_reindex_adopts_existing_files(self, tmp_path):
+        writer = Repository(directory=str(tmp_path))
+        writer.store("ir", "mod::fn", b"payload")
+        writer.store("mach", "deadbeef", b"blob")
+
+        reader = Repository(directory=str(tmp_path))
+        assert not reader.contains("ir", "mod::fn")  # not indexed yet
+        assert reader.reindex() == 2
+        assert reader.fetch("ir", "mod::fn") == b"payload"
+        assert reader.fetch("mach", "deadbeef") == b"blob"
+
+    def test_reindex_skips_foreign_files(self, tmp_path):
+        with open(os.path.join(str(tmp_path), "README.pool"), "w") as fh:
+            fh.write("no separator")
+        with open(os.path.join(str(tmp_path), "notes.txt"), "w") as fh:
+            fh.write("not a pool file")
+        repo = Repository(directory=str(tmp_path))
+        assert repo.reindex() == 0
+        assert len(repo) == 0

@@ -24,6 +24,17 @@ class TestKey:
         # ("ab", "c") must not collide with ("a", "bc").
         assert ArtifactCache.key("ab", "c") != ArtifactCache.key("a", "bc")
 
+    def test_pipeline_epoch_participates(self):
+        """Cached objects from an older compiler pipeline must miss
+        rather than resurface after a codegen-affecting change."""
+        from repro.sched.artifacts import PIPELINE_EPOCH
+
+        base = ArtifactCache.key("src", "mll", "+O2", module="m")
+        assert base == ArtifactCache.key("src", "mll", "+O2", module="m",
+                                         epoch=PIPELINE_EPOCH)
+        assert ArtifactCache.key("src", "mll", "+O2", module="m",
+                                 epoch="0-legacy") != base
+
 
 class TestLru:
     def test_hit_miss_counters(self):
