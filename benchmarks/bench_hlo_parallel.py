@@ -1,0 +1,134 @@
+"""Partitioned parallel LTRANS vs the serial scalar+codegen phase.
+
+Builds a synthetic ~28-module program at +O4 (NAIM in OFFLOAD mode,
+so routine pools round-trip through the repository) serially and with
+the partitioned backend at ``--hlo-jobs`` 1/2/4, byte-compares every
+image against the serial build, and reports the LTRANS phase
+wall-clock.
+
+The phase being compared:
+
+* serial: phase-5 scalar pipeline + the codegen splice loop
+  (``hlo.phase_seconds["scalar"] + timings["codegen_cmo"]``) -- each
+  routine's pool is expanded twice, once per phase;
+* partitioned: the fused per-partition scalar+codegen pass
+  (``timings["codegen_cmo"]``, which includes partitioning, worker
+  dispatch and the stats fold) -- one expansion per routine, with
+  offloaded pools warmed per-partition via one batched
+  ``fetch_many``.
+
+Honest caveat printed with the table: workers are threads and the
+pipeline is pure Python, so the GIL bounds thread-level speedup on
+CPU-bound work; the structural wins measured here are the fused
+single-load phase and batched repository reads, which is why jobs=1
+already beats serial.
+
+Run standalone (``python benchmarks/bench_hlo_parallel.py [--quick]``)
+or via ``pytest benchmarks/bench_hlo_parallel.py -s``.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import save_result
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+from repro.linker.objects import encode_executable
+from repro.naim.config import NaimConfig, NaimLevel
+from repro.synth import WorkloadConfig, generate
+
+
+def _build(sources, hlo_jobs=1, hlo_partitions=None):
+    options = CompilerOptions(
+        opt_level=4,
+        naim=NaimConfig.pinned(NaimLevel.OFFLOAD, cache_pools=4),
+        hlo_jobs=hlo_jobs,
+        hlo_partitions=hlo_partitions,
+    )
+    return Compiler(options).build(sources)
+
+
+def _ltrans_seconds(build, serial):
+    codegen = build.timings.phases.get("codegen_cmo", 0.0)
+    if serial:
+        return build.hlo_result.phase_seconds.get("scalar", 0.0) + codegen
+    return codegen
+
+
+def run_bench(quick=False):
+    n_modules = 8 if quick else 28
+    app = generate(
+        WorkloadConfig("hlopar", n_modules=n_modules,
+                       routines_per_module=6, n_features=4,
+                       dispatch_count=120, seed=41,
+                       scale_note="parallel-LTRANS bench")
+    )
+
+    serial = _build(app.sources)
+    reference = encode_executable(serial.executable)
+    serial_secs = _ltrans_seconds(serial, serial=True)
+
+    rows = []
+    best = serial_secs
+    for jobs in (1, 2, 4):
+        # hlo_jobs=1 alone means "serial"; pin the partition count so
+        # every row exercises the partitioned backend.
+        build = _build(app.sources, hlo_jobs=jobs, hlo_partitions=4)
+        assert encode_executable(build.executable) == reference, (
+            "hlo_jobs=%d image diverged from serial" % jobs
+        )
+        secs = _ltrans_seconds(build, serial=False)
+        best = min(best, secs)
+        stats = build.hlo_result.loader.stats
+        rows.append(
+            "  %-26s %8.3fs  (x%.2f vs serial; %d prefetched pools)"
+            % ("partitioned (jobs=%d)" % jobs, secs,
+               serial_secs / secs if secs else 0.0, stats.prefetches)
+        )
+
+    lines = [
+        "parallel LTRANS bench: %d modules, %d source lines "
+        "(+O4, NAIM offload)"
+        % (len(app.sources), app.source_lines()),
+        "",
+        "  %-26s %8.3fs  (scalar %.3fs + codegen %.3fs, "
+        "two loads per routine)"
+        % ("serial scalar+codegen", serial_secs,
+           serial.hlo_result.phase_seconds.get("scalar", 0.0),
+           serial.timings.phases.get("codegen_cmo", 0.0)),
+    ] + rows + [
+        "",
+        "  best LTRANS phase: x%.2f vs serial"
+        % (serial_secs / best if best else 0.0),
+        "  outputs byte-identical across jobs settings: yes",
+        "  note: threads share the GIL, so the gain is structural "
+        "(fused single-load phase, batched repository reads), not "
+        "CPU parallelism.",
+    ]
+    return "\n".join(lines)
+
+
+def test_hlo_parallel_bench():
+    text = run_bench(quick=True)
+    print()
+    print(text)
+    save_result("hlo_parallel_quick", text)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="8 modules instead of 28")
+    args = parser.parse_args(argv)
+    text = run_bench(quick=args.quick)
+    print(text)
+    save_result("hlo_parallel", text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from repro.hlo.analysis.modref import ModRefAnalysis
 from repro.hlo.driver import standard_pipeline
 from repro.hlo.passes import OptContext
 from repro.interp import run_program
+from repro.naim import Loader, NaimConfig, NaimLevel, Repository
 from repro.naim.compaction import compact_routine, uncompact_routine
 from repro.synth import WorkloadConfig, generate
 
@@ -79,6 +80,32 @@ def test_full_cmo_build(benchmark, app, profile):
         rounds=3,
         iterations=1,
     )
+
+
+def test_loader_eviction_churn(benchmark, program):
+    """LRU enforcement under heavy touch traffic.
+
+    A small cache over many pools, touched round-robin so every touch
+    evicts: the heap-based LRU pays O(log n) per eviction instead of
+    re-sorting the whole pool table on every enforcement.
+    """
+    symtab = program.symtab
+    routines = program.all_routines()
+
+    def churn():
+        loader = Loader(
+            NaimConfig.pinned(NaimLevel.IR_COMPACT, cache_pools=8),
+            symtab,
+            repository=Repository(in_memory=True),
+        )
+        handles = [loader.register_routine(r) for r in routines]
+        for _ in range(6):
+            for handle in handles:
+                handle.get()
+        return loader.stats.compactions
+
+    compactions = benchmark(churn)
+    assert compactions > len(routines)
 
 
 def test_vm_throughput(benchmark, app, profile):

@@ -72,6 +72,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--trace-out", default=None, metavar="TRACE.json",
         help="write a Chrome trace_event JSON of the build",
     )
+    parser.add_argument(
+        "--hlo-jobs", type=int, default=1, metavar="N",
+        help="workers for the partitioned link-time optimization "
+             "backend (1 = serial; output is byte-identical)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=None, metavar="N",
+        help="partition count for the parallel backend "
+             "(default: 4x --hlo-jobs)",
+    )
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -79,11 +89,15 @@ def cmd_build(args: argparse.Namespace) -> int:
     profile_db = None
     if args.profile:
         profile_db = ProfileDatabase.load(args.profile)
+    if args.hlo_jobs < 1:
+        raise SystemExit("--hlo-jobs must be >= 1")
     options = CompilerOptions(
         opt_level=args.opt_level,
         pbo=profile_db is not None,
         selectivity_percent=args.selectivity,
         checked=args.checked,
+        hlo_jobs=args.hlo_jobs,
+        hlo_partitions=args.partitions,
     )
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
@@ -110,6 +124,16 @@ def cmd_build(args: argparse.Namespace) -> int:
     if args.jobs > 1:
         print("jobs: %d workers, %d tasks" % (args.jobs,
                                               len(events.spans())))
+    if options.use_partitioned_hlo:
+        print("hlo-jobs: %d workers, %d partitions"
+              % (options.hlo_jobs, len(events.spans("ltrans"))))
+    if args.emit_image:
+        from ..linker.objects import encode_executable
+
+        with open(args.emit_image, "wb") as handle:
+            handle.write(encode_executable(build.executable))
+        print("image: %d bytes -> %s"
+              % (os.path.getsize(args.emit_image), args.emit_image))
     if args.trace_out:
         events.write_chrome_trace(args.trace_out)
         print("trace: %d events -> %s" % (len(events.events),
@@ -181,6 +205,11 @@ def main(argv=None) -> int:
         "--state-dir", default=None, metavar="DIR",
         help="persist incremental state (objects, summaries, codegen "
              "cache) in DIR across runs; implies --incremental",
+    )
+    build_parser.add_argument(
+        "--emit-image", default=None, metavar="IMAGE.bin",
+        help="write the encoded executable image to a file "
+             "(canonical bytes; byte-compare serial vs parallel builds)",
     )
     build_parser.set_defaults(func=cmd_build)
 

@@ -277,7 +277,8 @@ class BuildEngine:
         def link(inputs):
             objects = [inputs[task_id][0] for task_id in compile_ids]
             return self.compiler.link(objects, profile_db,
-                                      incr_state=self.incr_state)
+                                      incr_state=self.incr_state,
+                                      events=self.events)
 
         graph.add("link", link, deps=compile_ids, category="link")
         outcome = self.scheduler.run(graph)

@@ -299,7 +299,8 @@ class Compiler:
         result.timings.add("compile", compile_seconds)
         result.objects = objects
         with executor.events.span("link", "link"):
-            self.link_into(objects, profile_db, result)
+            self.link_into(objects, profile_db, result,
+                           events=executor.events)
         return result
 
     def link(
@@ -307,6 +308,7 @@ class Compiler:
         objects: List[ObjectFile],
         profile_db: Optional[ProfileDatabase] = None,
         incr_state=None,
+        events: Optional[EventLog] = None,
     ) -> BuildResult:
         """Link previously compiled objects (the `ld` step).
 
@@ -319,7 +321,8 @@ class Compiler:
         result.options_used = self.options.describe()
         result.objects = list(objects)
         result.source_lines = sum(o.source_lines for o in objects)
-        self.link_into(objects, profile_db, result, incr_state=incr_state)
+        self.link_into(objects, profile_db, result, incr_state=incr_state,
+                       events=events)
         return result
 
     # -- The link pipeline -------------------------------------------------------------
@@ -330,6 +333,7 @@ class Compiler:
         profile_db: Optional[ProfileDatabase],
         result: BuildResult,
         incr_state=None,
+        events: Optional[EventLog] = None,
     ) -> None:
         options = self.options
         accountant = result.accountant
@@ -383,6 +387,7 @@ class Compiler:
                         use_db,
                         result,
                         incr_state=incr_state,
+                        events=events,
                     )
                 )
 
@@ -457,6 +462,7 @@ class Compiler:
         profile_db: Optional[ProfileDatabase],
         result: BuildResult,
         incr_state=None,
+        events: Optional[EventLog] = None,
     ) -> List[MachineRoutine]:
         """Route the CMO module set through HLO, then LLO each routine.
 
@@ -464,9 +470,15 @@ class Compiler:
         HLO, consumption is recorded during it, and codegen splices
         cached machine routines (in unit order, so layout is
         unchanged) for every module whose reuse key hit.
+
+        With ``hlo_jobs > 1`` (or an explicit ``hlo_partitions``), the
+        scalar pipeline + codegen run on the partitioned LTRANS
+        backend (:mod:`repro.part`); the serial WPA phases and the
+        splice order are unchanged, so output bytes are identical.
         """
         options = self.options
         accountant = result.accountant
+        partitioned = options.use_partitioned_hlo
 
         incr_session = None
         if incr_state is not None:
@@ -517,25 +529,47 @@ class Compiler:
             ):
                 selected = result.plan.selected_routines
             hlo_result = hlo.optimize(
-                selected_routines=selected, materialize=False
+                selected_routines=selected,
+                materialize=False,
+                run_scalar=not partitioned,
             )
         result.hlo_result = hlo_result
 
+        llo_options = LloOptions(2, use_profile=profile_db is not None)
         with _Timer(result.timings, "codegen_cmo"):
-            llo = LowLevelOptimizer(
-                LloOptions(2, use_profile=profile_db is not None),
-                accountant,
-            )
-            machines: List[MachineRoutine] = []
             unit = hlo_result.unit
             cached = (
                 incr_session.cached_machines if incr_session is not None
                 else {}
             )
+            compiled: Dict[str, MachineRoutine] = {}
+            if partitioned:
+                from ..part import PartitionRunner, partition_unit
+
+                n_partitions = options.hlo_partitions or max(
+                    1, options.hlo_jobs * 4
+                )
+                runner = PartitionRunner(
+                    hlo_result,
+                    llo_options,
+                    naim_config=options.naim,
+                    jobs=options.hlo_jobs,
+                    events=events,
+                )
+                run_out = runner.run(
+                    partition_unit(hlo_result, n_partitions)
+                )
+                compiled = run_out.machines
+                result.llo_stats = run_out.llo_stats
+            else:
+                llo = LowLevelOptimizer(llo_options, accountant)
+
+            machines: List[MachineRoutine] = []
             fresh_by_module: Dict[str, List[MachineRoutine]] = {}
             # One pass in unit order: cached and fresh routines splice
             # into the same positions a clean build would give them, so
-            # layout (and hence the image bytes) is unaffected by reuse.
+            # layout (and hence the image bytes) is unaffected by reuse
+            # and by partitioning.
             for name in unit.routine_names():
                 module_name = unit.routine_module.get(name, "")
                 if module_name in cached:
@@ -544,16 +578,22 @@ class Compiler:
                         machines.append(machine)
                     unit.unload(name)
                     continue
-                routine = unit.routine(name)
-                if routine is None:
-                    continue
-                machine = llo.compile_routine(
-                    routine, hlo_result.views.get(name)
-                )
+                if partitioned:
+                    machine = compiled.get(name)
+                    if machine is None:
+                        continue
+                else:
+                    routine = unit.routine(name)
+                    if routine is None:
+                        continue
+                    machine = llo.compile_routine(
+                        routine, hlo_result.views.get(name)
+                    )
+                    unit.unload(name)
                 machines.append(machine)
                 fresh_by_module.setdefault(module_name, []).append(machine)
-                unit.unload(name)
-            result.llo_stats = llo.stats
+            if not partitioned:
+                result.llo_stats = llo.stats
 
         if incr_session is not None:
             incr_session.fresh_machines = fresh_by_module

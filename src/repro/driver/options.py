@@ -38,6 +38,8 @@ class CompilerOptions:
         cmo_modules: Optional[frozenset] = None,
         repository_dir: Optional[str] = None,
         multi_layer: bool = False,
+        hlo_jobs: int = 1,
+        hlo_partitions: Optional[int] = None,
     ) -> None:
         if opt_level not in VALID_OPT_LEVELS:
             raise ValueError(
@@ -64,6 +66,22 @@ class CompilerOptions:
         self.repository_dir = repository_dir
         #: Paper §8 extension: tier non-CMO modules (warm +O2, cold +O1).
         self.multi_layer = multi_layer
+        if hlo_jobs < 1:
+            raise ValueError("hlo_jobs must be >= 1")
+        if hlo_partitions is not None and hlo_partitions < 1:
+            raise ValueError("hlo_partitions must be >= 1")
+        #: Workers for the partitioned LTRANS backend (1 = the serial
+        #: reference path).  Output is byte-identical either way, so
+        #: neither knob enters :meth:`describe` (and hence no artifact
+        #: or incremental fingerprint).
+        self.hlo_jobs = hlo_jobs
+        #: Partition count override (None = derived from ``hlo_jobs``).
+        self.hlo_partitions = hlo_partitions
+
+    @property
+    def use_partitioned_hlo(self) -> bool:
+        """Whether the link should run the partitioned LTRANS backend."""
+        return self.hlo_jobs > 1 or self.hlo_partitions is not None
 
     @property
     def is_cmo(self) -> bool:

@@ -14,6 +14,7 @@ The :class:`CmoUnit` is the authoritative container during optimization
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Set
 
 from ..ir.callgraph import CallGraph
@@ -166,6 +167,28 @@ class HloResult:
         #: Modules whose scalar pipeline + codegen are served from the
         #: incremental cache (empty without an incremental session).
         self.reused_modules: Set[str] = set()
+        #: Wall-clock seconds per driver phase ("wpa" = serial
+        #: whole-program phases 0-4.5, "scalar" = phase 5 when run
+        #: serially by :meth:`HighLevelOptimizer.run_scalar_phase`).
+        self.phase_seconds: Dict[str, float] = {}
+
+    def scalar_worklist(self) -> List[str]:
+        """Routines phase 5 must process, in canonical unit order.
+
+        Selectivity (unselected non-clones) and incremental reuse
+        (modules with cached codegen) are already applied; this is the
+        exact work a partitioned backend has to cover, and the order
+        downstream splicing must preserve.
+        """
+        clone_set = set(self.clones)
+        names: List[str] = []
+        for name in self.unit.routine_names():
+            if name not in self.selected and name not in clone_set:
+                continue
+            if self.unit.routine_module.get(name) in self.reused_modules:
+                continue
+            names.append(name)
+        return names
 
     @property
     def views(self) -> Dict[str, ProfileView]:
@@ -224,14 +247,21 @@ class HighLevelOptimizer:
         self,
         selected_routines: Optional[Set[str]] = None,
         materialize: bool = True,
+        run_scalar: bool = True,
     ) -> HloResult:
         """Run the full HLO phase sequence.
 
         ``selected_routines`` is the fine-grained selectivity set: only
         these are inlined into and scalar-optimized; None means all.
+
+        ``run_scalar=False`` stops after the serial whole-program
+        phases (the WPA half of a WHOPR-style split): the caller owns
+        phase 5 -- either via :meth:`run_scalar_phase` or a partitioned
+        parallel backend -- and ``materialize`` is deferred with it.
         """
         program = self.program
         options = self.options
+        wpa_start = time.perf_counter()
 
         incr = self.incr_session
 
@@ -356,31 +386,6 @@ class HighLevelOptimizer:
             reused_modules = incr.decide_reuse(keys)
             accountant.mark("summarized")
 
-        # Phase 5: scalar pipeline over selected routines (fine-grained
-        # selectivity: everything else stays unloaded).  Modules being
-        # reused from the incremental cache skip it entirely -- their
-        # cached machine code already reflects this pipeline's output.
-        pipeline = standard_pipeline()
-        for name in all_names + clones:
-            if name not in selected and name not in clones:
-                continue
-            if unit.routine_module.get(name) in reused_modules:
-                continue
-            routine = unit.routine(name)
-            if routine is None:
-                continue
-            handle = unit.handle(name)
-            loader.pin(handle)
-            pipeline.run_routine(routine, ctx)
-            loader.unpin(handle)
-            loader.reaccount(handle)
-            handle.request_unload()
-        accountant.mark("optimized")
-
-        hlo_peak = accountant.peak
-        if materialize:
-            unit.materialize(program)
-
         result = HloResult(
             program=program,
             unit=unit,
@@ -390,9 +395,48 @@ class HighLevelOptimizer:
             removed_functions=removed,
             clones=clones,
         )
-        result.peak_bytes = hlo_peak
+        result.peak_bytes = accountant.peak
         result.reused_modules = reused_modules
+        result.phase_seconds["wpa"] = time.perf_counter() - wpa_start
+
+        # Phase 5: scalar pipeline over selected routines (fine-grained
+        # selectivity: everything else stays unloaded).  Modules being
+        # reused from the incremental cache skip it entirely -- their
+        # cached machine code already reflects this pipeline's output.
+        if run_scalar:
+            self.run_scalar_phase(result, materialize=materialize)
         return result
+
+    def run_scalar_phase(
+        self, result: HloResult, materialize: bool = True
+    ) -> None:
+        """Phase 5: run the scalar pipeline over the worklist, serially.
+
+        This is the reference (LTRANS) half of the phase split; the
+        partitioned backend in :mod:`repro.part` must match its output
+        byte for byte.
+        """
+        start = time.perf_counter()
+        unit = result.unit
+        ctx = result.ctx
+        loader = unit.loader
+        pipeline = standard_pipeline()
+        for name in result.scalar_worklist():
+            routine = unit.routine(name)
+            if routine is None:
+                continue
+            handle = unit.handle(name)
+            loader.pin(handle)
+            pipeline.run_routine(routine, ctx)
+            loader.unpin(handle)
+            loader.reaccount(handle)
+            handle.request_unload()
+        loader.accountant.mark("optimized")
+
+        result.peak_bytes = loader.accountant.peak
+        result.phase_seconds["scalar"] = time.perf_counter() - start
+        if materialize:
+            unit.materialize(result.program)
 
     # -- Helpers ---------------------------------------------------------------------
 

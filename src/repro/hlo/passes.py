@@ -32,6 +32,12 @@ class PassStats:
     def get(self, pass_name: str) -> int:
         return self.counts.get(pass_name, 0)
 
+    def merge(self, other: "PassStats") -> None:
+        """Fold another context's counters into this one (partition
+        workers run with private stats, folded back in order)."""
+        for pass_name, count in other.counts.items():
+            self.bump(pass_name, count)
+
     def __repr__(self) -> str:
         inner = ", ".join(
             "%s=%d" % (name, count) for name, count in sorted(self.counts.items())

@@ -23,7 +23,7 @@ from .memory import (
     program_symtab_bytes,
 )
 from .pools import KIND_IR, KIND_SYMTAB, Handle, Pool, PoolState
-from .repository import Repository
+from .repository import OverlayRepository, Repository
 
 __all__ = [
     "CompactionError",
@@ -51,5 +51,6 @@ __all__ = [
     "Handle",
     "Pool",
     "PoolState",
+    "OverlayRepository",
     "Repository",
 ]

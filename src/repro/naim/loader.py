@@ -16,7 +16,8 @@ Behaviour reproduced from the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..ir.routine import Routine
 from ..ir.symbols import ModuleSymbolTable, ProgramSymbolTable
@@ -43,6 +44,7 @@ class LoaderStats:
         self.offloads = 0
         self.repository_fetches = 0
         self.unload_requests = 0
+        self.prefetches = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -90,9 +92,23 @@ class Loader:
         self.stats = LoaderStats()
         self._pools: Dict[Tuple[str, str], Pool] = {}
         self._clock = 0
-        # Count of expanded, unpinned pools (cache-capacity enforcement
-        # without scanning every pool on every touch).
-        self._expanded_count = 0
+        # Counts of expanded, unpinned pools by kind (cache-capacity
+        # enforcement without scanning every pool on every touch).
+        # Symbol-table pools only become eviction-eligible at the
+        # ST_COMPACT level, hence the split.
+        self._expanded_ir = 0
+        self._expanded_symtab = 0
+        # Lazy eviction heaps of (last_touch, kind, name).  Entries are
+        # pushed on every touch and validated on pop (an entry whose
+        # recorded touch no longer matches the pool's is stale), so
+        # eviction is O(evicted·log n) instead of re-sorting every
+        # expanded pool.  Released pools queue in the pending heap and
+        # are evicted ahead of same-age LRU peers.
+        self._lru_heap: List[Tuple[int, str, str]] = []
+        self._pending_heap: List[Tuple[int, str, str]] = []
+        # Touch clock of the most recently used unpinned expanded pool;
+        # that pool is never evicted (prompt re-touches stay free).
+        self._newest_touch = 0
         # Eviction runs when the count exceeds capacity by this slack.
         self._enforce_slack = 8
 
@@ -112,17 +128,68 @@ class Loader:
         self._clock += 1
         pool.last_touch = self._clock  # registration counts as a touch
         self._pools[key] = pool
-        self._expanded_count += 1
+        self._expanded_add(pool, 1)
+        self._note_use(pool)
+        self._account(pool)
+        self._maybe_enforce()
+        return Handle(pool, self)
+
+    def adopt_routine(
+        self,
+        name: str,
+        expanded: Optional[Routine] = None,
+        compact_bytes: Optional[bytes] = None,
+        offloaded: bool = False,
+    ) -> Handle:
+        """Take ownership of a routine pool in a known state.
+
+        Partition workers inherit pools from the link-wide loader in
+        whatever state the serial phases left them: expanded (pass the
+        object), compact (pass the bytes), or offloaded (the worker's
+        repository can fetch them on demand).
+        """
+        key = (KIND_IR, name)
+        if key in self._pools:
+            raise ValueError("pool %s:%s already registered" % key)
+        pool = Pool(KIND_IR, name, expanded)
+        self._clock += 1
+        pool.last_touch = self._clock
+        if expanded is not None:
+            self._expanded_add(pool, 1)
+            self._note_use(pool)
+        elif compact_bytes is not None:
+            pool.compact_bytes = compact_bytes
+            pool.state = PoolState.COMPACT
+        elif offloaded:
+            pool.state = PoolState.OFFLOADED
+        else:
+            raise ValueError("adopt_routine needs a state for %r" % name)
+        self._pools[key] = pool
         self._account(pool)
         self._maybe_enforce()
         return Handle(pool, self)
 
     def drop(self, handle: Handle) -> None:
-        """Remove a pool entirely (routine deleted by dead-function elim)."""
+        """Remove a pool entirely (routine deleted by dead-function elim).
+
+        Also discards the pool's repository entry so dead-function
+        pools do not linger on disk until the next prune.
+        """
+        pool = handle.pool
+        self.release(handle)
+        self.repository.discard(pool.kind, pool.name)
+
+    def release(self, handle: Handle) -> None:
+        """Forget a pool without touching the repository.
+
+        Used to transfer ownership: partition workers adopt the pool
+        under their own loader, so its offloaded bytes (if any) must
+        stay fetchable from the shared repository.
+        """
         pool = handle.pool
         if self._pools.pop(pool.key(), None) is not None:
             if pool.state is PoolState.EXPANDED and not pool.pinned:
-                self._expanded_count -= 1
+                self._expanded_add(pool, -1)
         pool.expanded = None
         pool.compact_bytes = None
         self.accountant.set_usage(pool.kind, pool.name, 0)
@@ -139,6 +206,7 @@ class Loader:
                 # Cache hit: the lazy unloader never actually did the work.
                 self.stats.cache_hits += 1
                 pool.unload_pending = False
+            self._note_use(pool)
             return pool.expanded
 
     # -- expand from compact or disk --
@@ -157,10 +225,41 @@ class Loader:
         pool.state = PoolState.EXPANDED
         pool.unload_pending = False
         if not pool.pinned:
-            self._expanded_count += 1
+            self._expanded_add(pool, 1)
+            self._note_use(pool)
         self._account(pool)
         self._maybe_enforce()
         return pool.expanded
+
+    def prefetch(self, handles: Iterable[Handle]) -> int:
+        """Warm offloaded pools back to COMPACT in one repository batch.
+
+        Partition workers call this once per partition so offloaded
+        pools come off disk in a single :meth:`Repository.fetch_many`
+        pass instead of one fetch per first touch.  Returns the number
+        of pools actually fetched.
+        """
+        offloaded = [
+            handle.pool
+            for handle in handles
+            if handle.pool.state is PoolState.OFFLOADED
+        ]
+        if not offloaded:
+            return 0
+        fetched = self.repository.fetch_many(
+            [(pool.kind, pool.name) for pool in offloaded]
+        )
+        count = 0
+        for pool in offloaded:
+            data = fetched.get((pool.kind, pool.name))
+            if data is None:
+                continue
+            pool.compact_bytes = data
+            pool.state = PoolState.COMPACT
+            self._account(pool)
+            count += 1
+        self.stats.prefetches += count
+        return count
 
     def request_unload(self, pool: Pool) -> None:
         """Mark a pool unload-pending; actual work happens lazily."""
@@ -168,13 +267,21 @@ class Loader:
             return
         self.stats.unload_requests += 1
         pool.unload_pending = True
+        heapq.heappush(
+            self._pending_heap, (pool.last_touch, pool.kind, pool.name)
+        )
         self._enforce()
 
     def request_unload_all(self) -> None:
         """Client convenience: "unload everything you don't need"."""
         for pool in self._pools.values():
             if pool.state is PoolState.EXPANDED and not pool.pinned:
-                pool.unload_pending = True
+                if not pool.unload_pending:
+                    pool.unload_pending = True
+                    heapq.heappush(
+                        self._pending_heap,
+                        (pool.last_touch, pool.kind, pool.name),
+                    )
         self._enforce()
 
     def pin(self, handle: Handle) -> None:
@@ -183,14 +290,15 @@ class Loader:
         if not pool.pinned:
             pool.pinned = True
             if pool.state is PoolState.EXPANDED:
-                self._expanded_count -= 1
+                self._expanded_add(pool, -1)
 
     def unpin(self, handle: Handle) -> None:
         pool = handle.pool
         if pool.pinned:
             pool.pinned = False
             if pool.state is PoolState.EXPANDED:
-                self._expanded_count += 1
+                self._expanded_add(pool, 1)
+                self._note_use(pool)
                 self._maybe_enforce()
 
     # -- Memory accounting ---------------------------------------------------------
@@ -210,9 +318,24 @@ class Loader:
     def effective_level(self) -> NaimLevel:
         return self.config.effective_level(self.accountant.current)
 
+    def _expanded_add(self, pool: Pool, delta: int) -> None:
+        if pool.kind == KIND_SYMTAB:
+            self._expanded_symtab += delta
+        else:
+            self._expanded_ir += delta
+
+    def _note_use(self, pool: Pool) -> None:
+        """Record a use of an unpinned expanded pool in the LRU heap."""
+        heapq.heappush(
+            self._lru_heap, (pool.last_touch, pool.kind, pool.name)
+        )
+        if pool.last_touch > self._newest_touch:
+            self._newest_touch = pool.last_touch
+
     def _maybe_enforce(self) -> None:
         """Run eviction only when the cache is over capacity (+ slack)."""
-        if self._expanded_count > self.config.cache_pools + self._enforce_slack:
+        expanded = self._expanded_ir + self._expanded_symtab
+        if expanded > self.config.cache_pools + self._enforce_slack:
             self._enforce()
 
     def _enforce(self) -> None:
@@ -223,38 +346,53 @@ class Loader:
         OFFLOAD level).  Explicitly released (unload-pending) pools are
         evicted ahead of same-age peers.  Pools a client pinned, and the
         single most recently touched pool, are never evicted.
+
+        Eviction pops the lazy heaps oldest-first, discarding stale
+        entries (recorded touch no longer matches the pool's, pool no
+        longer expanded, pool pinned or gone); entries skipped for
+        reasons that can change later -- symtab pools below the
+        ST_COMPACT level, the most recently touched pool -- are pushed
+        back.  Each entry is popped at most once per push, so total
+        eviction work is O(touches·log n) per compilation rather than
+        O(enforcements · pools·log pools).
         """
         level = self.effective_level()
         if level is NaimLevel.OFF:
             return
-        candidates = [
-            pool
-            for pool in self._pools.values()
-            if pool.state is PoolState.EXPANDED
-            and not pool.pinned
-            and (pool.kind != KIND_SYMTAB or level >= NaimLevel.ST_COMPACT)
-        ]
-        if not candidates:
-            return
-        newest_touch = max(pool.last_touch for pool in candidates)
-        # Eviction order: released first, then least recently used.
-        candidates.sort(
-            key=lambda pool: (
-                not pool.unload_pending,
-                pool.last_touch,
-                pool.kind,
-                pool.name,
-            )
+        include_symtab = level >= NaimLevel.ST_COMPACT
+        eligible = self._expanded_ir + (
+            self._expanded_symtab if include_symtab else 0
         )
-        capacity = max(self.config.cache_pools, 1)
-        excess = len(candidates) - capacity
-        for pool in candidates:
-            if excess <= 0:
-                break
-            if pool.last_touch == newest_touch:
-                continue
-            self._compact_pool(pool, offload=level >= NaimLevel.OFFLOAD)
-            excess -= 1
+        excess = eligible - max(self.config.cache_pools, 1)
+        if excess <= 0:
+            return
+        offload = level >= NaimLevel.OFFLOAD
+        deferred: List[Tuple[List[Tuple[int, str, str]], Tuple[int, str, str]]]
+        deferred = []
+        for heap in (self._pending_heap, self._lru_heap):
+            while excess > 0 and heap:
+                entry = heapq.heappop(heap)
+                touch, kind, name = entry
+                pool = self._pools.get((kind, name))
+                if (
+                    pool is None
+                    or pool.state is not PoolState.EXPANDED
+                    or pool.pinned
+                    or touch != pool.last_touch
+                ):
+                    continue  # stale entry: drop it
+                if heap is self._pending_heap and not pool.unload_pending:
+                    continue  # released, then re-touched
+                if kind == KIND_SYMTAB and not include_symtab:
+                    deferred.append((heap, entry))
+                    continue
+                if touch == self._newest_touch:
+                    deferred.append((heap, entry))
+                    continue
+                self._compact_pool(pool, offload=offload)
+                excess -= 1
+        for heap, entry in deferred:
+            heapq.heappush(heap, entry)
 
     def _compact_pool(self, pool: Pool, offload: bool) -> None:
         assert pool.state is PoolState.EXPANDED and pool.expanded is not None
@@ -267,7 +405,7 @@ class Loader:
         self.stats.compactions += 1
         pool.expanded = None
         pool.unload_pending = False
-        self._expanded_count -= 1
+        self._expanded_add(pool, -1)
         if offload:
             self.repository.store(pool.kind, pool.name, data)
             self.stats.offloads += 1

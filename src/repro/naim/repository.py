@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import os
 import tempfile
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Characters stored verbatim in pool filenames.  ``_`` is *not* safe:
 #: it is the escape lead-in, so escaped text can never contain the
@@ -40,9 +41,13 @@ class Repository:
         self._in_memory = in_memory
         self._mem: Dict[Tuple[str, str], bytes] = {}
         self._known: Dict[Tuple[str, str], int] = {}
+        # Partition workers fetch concurrently; the index and counters
+        # are shared mutable state, so updates take this lock.
+        self._lock = threading.Lock()
         #: Operation counters (observable by benchmarks).
         self.stores = 0
         self.fetches = 0
+        self.batch_fetches = 0
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -114,33 +119,69 @@ class Repository:
     # -- Store / fetch -------------------------------------------------------------
 
     def store(self, kind: str, name: str, data: bytes) -> None:
-        self.stores += 1
-        self.bytes_written += len(data)
-        self._known[(kind, name)] = len(data)
-        if self._in_memory:
-            self._mem[(kind, name)] = data
-            return
+        with self._lock:
+            self.stores += 1
+            self.bytes_written += len(data)
+            self._known[(kind, name)] = len(data)
+            if self._in_memory:
+                self._mem[(kind, name)] = data
+                return
         with open(self._path(kind, name), "wb") as handle:
             handle.write(data)
 
     def fetch(self, kind: str, name: str) -> bytes:
-        if (kind, name) not in self._known:
-            raise KeyError("repository has no %s pool %r" % (kind, name))
-        self.fetches += 1
+        with self._lock:
+            if (kind, name) not in self._known:
+                raise KeyError("repository has no %s pool %r" % (kind, name))
+            self.fetches += 1
         if self._in_memory:
             data = self._mem[(kind, name)]
         else:
             with open(self._path(kind, name), "rb") as handle:
                 data = handle.read()
-        self.bytes_read += len(data)
+        with self._lock:
+            self.bytes_read += len(data)
         return data
+
+    def fetch_many(
+        self, keys: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bytes]:
+        """Fetch a batch of pools in one pass.
+
+        Partition workers warm their offloaded pools with a single
+        batch instead of one :meth:`fetch` round-trip per touch.  Keys
+        absent from the repository are silently skipped (the caller
+        decides whether that is an error); each key present counts as
+        one fetch, the batch as one ``batch_fetches``.
+        """
+        wanted: List[Tuple[str, str]] = []
+        with self._lock:
+            self.batch_fetches += 1
+            for key in keys:
+                if key in self._known:
+                    wanted.append(key)
+            self.fetches += len(wanted)
+        out: Dict[Tuple[str, str], bytes] = {}
+        total = 0
+        for kind, name in wanted:
+            if self._in_memory:
+                data = self._mem[(kind, name)]
+            else:
+                with open(self._path(kind, name), "rb") as handle:
+                    data = handle.read()
+            out[(kind, name)] = data
+            total += len(data)
+        with self._lock:
+            self.bytes_read += total
+        return out
 
     def discard(self, kind: str, name: str) -> bool:
         """Drop one pool if present; returns whether it existed."""
-        if (kind, name) not in self._known:
-            return False
-        del self._known[(kind, name)]
-        self._mem.pop((kind, name), None)
+        with self._lock:
+            if (kind, name) not in self._known:
+                return False
+            del self._known[(kind, name)]
+            self._mem.pop((kind, name), None)
         if not self._in_memory:
             try:
                 os.unlink(self._path(kind, name))
@@ -208,3 +249,47 @@ class Repository:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class OverlayRepository(Repository):
+    """A private write layer over a shared read-only base repository.
+
+    Partition workers share the link-wide repository for *reads* (pools
+    the serial WPA phases offloaded) but must not mutate it -- their own
+    evictions land in a private in-memory layer instead.  Lookups
+    consult the overlay first, then fall through to the base; discards
+    only ever touch the overlay (a masked base pool simply becomes
+    visible again, which is correct: the base copy is still the pool's
+    last globally published content).
+    """
+
+    def __init__(self, base: Repository) -> None:
+        super().__init__(in_memory=True)
+        self._base = base
+
+    def fetch(self, kind: str, name: str) -> bytes:
+        with self._lock:
+            mine = (kind, name) in self._known
+        if mine:
+            return super().fetch(kind, name)
+        return self._base.fetch(kind, name)
+
+    def fetch_many(
+        self, keys: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bytes]:
+        keys = list(keys)
+        with self._lock:
+            mine = [key for key in keys if key in self._known]
+        theirs = [key for key in keys if key not in set(mine)]
+        out = super().fetch_many(mine) if mine else {}
+        if theirs:
+            out.update(self._base.fetch_many(theirs))
+        return out
+
+    def contains(self, kind: str, name: str) -> bool:
+        return super().contains(kind, name) or self._base.contains(kind, name)
+
+    def stored_size(self, kind: str, name: str) -> int:
+        if super().contains(kind, name):
+            return super().stored_size(kind, name)
+        return self._base.stored_size(kind, name)

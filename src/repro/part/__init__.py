@@ -1,0 +1,20 @@
+"""Partitioned parallel whole-program optimization (WHOPR-style).
+
+The serial whole-program phases (DFE, IPCP, cloning, inlining -- the
+WPA half) stay in :mod:`repro.hlo.driver`; this package supplies the
+LTRANS half: :func:`partition_unit` splits the post-inline CMO unit
+into profile-weight-balanced partitions, and :class:`PartitionRunner`
+executes the scalar pipeline + LLO codegen for each partition on a
+worker pool, splicing results back in canonical unit order so the
+final image is byte-identical to a serial build.
+"""
+
+from .partition import Partition, partition_unit
+from .runner import PartitionRunner, PartitionRunResult
+
+__all__ = [
+    "Partition",
+    "partition_unit",
+    "PartitionRunner",
+    "PartitionRunResult",
+]

@@ -94,6 +94,7 @@ class EventLog:
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
+        self._local = threading.local()
         self.events: List[BuildEvent] = []
 
     def now_us(self) -> int:
@@ -103,13 +104,37 @@ class EventLog:
         with self._lock:
             self.events.append(event)
 
-    def span(self, name: str, category: str = "task", worker: int = 0,
+    # -- Per-thread default worker ------------------------------------------------
+
+    def set_worker(self, worker: int) -> None:
+        """Bind this thread's default worker lane.
+
+        Executor worker threads (and partition runners) call this so
+        spans emitted deep inside a task -- where no worker id is in
+        scope -- still land on the right trace row.
+        """
+        self._local.worker = worker
+
+    def current_worker(self) -> int:
+        return getattr(self._local, "worker", 0)
+
+    def span(self, name: str, category: str = "task",
+             worker: Optional[int] = None,
              args: Optional[Dict[str, object]] = None) -> _Span:
-        """``with log.span("compile:m1", "compile"): ...``"""
+        """``with log.span("compile:m1", "compile"): ...``
+
+        ``worker=None`` uses the thread's bound lane (see
+        :meth:`set_worker`).
+        """
+        if worker is None:
+            worker = self.current_worker()
         return _Span(self, name, category, worker, args)
 
-    def instant(self, name: str, category: str = "event", worker: int = 0,
+    def instant(self, name: str, category: str = "event",
+                worker: Optional[int] = None,
                 args: Optional[Dict[str, object]] = None) -> None:
+        if worker is None:
+            worker = self.current_worker()
         self.append(BuildEvent(name, category, "instant", self.now_us(),
                                0, worker, args))
 

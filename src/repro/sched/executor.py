@@ -158,6 +158,9 @@ class Executor:
         # Dependencies are DONE before submission; reading their
         # results is race-free.
         inputs = {dep: graph.tasks[dep].result for dep in task.deps}
+        # Bind the lane so spans emitted inside the task body (which
+        # has no worker id in scope) land on this worker's trace row.
+        self.events.set_worker(worker)
         try:
             with self.events.span(task.task_id, task.category, worker):
                 task.result = task.fn(inputs)

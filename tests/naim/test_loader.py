@@ -196,3 +196,103 @@ class TestAccounting:
             < sum(1 for _ in handles) * 10**9
         )
         assert all(p.name != name for p in loader.pools())
+
+
+class TestOwnershipTransfer:
+    def test_drop_discards_repository_entry(self):
+        _, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=1)
+        loader.request_unload_all()
+        victim = next(
+            h for h in sorted(handles.values(), key=lambda h: h.name)
+            if h.peek_state() is PoolState.OFFLOADED
+        )
+        assert loader.repository.contains("ir", victim.name)
+        loader.drop(victim)
+        assert not loader.repository.contains("ir", victim.name)
+
+    def test_release_keeps_repository_entry(self):
+        _, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=1)
+        loader.request_unload_all()
+        victim = next(
+            h for h in sorted(handles.values(), key=lambda h: h.name)
+            if h.peek_state() is PoolState.OFFLOADED
+        )
+        loader.release(victim)
+        assert loader.repository.contains("ir", victim.name)
+        assert all(p.name != victim.name for p in loader.pools())
+
+    def test_release_zeroes_accounting(self):
+        _, loader, handles = make_loader(NaimLevel.OFF)
+        for handle in list(handles.values()):
+            loader.release(handle)
+        assert loader.accountant.category_total("ir") == 0
+
+    def test_adopt_expanded(self):
+        program, loader, handles = make_loader(NaimLevel.OFF)
+        routine = handles["f0"].get()
+        loader.release(handles["f0"])
+        other = Loader(
+            NaimConfig.pinned(NaimLevel.OFF), program.symtab,
+        )
+        handle = other.adopt_routine("f0", expanded=routine)
+        assert handle.peek_state() is PoolState.EXPANDED
+        assert handle.get() is routine
+
+    def test_adopt_compact_roundtrip(self):
+        from repro.naim import compact_routine
+
+        program, loader, handles = make_loader(NaimLevel.OFF)
+        routine = handles["f0"].get()
+        data = compact_routine(routine, program.symtab)
+        other = Loader(NaimConfig.pinned(NaimLevel.OFF), program.symtab)
+        handle = other.adopt_routine("f0", compact_bytes=data)
+        assert handle.peek_state() is PoolState.COMPACT
+        assert handle.get().name == "f0"
+
+    def test_adopt_offloaded_fetches_from_repository(self):
+        from repro.naim import compact_routine
+
+        program, loader, handles = make_loader(NaimLevel.OFF)
+        routine = handles["f1"].get()
+        repo = Repository(in_memory=True)
+        repo.store("ir", "f1", compact_routine(routine, program.symtab))
+        other = Loader(
+            NaimConfig.pinned(NaimLevel.OFF), program.symtab,
+            repository=repo,
+        )
+        handle = other.adopt_routine("f1", offloaded=True)
+        assert handle.peek_state() is PoolState.OFFLOADED
+        assert handle.get().name == "f1"
+        assert other.stats.repository_fetches == 1
+
+    def test_adopt_requires_a_state(self):
+        program, loader, _ = make_loader(NaimLevel.OFF)
+        with pytest.raises(ValueError):
+            loader.adopt_routine("ghost")
+
+
+class TestPrefetch:
+    def test_prefetch_batches_offloaded_pools(self):
+        _, loader, handles = make_loader(NaimLevel.OFFLOAD, cache_pools=1)
+        loader.request_unload_all()
+        offloaded = [
+            h for h in handles.values()
+            if h.peek_state() is PoolState.OFFLOADED
+        ]
+        assert offloaded
+        fetched = loader.prefetch(handles.values())
+        assert fetched == len(offloaded)
+        assert loader.stats.prefetches == len(offloaded)
+        assert loader.repository.batch_fetches == 1
+        assert all(
+            h.peek_state() is PoolState.COMPACT for h in offloaded
+        )
+        # Touching a prefetched pool needs no further repository fetch.
+        before = loader.repository.fetches
+        offloaded[0].get()
+        assert loader.repository.fetches == before
+
+    def test_prefetch_without_offloaded_pools_is_free(self):
+        _, loader, handles = make_loader(NaimLevel.OFF)
+        assert loader.prefetch(handles.values()) == 0
+        assert loader.repository.batch_fetches == 0

@@ -140,3 +140,76 @@ class TestDiscardAndReindex:
         repo = Repository(directory=str(tmp_path))
         assert repo.reindex() == 0
         assert len(repo) == 0
+
+
+class TestFetchMany:
+    def test_batch_returns_present_keys(self):
+        repo = Repository(in_memory=True)
+        repo.store("ir", "a", b"aa")
+        repo.store("ir", "b", b"bbb")
+        out = repo.fetch_many([("ir", "a"), ("ir", "b"), ("ir", "ghost")])
+        assert out == {("ir", "a"): b"aa", ("ir", "b"): b"bbb"}
+
+    def test_batch_counters(self):
+        repo = Repository(in_memory=True)
+        repo.store("ir", "a", b"aa")
+        repo.store("ir", "b", b"bbb")
+        repo.fetch_many([("ir", "a"), ("ir", "b")])
+        assert repo.batch_fetches == 1
+        assert repo.fetches == 2
+        assert repo.bytes_read == 5
+
+    def test_batch_on_disk(self, tmp_path):
+        repo = Repository(directory=str(tmp_path))
+        repo.store("ir", "x:y", b"data")
+        repo.store("ir", "z", b"more")
+        out = repo.fetch_many([("ir", "x:y"), ("ir", "z")])
+        assert out[("ir", "x:y")] == b"data"
+        assert out[("ir", "z")] == b"more"
+
+
+class TestOverlay:
+    def test_reads_fall_through_to_base(self):
+        from repro.naim.repository import OverlayRepository
+
+        base = Repository(in_memory=True)
+        base.store("ir", "f", b"base")
+        overlay = OverlayRepository(base)
+        assert overlay.contains("ir", "f")
+        assert overlay.fetch("ir", "f") == b"base"
+        assert overlay.stored_size("ir", "f") == 4
+
+    def test_writes_stay_private(self):
+        from repro.naim.repository import OverlayRepository
+
+        base = Repository(in_memory=True)
+        overlay = OverlayRepository(base)
+        overlay.store("ir", "f", b"private")
+        assert overlay.fetch("ir", "f") == b"private"
+        assert not base.contains("ir", "f")
+
+    def test_overlay_masks_base(self):
+        from repro.naim.repository import OverlayRepository
+
+        base = Repository(in_memory=True)
+        base.store("ir", "f", b"old")
+        overlay = OverlayRepository(base)
+        overlay.store("ir", "f", b"new")
+        assert overlay.fetch("ir", "f") == b"new"
+        # Discard only unmasks: the base copy becomes visible again.
+        overlay.discard("ir", "f")
+        assert overlay.fetch("ir", "f") == b"old"
+        assert base.fetch("ir", "f") == b"old"
+
+    def test_fetch_many_splits_layers(self):
+        from repro.naim.repository import OverlayRepository
+
+        base = Repository(in_memory=True)
+        base.store("ir", "b", b"from-base")
+        overlay = OverlayRepository(base)
+        overlay.store("ir", "o", b"from-overlay")
+        out = overlay.fetch_many([("ir", "b"), ("ir", "o"), ("ir", "nope")])
+        assert out == {
+            ("ir", "b"): b"from-base",
+            ("ir", "o"): b"from-overlay",
+        }

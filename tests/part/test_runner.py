@@ -1,0 +1,137 @@
+"""Integration tests for the partitioned LTRANS backend.
+
+The load-bearing property: for any jobs/partitions setting, a +O4
+build's image is byte-identical to the serial build, and every folded
+statistic is deterministic (independent of worker interleaving).
+"""
+
+import pytest
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.linker.objects import encode_executable
+from repro.naim.config import NaimConfig, NaimLevel
+from repro.part import partition_unit
+from repro.synth import WorkloadConfig, generate
+
+
+def app_sources(seed=3, n_modules=8):
+    config = WorkloadConfig(
+        "part%d" % seed,
+        n_modules=n_modules,
+        routines_per_module=3,
+        n_features=2,
+        dispatch_count=40,
+        input_size=16,
+        seed=seed,
+    )
+    return generate(config).sources
+
+
+def build(sources, profile_db=None, **option_kwargs):
+    options = CompilerOptions(
+        opt_level=4, pbo=profile_db is not None, **option_kwargs
+    )
+    return Compiler(options).build(sources, profile_db)
+
+
+class TestByteIdentity:
+    def test_jobs_do_not_change_the_image(self):
+        sources = app_sources()
+        reference = encode_executable(build(sources).executable)
+        for jobs in (1, 2, 4):
+            parallel = build(sources, hlo_jobs=jobs)
+            assert encode_executable(parallel.executable) == reference
+
+    def test_partition_count_does_not_change_the_image(self):
+        sources = app_sources()
+        reference = encode_executable(build(sources).executable)
+        for partitions in (1, 3, 7, 16):
+            parallel = build(sources, hlo_jobs=2,
+                             hlo_partitions=partitions)
+            assert encode_executable(parallel.executable) == reference
+
+    def test_identical_under_naim_offload(self):
+        sources = app_sources(seed=5)
+        naim = lambda: NaimConfig.pinned(NaimLevel.OFFLOAD, cache_pools=2)
+        reference = encode_executable(
+            build(sources, naim=naim()).executable
+        )
+        parallel = build(sources, naim=naim(), hlo_jobs=4)
+        assert encode_executable(parallel.executable) == reference
+        # Workers warmed their offloaded pools in batches.
+        assert parallel.hlo_result.loader.stats.prefetches > 0
+
+    def test_identical_with_profiles_and_selectivity(self):
+        sources = app_sources(seed=9)
+        profile_db = train(sources, [None])
+        reference = encode_executable(
+            build(sources, profile_db, selectivity_percent=60).executable
+        )
+        parallel = build(sources, profile_db, selectivity_percent=60,
+                         hlo_jobs=3)
+        assert encode_executable(parallel.executable) == reference
+
+
+class TestDeterministicFolding:
+    def test_stats_independent_of_interleaving(self):
+        sources = app_sources(seed=13)
+        first = build(sources, hlo_jobs=4)
+        second = build(sources, hlo_jobs=4)
+        assert (first.hlo_result.loader.stats.as_dict()
+                == second.hlo_result.loader.stats.as_dict())
+        assert (first.hlo_result.ctx.stats.counts
+                == second.hlo_result.ctx.stats.counts)
+        assert first.accountant.peak == second.accountant.peak
+
+    def test_pass_stats_match_serial(self):
+        sources = app_sources(seed=13)
+        serial = build(sources)
+        parallel = build(sources, hlo_jobs=4)
+        assert (serial.hlo_result.ctx.stats.counts
+                == parallel.hlo_result.ctx.stats.counts)
+        assert repr(serial.llo_stats) == repr(parallel.llo_stats)
+
+
+class TestUnitAfterRun:
+    def test_unit_stays_usable(self):
+        """Ownership transfer round-trips: optimized routines are
+        re-adopted into the link loader after the parallel run."""
+        sources = app_sources()
+        parallel = build(sources, hlo_jobs=2)
+        unit = parallel.hlo_result.unit
+        for name in unit.routine_names():
+            routine = unit.routine(name)
+            assert routine is not None
+            assert routine.name == name
+
+    def test_partitions_cover_the_unit(self):
+        sources = app_sources()
+        result = build(sources, hlo_jobs=2)
+        hlo_result = result.hlo_result
+        partitions = partition_unit(hlo_result, 4)
+        covered = sorted(r for p in partitions for r in p.routines)
+        assert covered == sorted(hlo_result.unit.routine_names())
+
+
+class TestOptionsGuards:
+    def test_hlo_jobs_not_in_describe(self):
+        # The knob must not poison artifact-cache or incremental
+        # fingerprints: output is identical for every value.
+        serial = CompilerOptions(opt_level=4)
+        parallel = CompilerOptions(opt_level=4, hlo_jobs=8,
+                                   hlo_partitions=32)
+        assert serial.describe() == parallel.describe()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(opt_level=4, hlo_jobs=0)
+        with pytest.raises(ValueError):
+            CompilerOptions(opt_level=4, hlo_partitions=0)
+
+    def test_partitioned_predicate(self):
+        assert not CompilerOptions(opt_level=4).use_partitioned_hlo
+        assert CompilerOptions(opt_level=4, hlo_jobs=2).use_partitioned_hlo
+        assert CompilerOptions(
+            opt_level=4, hlo_partitions=8
+        ).use_partitioned_hlo

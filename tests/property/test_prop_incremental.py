@@ -81,9 +81,11 @@ def test_single_module_edit_matches_clean_build(seed, victim):
     assert result.incr_report.changed_modules == [edited_name]
 
     # Untouched modules outside the dirty closure kept their codegen.
-    assert set(report.cmo_reused).isdisjoint(
-        {edited_name} | set(report.cmo_reoptimized)
-    )
+    # The edited module itself may appear in cmo_reused in the
+    # dead-code case above (its post-inline key did not change).
+    assert set(report.cmo_reused).isdisjoint(set(report.cmo_reoptimized))
+    if image != original_image:
+        assert edited_name not in report.cmo_reused
 
     # A no-op rebuild of the edited program reuses everything.
     again, report2 = engine.build(edited)
