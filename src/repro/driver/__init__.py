@@ -1,7 +1,14 @@
 """Compiler driver: user-facing options, builds, selectivity, make."""
 
 from .build import BuildEngine, RebuildReport
-from .compiler import BuildResult, BuildTimings, Compiler, train
+from .compiler import (
+    BuildResult,
+    BuildTimings,
+    Compiler,
+    CompileSession,
+    SessionBuildStats,
+    train,
+)
 from .options import CompilerOptions
 from .selectivity import SelectivityPlan, plan_selectivity
 
@@ -11,6 +18,8 @@ __all__ = [
     "BuildResult",
     "BuildTimings",
     "Compiler",
+    "CompileSession",
+    "SessionBuildStats",
     "train",
     "CompilerOptions",
     "SelectivityPlan",

@@ -14,6 +14,10 @@ Subcommands:
 
 Module names derive from file stems; a file named ``main.mll`` (or any
 module defining ``main``) provides the entry point.
+
+``build --daemon`` routes the request to a running build daemon
+(:mod:`repro.serve`) over its UNIX socket, falling back to in-process
+compilation when none is running; output is identical either way.
 """
 
 from __future__ import annotations
@@ -25,11 +29,9 @@ from typing import Dict, List
 
 from ..frontend import compile_source, detect_language
 from ..ir.printer import format_module
-from ..naim.memory import fmt_bytes
-from ..sched.events import EventLog
-from .build import BuildEngine
-from .compiler import Compiler, train as train_profile
+from .compiler import CompileSession, train as train_profile
 from .options import CompilerOptions
+from .report import build_summary, render_build_summary
 from ..profiles.database import ProfileDatabase
 
 
@@ -46,6 +48,26 @@ def _read_sources(paths: List[str]) -> Dict[str, str]:
     if not sources:
         raise SystemExit("no source files given")
     return sources
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clear message.
+
+    Validating at the parser keeps ``-j 0`` (and friends) to a
+    one-line usage error instead of a traceback from deep inside the
+    scheduler or the options constructor.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a positive integer, got %r" % text
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "must be >= 1 (got %d)" % value
+        )
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -65,7 +87,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checked", action="store_true",
                         help="fail the build on interface mismatches")
     parser.add_argument(
-        "-j", "--jobs", type=int, default=1, metavar="N",
+        "-j", "--jobs", type=_positive_int, default=1, metavar="N",
         help="compile-task workers (1 = serial; output is identical)",
     )
     parser.add_argument(
@@ -73,24 +95,72 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="write a Chrome trace_event JSON of the build",
     )
     parser.add_argument(
-        "--hlo-jobs", type=int, default=1, metavar="N",
+        "--hlo-jobs", type=_positive_int, default=1, metavar="N",
         help="workers for the partitioned link-time optimization "
              "backend (1 = serial; output is byte-identical)",
     )
     parser.add_argument(
-        "--partitions", type=int, default=None, metavar="N",
+        "--partitions", type=_positive_int, default=None, metavar="N",
         help="partition count for the parallel backend "
              "(default: 4x --hlo-jobs)",
     )
 
 
+def _print_summary(summary: Dict[str, object]) -> None:
+    out_lines, err_lines = render_build_summary(summary)
+    for line in out_lines:
+        print(line)
+    for line in err_lines:
+        print(line, file=sys.stderr)
+
+
+def _print_run(result) -> None:
+    print("run: value=%d cycles=%d instrs=%d calls=%d"
+          % (result.value, result.cycles, result.instructions,
+             result.calls))
+
+
+def _daemon_build(args: argparse.Namespace,
+                  sources: Dict[str, str]) -> int:
+    """One build via the daemon; assumes a daemon answered the ping."""
+    from ..linker.objects import decode_executable
+    from ..serve.client import DaemonClient, build_options_from_args
+    from ..vm.machine import run_image
+
+    client = DaemonClient.from_env()
+    result = client.build(build_options_from_args(args, sources))
+    _print_summary(result["summary"])
+    image = result["image"]
+    if args.emit_image:
+        with open(args.emit_image, "wb") as handle:
+            handle.write(image)
+        print("image: %d bytes -> %s" % (len(image), args.emit_image))
+    if args.run:
+        _print_run(run_image(decode_executable(image)))
+    return 0
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
+    incremental = args.incremental or args.state_dir is not None
+
+    if args.daemon and not args.trace_out:
+        # Transparent daemon path: only taken when a daemon answers;
+        # anything else falls through to the in-process build below.
+        # (--trace-out stays in-process: the trace lives server-side.)
+        from ..serve.client import DaemonClient, DaemonError
+
+        client = DaemonClient.from_env()
+        if client.available():
+            try:
+                return _daemon_build(args, sources)
+            except DaemonError as exc:
+                print("daemon: %s; building in-process" % exc,
+                      file=sys.stderr)
+
     profile_db = None
     if args.profile:
         profile_db = ProfileDatabase.load(args.profile)
-    if args.hlo_jobs < 1:
-        raise SystemExit("--hlo-jobs must be >= 1")
     options = CompilerOptions(
         opt_level=args.opt_level,
         pbo=profile_db is not None,
@@ -99,60 +169,27 @@ def cmd_build(args: argparse.Namespace) -> int:
         hlo_jobs=args.hlo_jobs,
         hlo_partitions=args.partitions,
     )
-    if args.jobs < 1:
-        raise SystemExit("--jobs must be >= 1")
-    events = EventLog()
-    incremental = args.incremental or args.state_dir is not None
-    if incremental:
-        engine = BuildEngine(options, jobs=args.jobs, events=events,
-                             incremental=True, state_dir=args.state_dir)
-        build, report = engine.build(sources, profile_db=profile_db)
-    else:
-        build = Compiler(options).build(sources, profile_db=profile_db,
-                                        jobs=args.jobs, events=events)
-    print("build %s: %d modules, %d lines -> %d machine instrs (%.2fs)"
-          % (options.describe(), len(sources), build.source_lines,
-             build.executable.code_size(), build.timings.total()))
-    if incremental:
-        print("incremental: %d objects recompiled, %d reused"
-              % (len(report.recompiled), len(report.reused)))
-        if build.incr_report is not None:
-            print("incremental cmo: %d modules reused, %d reoptimized "
-                  "(changed: %s)"
-                  % (len(report.cmo_reused), len(report.cmo_reoptimized),
-                     ", ".join(build.incr_report.changed_modules) or "-"))
-    if args.jobs > 1:
-        print("jobs: %d workers, %d tasks" % (args.jobs,
-                                              len(events.spans())))
-    if options.use_partitioned_hlo:
-        print("hlo-jobs: %d workers, %d partitions"
-              % (options.hlo_jobs, len(events.spans("ltrans"))))
+    session = CompileSession(options, jobs=args.jobs,
+                             incremental=incremental,
+                             state_dir=args.state_dir)
+    build, report, _stats = session.build(sources, profile_db=profile_db)
+    _print_summary(build_summary(
+        options, len(sources), build, report=report, events=session.events,
+        jobs=args.jobs, incremental=session.incremental,
+    ))
     if args.emit_image:
         from ..linker.objects import encode_executable
 
+        data = encode_executable(build.executable)
         with open(args.emit_image, "wb") as handle:
-            handle.write(encode_executable(build.executable))
-        print("image: %d bytes -> %s"
-              % (os.path.getsize(args.emit_image), args.emit_image))
+            handle.write(data)
+        print("image: %d bytes -> %s" % (len(data), args.emit_image))
     if args.trace_out:
-        events.write_chrome_trace(args.trace_out)
-        print("trace: %d events -> %s" % (len(events.events),
+        session.events.write_chrome_trace(args.trace_out)
+        print("trace: %d events -> %s" % (len(session.events.events),
                                           args.trace_out))
-    if build.interface_problems:
-        for problem in build.interface_problems:
-            print("warning: interface mismatch: %s" % problem,
-                  file=sys.stderr)
-    if build.plan is not None and options.selectivity_percent is not None:
-        print("selectivity: %s" % build.plan)
-    if build.hlo_result is not None:
-        print("hlo: %s, peak memory %s"
-              % (build.hlo_result.inline_stats,
-                 fmt_bytes(build.hlo_result.peak_bytes)))
     if args.run:
-        result = build.run()
-        print("run: value=%d cycles=%d instrs=%d calls=%d"
-              % (result.value, result.cycles, result.instructions,
-                 result.calls))
+        _print_run(build.run())
     return 0
 
 
@@ -211,6 +248,11 @@ def main(argv=None) -> int:
         help="write the encoded executable image to a file "
              "(canonical bytes; byte-compare serial vs parallel builds)",
     )
+    build_parser.add_argument(
+        "--daemon", action="store_true",
+        help="build via a running repro.serve daemon (warm caches); "
+             "falls back to in-process compilation if none is running",
+    )
     build_parser.set_defaults(func=cmd_build)
 
     train_parser = subparsers.add_parser(
@@ -219,7 +261,7 @@ def main(argv=None) -> int:
     train_parser.add_argument("files", nargs="+", help="MLL source files")
     train_parser.add_argument("-o", dest="output", default="profile.json",
                               help="output database path")
-    train_parser.add_argument("--runs", type=int, default=1,
+    train_parser.add_argument("--runs", type=_positive_int, default=1,
                               help="training runs to merge")
     train_parser.set_defaults(func=cmd_train)
 

@@ -256,7 +256,13 @@ class BuildEngine:
         Raises :class:`BuildError` if any module fails to compile; all
         sibling modules still run first, so the error carries every
         module's diagnostic, not just the first.
+
+        Counters on state that outlives one build (the incremental
+        repository) are zeroed here, so two builds in one process each
+        report their own numbers instead of a running total.
         """
+        if self.incr_state is not None:
+            self.incr_state.reset_counters()
         report = RebuildReport()
 
         for stale in [name for name in self._cache if name not in sources]:

@@ -1,0 +1,104 @@
+"""Build-report assembly and rendering.
+
+The CLI and the build daemon must print the same thing for the same
+build: ``python -m repro.driver build --daemon`` is only transparent
+if its output is indistinguishable from the in-process path.  Both
+paths therefore reduce a finished build to one JSON-safe *summary*
+dict -- locally from the :class:`~repro.driver.compiler.BuildResult`,
+remotely assembled by the daemon and shipped over the wire -- and
+render it through :func:`render_build_summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..naim.memory import fmt_bytes
+from ..sched.events import EventLog
+from .compiler import BuildResult
+from .options import CompilerOptions
+
+
+def build_summary(
+    options: CompilerOptions,
+    n_modules: int,
+    build: BuildResult,
+    report=None,
+    events: Optional[EventLog] = None,
+    jobs: int = 1,
+    incremental: bool = False,
+) -> Dict[str, object]:
+    """Reduce one finished build to a JSON-safe summary dict."""
+    summary: Dict[str, object] = {
+        "describe": options.describe(),
+        "n_modules": n_modules,
+        "source_lines": build.source_lines,
+        "code_size": build.executable.code_size() if build.executable else 0,
+        "total_seconds": build.timings.total(),
+        "jobs": jobs,
+        "incremental": incremental,
+        "n_spans": len(events.spans()) if events is not None else 0,
+        "hlo_jobs": options.hlo_jobs,
+        "use_partitioned_hlo": options.use_partitioned_hlo,
+        "n_ltrans_spans": (
+            len(events.spans("ltrans")) if events is not None else 0
+        ),
+        "interface_problems": list(build.interface_problems),
+    }
+    if report is not None:
+        summary["recompiled"] = len(report.recompiled)
+        summary["reused"] = len(report.reused)
+    if build.incr_report is not None:
+        summary["cmo_reused"] = len(build.incr_report.reused)
+        summary["cmo_reoptimized"] = len(build.incr_report.reoptimized)
+        summary["cmo_changed"] = list(build.incr_report.changed_modules)
+    if build.plan is not None and options.selectivity_percent is not None:
+        summary["plan"] = str(build.plan)
+    if build.hlo_result is not None:
+        summary["hlo_inline_stats"] = str(build.hlo_result.inline_stats)
+        summary["hlo_peak_bytes"] = build.hlo_result.peak_bytes
+    return summary
+
+
+def render_build_summary(
+    summary: Dict[str, object]
+) -> Tuple[List[str], List[str]]:
+    """Summary dict -> (stdout lines, stderr lines).
+
+    The exact line shapes the CLI has always printed; the daemon
+    client renders the identical text from the shipped dict.
+    """
+    out: List[str] = []
+    err: List[str] = []
+    out.append(
+        "build %s: %d modules, %d lines -> %d machine instrs (%.2fs)"
+        % (summary["describe"], summary["n_modules"],
+           summary["source_lines"], summary["code_size"],
+           summary["total_seconds"])
+    )
+    if summary.get("incremental"):
+        out.append("incremental: %d objects recompiled, %d reused"
+                   % (summary.get("recompiled", 0),
+                      summary.get("reused", 0)))
+        if "cmo_reused" in summary:
+            out.append(
+                "incremental cmo: %d modules reused, %d reoptimized "
+                "(changed: %s)"
+                % (summary["cmo_reused"], summary["cmo_reoptimized"],
+                   ", ".join(summary.get("cmo_changed", [])) or "-")
+            )
+    if summary.get("jobs", 1) > 1:
+        out.append("jobs: %d workers, %d tasks"
+                   % (summary["jobs"], summary["n_spans"]))
+    if summary.get("use_partitioned_hlo"):
+        out.append("hlo-jobs: %d workers, %d partitions"
+                   % (summary["hlo_jobs"], summary["n_ltrans_spans"]))
+    for problem in summary.get("interface_problems", []):
+        err.append("warning: interface mismatch: %s" % problem)
+    if "plan" in summary:
+        out.append("selectivity: %s" % summary["plan"])
+    if "hlo_inline_stats" in summary:
+        out.append("hlo: %s, peak memory %s"
+                   % (summary["hlo_inline_stats"],
+                      fmt_bytes(summary["hlo_peak_bytes"])))
+    return out, err

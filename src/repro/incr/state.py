@@ -238,6 +238,14 @@ class IncrementalState:
 
     # -- Session lifecycle ------------------------------------------------------------
 
+    def reset_counters(self) -> None:
+        """Zero the backing repository's per-build operation counters.
+
+        The state (and its repository) outlive individual links; the
+        engine calls this at build start so fetch/store counts reported
+        for one link describe that link only."""
+        self.repository.reset_counters()
+
     def begin_link(self, modules, options_fp: str) -> IncrLinkSession:
         """Open a session for one link of ``modules`` (pre-HLO copies)."""
         session = IncrLinkSession(self, options_fp)

@@ -30,7 +30,7 @@ from ..naim.compaction import (
     compact_routine,
     uncompact_routine,
 )
-from ..vm.image import MachineRoutine
+from ..vm.image import Executable, MachineRoutine, RoutineMeta
 from ..vm.isa import MInstr, MOp
 
 _OBJ_VERSION = 1
@@ -371,6 +371,36 @@ def encode_executable(executable) -> bytes:
     return writer.finish()
 
 
+def decode_executable(data: bytes) -> Executable:
+    """Inverse of :func:`encode_executable`.
+
+    The build daemon ships linked images to its clients as encoded
+    bytes; decoding reconstructs everything the VM needs to run them
+    (probe bookkeeping is not carried -- instrumented builds stay
+    in-process).
+    """
+    reader = Reader(data)
+    executable = Executable()
+    executable.code = [_decode_minstr(reader) for _ in range(reader.u())]
+    executable.data_init = [reader.s() for _ in range(reader.u())]
+    executable.entry_addr = reader.u()
+    for _ in range(reader.u()):
+        name = reader.string_ref()
+        meta = RoutineMeta(
+            name, reader.u(), reader.u(), reader.u(), reader.u()
+        )
+        executable.routine_meta[name] = meta
+        executable.meta_by_addr[meta.addr] = meta
+    for _ in range(reader.u()):
+        name = reader.string_ref()
+        executable.data_addr[name] = reader.u()
+        executable.data_size[name] = reader.u()
+    executable.layout_order = [
+        reader.string_ref() for _ in range(reader.u())
+    ]
+    return executable
+
+
 def _encode_minstr(writer: Writer, instr: MInstr) -> None:
     writer.u(_MOP_INDEX[instr.op])
     writer.u(0 if instr.subop is None else OPCODE_WIRE_INDEX[instr.subop] + 1)
@@ -389,6 +419,22 @@ def _encode_minstr(writer: Writer, instr: MInstr) -> None:
         else:
             writer.u(1)
             writer.string_ref(symbolic)
+
+
+def _decode_minstr(reader: Reader) -> MInstr:
+    op = _MOP_LIST[reader.u()]
+    subop_raw = reader.u()
+    subop = None if subop_raw == 0 else OPCODE_WIRE_LIST[subop_raw - 1]
+    rd = reader.opt_reg()
+    rs1 = reader.opt_reg()
+    rs2 = reader.opt_reg()
+    imm = reader.s() if reader.u() else None
+    imm2_raw = reader.u()
+    imm2 = None if imm2_raw == 0 else imm2_raw - 1
+    sym = reader.string_ref() if reader.u() else None
+    target = reader.string_ref() if reader.u() else None
+    return MInstr(op, subop=subop, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                  imm2=imm2, sym=sym, target=target)
 
 
 def _decode_machine_routine(reader: Reader) -> MachineRoutine:

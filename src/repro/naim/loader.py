@@ -49,6 +49,11 @@ class LoaderStats:
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
+    def reset(self) -> None:
+        """Zero every counter (a warm process starting a new build)."""
+        for name in self.__dict__:
+            setattr(self, name, 0)
+
     def merge(self, other: "LoaderStats") -> None:
         """Fold another loader's counters into this one (cross-worker
         aggregation)."""

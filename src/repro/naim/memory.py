@@ -143,6 +143,14 @@ class MemoryAccountant:
     def reset_peak(self) -> None:
         self.peak = self._total
 
+    def reset_counters(self) -> None:
+        """Per-build reset: drop the peak to the current total and
+        forget recorded samples.  Live usage entries are kept -- state
+        that is genuinely still resident (a warm daemon's caches) must
+        keep being accounted."""
+        self.peak = self._total
+        self.samples = []
+
     def mark(self, label: str) -> None:
         """Record a named sample of the current total."""
         self.samples.append((label, self._total))

@@ -51,6 +51,20 @@ class Repository:
         self.bytes_written = 0
         self.bytes_read = 0
 
+    def reset_counters(self) -> None:
+        """Zero the operation counters without touching stored pools.
+
+        A long-lived repository (incremental state, build daemon)
+        serves many builds from one process; per-build stats are only
+        meaningful if each build starts from zero.
+        """
+        with self._lock:
+            self.stores = 0
+            self.fetches = 0
+            self.batch_fetches = 0
+            self.bytes_written = 0
+            self.bytes_read = 0
+
     # -- Paths ------------------------------------------------------------------
 
     def _ensure_directory(self) -> str:

@@ -44,6 +44,33 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Activity since an earlier :meth:`snapshot` of this object.
+
+        Daemon sessions share one cache; each request reports the
+        delta over its own build instead of resetting shared counters
+        under concurrent readers."""
+        out = CacheStats()
+        out.hits = self.hits - since.hits
+        out.misses = self.misses - since.misses
+        out.stores = self.stores - since.stores
+        out.evictions = self.evictions - since.evictions
+        return out
+
+    def snapshot(self) -> "CacheStats":
+        out = CacheStats()
+        out.hits = self.hits
+        out.misses = self.misses
+        out.stores = self.stores
+        out.evictions = self.evictions
+        return out
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
@@ -179,6 +206,16 @@ class ArtifactCache:
     def total_bytes(self) -> int:
         with self._lock:
             return self._total_bytes
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/store/evict counters (entries survive)."""
+        with self._lock:
+            self.stats.reset()
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters (for delta reporting)."""
+        with self._lock:
+            return self.stats.snapshot()
 
     def clear(self) -> None:
         with self._lock:

@@ -100,6 +100,16 @@ class EventLog:
     def now_us(self) -> int:
         return int((time.perf_counter() - self._epoch) * 1_000_000)
 
+    def clear(self) -> None:
+        """Drop recorded events and restart the epoch.
+
+        A warm compile session reuses one log across builds; clearing
+        at build start keeps per-build task counts and trace exports
+        scoped to the build that produced them."""
+        with self._lock:
+            self.events = []
+            self._epoch = time.perf_counter()
+
     def append(self, event: BuildEvent) -> None:
         with self._lock:
             self.events.append(event)

@@ -1,0 +1,36 @@
+"""Persistent compile service: warm-state build daemon + client.
+
+The daemon (:mod:`.daemon`) keeps compile state resident -- artifact
+cache, incremental state, NAIM repository indexes -- and serves
+build/train/objdump requests over a UNIX-domain socket with bounded
+admission.  The client (:mod:`.client`) is what
+``python -m repro.driver build --daemon`` uses; ``python -m
+repro.serve`` manages the daemon's lifecycle.  Warm daemon builds are
+byte-identical to cold in-process builds: both run through
+:class:`repro.driver.CompileSession`.
+"""
+
+from .client import (
+    DaemonClient,
+    DaemonError,
+    default_root,
+    default_socket_path,
+)
+from .daemon import AdmissionGate, BuildDaemon, DaemonStartupError, run_daemon
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .state import RequestError, WarmState
+
+__all__ = [
+    "DaemonClient",
+    "DaemonError",
+    "default_root",
+    "default_socket_path",
+    "AdmissionGate",
+    "BuildDaemon",
+    "DaemonStartupError",
+    "run_daemon",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RequestError",
+    "WarmState",
+]

@@ -1,0 +1,488 @@
+"""The build daemon: warm state behind a UNIX socket.
+
+One :class:`BuildDaemon` owns a :class:`~repro.serve.state.WarmState`
+and listens on a UNIX-domain stream socket.  Each connection carries
+one request (see :mod:`.protocol`); session ops (build/train/objdump)
+pass through an :class:`AdmissionGate` that bounds concurrency and
+queue depth, rejecting the overflow with ``ServerBusy`` instead of
+letting latency collapse.
+
+Lifecycle:
+
+* **boot** -- re-validates the state root, reclaims a stale socket and
+  pidfile if their owner is dead (``kill(pid, 0)`` plus a live ping),
+  and refuses to start over a live daemon;
+* **serve** -- a thread per connection; build work runs in a separate
+  worker thread so the connection thread can stream heartbeat progress
+  (which doubles as disconnect detection) and enforce the per-request
+  timeout;
+* **drain** -- on SIGTERM (or a ``shutdown`` request) the daemon stops
+  accepting sessions, answers new ones with ``ServerDraining``,
+  finishes the active ones, then removes the socket and pidfile.
+
+A client that disconnects mid-build costs nothing but the build
+already in flight: streaming stops, the result is discarded, and the
+admission slot is released when the worker finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import Dict, Optional
+
+from .client import default_root, default_socket_path, pidfile_path
+from .protocol import (
+    ERR_BUSY,
+    ERR_DRAINING,
+    ERR_INTERNAL,
+    ERR_TIMEOUT,
+    ERR_BAD_REQUEST,
+    OP_PING,
+    OP_SHUTDOWN,
+    OP_STATUS,
+    SESSION_OPS,
+    ProtocolError,
+    make_error,
+    make_progress,
+    make_result,
+    read_message,
+    validate_request,
+    write_message,
+)
+from .state import RequestError, WarmState
+
+
+class DaemonStartupError(Exception):
+    """The daemon could not take ownership of its socket/pidfile."""
+
+
+class AdmissionGate:
+    """Bounded admission: at most ``max_sessions`` running and
+    ``queue_depth`` waiting; everything past that is rejected
+    immediately (the caller answers ``ServerBusy``).
+
+    ``try_acquire`` returns the queue wait in seconds when admitted
+    and ``None`` when rejected; every admit must be paired with one
+    ``release`` -- by whoever finishes the work, even after the
+    connection that requested it has given up."""
+
+    def __init__(self, max_sessions: int = 2, queue_depth: int = 4) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_sessions = max_sessions
+        self.queue_depth = queue_depth
+        self._cond = threading.Condition()
+        self.active = 0
+        self.waiting = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_active = 0
+
+    def try_acquire(self,
+                    timeout: Optional[float] = None) -> Optional[float]:
+        start = time.monotonic()
+        deadline = None if timeout is None else start + timeout
+        with self._cond:
+            if (self.active >= self.max_sessions
+                    and self.waiting >= self.queue_depth):
+                self.rejected += 1
+                return None
+            self.waiting += 1
+            try:
+                while self.active >= self.max_sessions:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        self.rejected += 1
+                        return None
+                    self._cond.wait(timeout=remaining)
+                self.active += 1
+                self.admitted += 1
+                self.peak_active = max(self.peak_active, self.active)
+            finally:
+                self.waiting -= 1
+        return time.monotonic() - start
+
+    def release(self) -> None:
+        with self._cond:
+            if self.active <= 0:
+                raise RuntimeError("release() without a matching acquire")
+            self.active -= 1
+            self._cond.notify()
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "max_sessions": self.max_sessions,
+                "queue_depth": self.queue_depth,
+                "active": self.active,
+                "waiting": self.waiting,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "peak_active": self.peak_active,
+            }
+
+
+def _peer_alive(socket_path: str, timeout: float = 1.0) -> bool:
+    """True when something accepts connections at ``socket_path``."""
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(timeout)
+    try:
+        conn.connect(socket_path)
+        return True
+    except OSError:
+        return False
+    finally:
+        conn.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class BuildDaemon:
+    """Serves warm builds over a UNIX-domain socket."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 state_root: Optional[str] = None,
+                 max_sessions: int = 2,
+                 queue_depth: int = 4,
+                 queue_timeout: float = 30.0,
+                 request_timeout: Optional[float] = None,
+                 heartbeat_seconds: float = 0.25) -> None:
+        self.state_root = os.path.abspath(state_root or default_root())
+        self.socket_path = socket_path or default_socket_path()
+        self.pidfile = pidfile_path(self.state_root)
+        self.gate = AdmissionGate(max_sessions, queue_depth)
+        #: How long an admitted-but-queued request may wait for a slot.
+        self.queue_timeout = queue_timeout
+        #: Wall-clock budget for one session op (None = unlimited).
+        self.request_timeout = request_timeout
+        self.heartbeat_seconds = heartbeat_seconds
+        self.state = WarmState(self.state_root)
+        self.requests_served = 0
+        self.disconnects = 0
+        self.timeouts = 0
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._conn_threads: set = set()
+        self._threads_lock = threading.Lock()
+
+    # -- Socket/pidfile ownership ---------------------------------------------------
+
+    def _reclaim_stale(self) -> None:
+        """Take over a dead predecessor's socket and pidfile.
+
+        A live predecessor (its pid runs *and* its socket answers)
+        makes startup fail loudly instead of stealing the socket."""
+        pid = None
+        if os.path.exists(self.pidfile):
+            try:
+                with open(self.pidfile, "r", encoding="utf-8") as handle:
+                    pid = int(handle.read().strip())
+            except (OSError, ValueError):
+                pid = None
+        socket_exists = os.path.exists(self.socket_path)
+        if pid is not None and _pid_alive(pid):
+            if socket_exists and _peer_alive(self.socket_path):
+                raise DaemonStartupError(
+                    "a daemon (pid %d) already serves %s"
+                    % (pid, self.socket_path)
+                )
+            # The pid is alive but not answering: most likely a pid
+            # reused by an unrelated process after a crash.  The dead
+            # socket confirms it; reclaim.
+        for stale in (self.socket_path, self.pidfile):
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+    def bind(self) -> None:
+        """Claim the socket and pidfile; must precede ``serve``."""
+        os.makedirs(self.state_root, exist_ok=True)
+        os.makedirs(os.path.dirname(self.socket_path) or ".",
+                    exist_ok=True)
+        self._reclaim_stale()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(self.socket_path)
+        except OSError as exc:
+            listener.close()
+            raise DaemonStartupError(
+                "cannot bind %s: %s" % (self.socket_path, exc)
+            )
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        with open(self.pidfile, "w", encoding="utf-8") as handle:
+            handle.write("%d\n" % os.getpid())
+
+    # -- Serving ---------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept until shutdown; returns after the drain completes."""
+        if self._listener is None:
+            self.bind()
+        try:
+            while not self._stopped.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    daemon=True,
+                )
+                with self._threads_lock:
+                    self._conn_threads.add(thread)
+                thread.start()
+        finally:
+            self._drain()
+
+    def request_shutdown(self) -> None:
+        """Start the drain; safe from signal handlers and any thread."""
+        self._draining.set()
+        self._stopped.set()
+
+    def install_signal_handlers(self) -> None:
+        def _on_term(signum, frame):
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _on_term)
+        signal.signal(signal.SIGINT, _on_term)
+
+    def _drain(self) -> None:
+        """Finish active connections, then release socket + pidfile."""
+        self._draining.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        while True:
+            with self._threads_lock:
+                pending = [t for t in self._conn_threads if t.is_alive()]
+            if not pending:
+                break
+            for thread in pending:
+                thread.join(timeout=1.0)
+        for owned in (self.socket_path, self.pidfile):
+            try:
+                os.unlink(owned)
+            except OSError:
+                pass
+        self.state.close()
+
+    # -- One connection ----------------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(10.0)  # an idle connect cannot pin a thread
+            stream = conn.makefile("rwb")
+            try:
+                self._handle(stream)
+            finally:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._threads_lock:
+                self._conn_threads.discard(threading.current_thread())
+
+    def _handle(self, stream) -> None:
+        try:
+            message = read_message(stream)
+        except ProtocolError as exc:
+            self._send(stream, make_error("?", ERR_BAD_REQUEST, str(exc)))
+            return
+        if message is None:
+            return
+        try:
+            validate_request(message)
+        except ProtocolError as exc:
+            self._send(stream, make_error(
+                str(message.get("id", "?")), ERR_BAD_REQUEST, str(exc)
+            ))
+            return
+        request_id = message["id"]
+        op = message["op"]
+        options = message.get("options", {})
+        self.requests_served += 1
+
+        if op == OP_PING:
+            self._send(stream, make_result(request_id, {
+                "pong": True, "pid": os.getpid(),
+                "draining": self._draining.is_set(),
+            }))
+            return
+        if op == OP_STATUS:
+            self._send(stream, make_result(request_id, self.status()))
+            return
+        if op == OP_SHUTDOWN:
+            self._send(stream, make_result(request_id, {"stopping": True}))
+            self.request_shutdown()
+            return
+        # Session ops from here on.
+        if self._draining.is_set():
+            self._send(stream, make_error(
+                request_id, ERR_DRAINING,
+                "daemon is draining for shutdown",
+            ))
+            return
+        queue_wait = self.gate.try_acquire(timeout=self.queue_timeout)
+        if queue_wait is None:
+            self._send(stream, make_error(
+                request_id, ERR_BUSY,
+                "daemon at capacity (%d active, %d queued)"
+                % (self.gate.max_sessions, self.gate.queue_depth),
+            ))
+            return
+        self._run_session(stream, request_id, op, options, queue_wait)
+
+    def _run_session(self, stream, request_id: str, op: str,
+                     options: Dict, queue_wait: float) -> None:
+        """Run one admitted op in a worker; stream heartbeats.
+
+        The connection thread owns the socket: it forwards progress,
+        sends a heartbeat every ``heartbeat_seconds`` (whose failure
+        detects a vanished client), and enforces ``request_timeout``.
+        The admission slot is released by the worker's ``finally`` --
+        only when the work truly finished -- so a timed-out or
+        abandoned build cannot let more than ``max_sessions`` builds
+        run at once."""
+        send_lock = threading.Lock()
+        client_gone = threading.Event()
+        done = threading.Event()
+        box: Dict[str, object] = {}
+
+        def deliver(message: Dict) -> bool:
+            if client_gone.is_set():
+                return False
+            with send_lock:
+                try:
+                    write_message(stream, message)
+                    return True
+                except (OSError, ValueError):
+                    client_gone.set()
+                    self.disconnects += 1
+                    return False
+
+        def progress(phase: str, **fields) -> None:
+            deliver(make_progress(request_id, phase, **fields))
+
+        def work() -> None:
+            try:
+                box["result"] = self.state.execute(
+                    op, options, progress=progress
+                )
+            except RequestError as exc:
+                box["error"] = exc
+            except Exception as exc:  # noqa: BLE001 - daemon must not die
+                box["error"] = RequestError(
+                    ERR_INTERNAL,
+                    "%s: %s" % (type(exc).__name__, exc),
+                )
+            finally:
+                done.set()
+                self.gate.release()
+
+        progress("queued", queue_wait_seconds=round(queue_wait, 6))
+        worker = threading.Thread(target=work, daemon=True)
+        started = time.monotonic()
+        worker.start()
+        while not done.wait(timeout=self.heartbeat_seconds):
+            elapsed = time.monotonic() - started
+            if (self.request_timeout is not None
+                    and elapsed > self.request_timeout):
+                self.timeouts += 1
+                deliver(make_error(
+                    request_id, ERR_TIMEOUT,
+                    "request exceeded %.1fs" % self.request_timeout,
+                ))
+                return  # worker finishes in the background
+            if not deliver(make_progress(
+                request_id, "working",
+                elapsed_seconds=round(elapsed, 3),
+            )):
+                return  # client hung up; discard the result
+        error = box.get("error")
+        if error is not None:
+            deliver(make_error(request_id, error.code, str(error)))
+            return
+        result = box.get("result") or {}
+        stats = result.get("stats")
+        if isinstance(stats, dict):
+            stats["queue_wait_seconds"] = round(queue_wait, 6)
+        deliver(make_result(request_id, result))
+
+    def _send(self, stream, message: Dict) -> None:
+        try:
+            write_message(stream, message)
+        except (OSError, ValueError):
+            pass
+
+    # -- Introspection ------------------------------------------------------------------
+
+    def status(self) -> Dict:
+        status = self.state.status()
+        status["pid"] = os.getpid()
+        status["socket"] = self.socket_path
+        status["draining"] = self._draining.is_set()
+        status["requests_served"] = self.requests_served
+        status["disconnects"] = self.disconnects
+        status["timeouts"] = self.timeouts
+        status["admission"] = self.gate.stats()
+        return status
+
+
+def run_daemon(socket_path: Optional[str] = None,
+               state_root: Optional[str] = None,
+               max_sessions: int = 2, queue_depth: int = 4,
+               request_timeout: Optional[float] = None,
+               log=None) -> int:
+    """Foreground entry point: bind, install handlers, serve, drain."""
+    daemon = BuildDaemon(
+        socket_path=socket_path, state_root=state_root,
+        max_sessions=max_sessions, queue_depth=queue_depth,
+        request_timeout=request_timeout,
+    )
+    try:
+        daemon.bind()
+    except DaemonStartupError as exc:
+        print("repro-serve: %s" % exc, file=log or sys.stderr)
+        return 1
+    daemon.install_signal_handlers()
+    print("repro-serve: pid %d listening on %s%s"
+          % (os.getpid(), daemon.socket_path,
+             " (recovered from unclean shutdown)"
+             if daemon.state.recovered else ""),
+          file=log or sys.stderr, flush=True)
+    daemon.serve_forever()
+    print("repro-serve: drained and stopped", file=log or sys.stderr,
+          flush=True)
+    return 0

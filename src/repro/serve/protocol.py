@@ -1,0 +1,171 @@
+"""The client/daemon wire protocol.
+
+Newline-delimited JSON over a UNIX-domain stream socket.  Each
+connection carries exactly one request and its responses:
+
+* client -> daemon: one **request** line
+  ``{"v": 1, "id": "...", "op": "...", "options": {...}}``;
+* daemon -> client: zero or more **progress** lines
+  ``{"id": ..., "event": "progress", "phase": ..., ...}``
+  followed by exactly one **result** line
+  ``{"id": ..., "event": "result", "ok": true, "result": {...}}`` or
+  ``{"id": ..., "event": "result", "ok": false,
+  "error": {"code": ..., "message": ...}}``.
+
+Binary payloads (linked images) travel base64-encoded under ``_b64``
+keys.  Lines are UTF-8 and bounded by :data:`MAX_LINE_BYTES`, so a
+corrupt or hostile peer cannot make either side buffer unboundedly.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import uuid
+from typing import Dict, Optional
+
+#: Protocol version; a daemon rejects requests whose ``v`` it does not
+#: speak, so mixed-version client/daemon pairs fail loudly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (sources and images for very large
+#: programs still fit comfortably; runaway peers do not).
+MAX_LINE_BYTES = 256 * 1024 * 1024
+
+#: Request operations the daemon serves.
+OP_BUILD = "build"
+OP_TRAIN = "train"
+OP_OBJDUMP = "objdump"
+OP_STATUS = "status"
+OP_PING = "ping"
+OP_SHUTDOWN = "shutdown"
+
+#: Ops that run as admitted build sessions (vs control-plane ops that
+#: answer immediately).
+SESSION_OPS = (OP_BUILD, OP_TRAIN, OP_OBJDUMP)
+
+# -- Error codes -------------------------------------------------------------------
+
+#: Admission control rejected the request: the daemon is at its
+#: concurrent-session limit and its queue is full.
+ERR_BUSY = "ServerBusy"
+#: The daemon is drain-shutting-down and accepts no new sessions.
+ERR_DRAINING = "ServerDraining"
+#: The request was malformed (bad JSON, unknown op, missing fields).
+ERR_BAD_REQUEST = "BadRequest"
+#: The build/train/objdump itself failed; ``message`` carries the
+#: compiler diagnostic.
+ERR_FAILED = "RequestFailed"
+#: The per-request timeout elapsed before the session finished.
+ERR_TIMEOUT = "Timeout"
+#: Anything unexpected inside the daemon.
+ERR_INTERNAL = "Internal"
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized or truncated protocol line."""
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+def encode_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+# -- Message constructors ------------------------------------------------------------
+
+
+def make_request(op: str, options: Optional[Dict] = None,
+                 request_id: Optional[str] = None) -> Dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id or new_request_id(),
+        "op": op,
+        "options": options or {},
+    }
+
+
+def make_progress(request_id: str, phase: str, **fields) -> Dict:
+    message = {"id": request_id, "event": "progress", "phase": phase}
+    message.update(fields)
+    return message
+
+
+def make_result(request_id: str, result: Dict) -> Dict:
+    return {"id": request_id, "event": "result", "ok": True,
+            "result": result}
+
+
+def make_error(request_id: str, code: str, message: str,
+               **fields) -> Dict:
+    error = {"code": code, "message": message}
+    error.update(fields)
+    return {"id": request_id, "event": "result", "ok": False,
+            "error": error}
+
+
+# -- Framing -----------------------------------------------------------------------
+
+
+def write_message(stream, message: Dict) -> None:
+    """Serialize one message as a single NDJSON line and flush it.
+
+    Key order is preserved, never sorted: module order inside
+    ``options.sources`` is the link layout order, and reordering it in
+    transit would change the built image."""
+    line = json.dumps(message, separators=(",", ":"))
+    data = line.encode("utf-8")
+    if len(data) + 1 > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "outgoing message of %d bytes exceeds the %d-byte line limit"
+            % (len(data), MAX_LINE_BYTES)
+        )
+    stream.write(data + b"\n")
+    stream.flush()
+
+
+def read_message(stream) -> Optional[Dict]:
+    """Read one NDJSON line; None on clean EOF.
+
+    Raises :class:`ProtocolError` on oversized lines, truncated final
+    lines, undecodable bytes or non-object payloads.
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("incoming line exceeds %d bytes" % MAX_LINE_BYTES)
+    if not line.endswith(b"\n"):
+        raise ProtocolError("truncated message (no trailing newline)")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("undecodable message: %s" % exc)
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "expected a JSON object, got %s" % type(message).__name__
+        )
+    return message
+
+
+def validate_request(message: Dict) -> None:
+    """Check the request envelope; raises :class:`ProtocolError`."""
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported protocol version %r (daemon speaks %d)"
+            % (version, PROTOCOL_VERSION)
+        )
+    if not isinstance(message.get("id"), str) or not message["id"]:
+        raise ProtocolError("request is missing a string 'id'")
+    op = message.get("op")
+    if op not in SESSION_OPS + (OP_STATUS, OP_PING, OP_SHUTDOWN):
+        raise ProtocolError("unknown op %r" % op)
+    if not isinstance(message.get("options", {}), dict):
+        raise ProtocolError("'options' must be an object")

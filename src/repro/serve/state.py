@@ -1,0 +1,330 @@
+"""The daemon's warm state: everything worth keeping resident.
+
+A cold ``python -m repro.driver build`` re-opens, re-reads and
+re-validates the artifact cache, the incremental state and the NAIM
+repository index on every invocation.  :class:`WarmState` holds those
+open instead:
+
+* one shared, disk-backed :class:`~repro.sched.ArtifactCache` for
+  object compiles across every project;
+* one :class:`~repro.driver.compiler.CompileSession` per distinct
+  (options, jobs, incremental, state dir) configuration -- each owns a
+  :class:`~repro.driver.build.BuildEngine` whose object fingerprint
+  cache, :class:`~repro.incr.IncrementalState` and NAIM repository
+  index stay loaded between requests.
+
+Sessions are created lazily on first request and re-validate their
+state directories then (the incremental state tolerates corrupt or
+version-skewed indexes by degrading to a first build).  A boot marker
+records unclean shutdowns so a restarted daemon can report that it
+recovered rather than resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from ..driver.compiler import CompileSession
+from ..driver.options import CompilerOptions
+from ..driver.report import build_summary
+from ..frontend import compile_source, detect_language
+from ..ir.printer import format_module
+from ..linker.objects import encode_executable
+from ..profiles.database import ProfileDatabase
+from ..sched.artifacts import ArtifactCache
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_FAILED,
+    OP_BUILD,
+    OP_OBJDUMP,
+    OP_TRAIN,
+    encode_bytes,
+)
+
+_BOOT_MARKER = "daemon.boot.json"
+
+
+class RequestError(Exception):
+    """A request the daemon can answer with a structured error."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _require(options: Dict, key: str, kind, what: str):
+    value = options.get(key)
+    if not isinstance(value, kind):
+        raise RequestError(
+            ERR_BAD_REQUEST, "'%s' must be %s" % (key, what)
+        )
+    return value
+
+
+def _sources_from(options: Dict) -> Dict[str, str]:
+    sources = _require(options, "sources", dict, "a {module: text} object")
+    if not sources:
+        raise RequestError(ERR_BAD_REQUEST, "'sources' is empty")
+    for name, text in sources.items():
+        if not isinstance(name, str) or not isinstance(text, str):
+            raise RequestError(
+                ERR_BAD_REQUEST, "'sources' must map strings to strings"
+            )
+    return sources
+
+
+class WarmState:
+    """Long-lived build state shared by every daemon request."""
+
+    def __init__(self, root: str,
+                 cache_bytes: int = 64 * 1024 * 1024) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        #: True when the previous daemon died without a clean close
+        #: (boot marker still present): persistent state was re-read
+        #: and re-validated from disk rather than trusted blindly.
+        self.recovered = os.path.exists(self._marker_path())
+        self.artifact_cache = ArtifactCache(
+            max_bytes=cache_bytes,
+            directory=os.path.join(self.root, "artifacts"),
+        )
+        self._sessions: Dict[Tuple, CompileSession] = {}
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.sessions_created = 0
+        self.session_reuses = 0
+        self.builds_served = 0
+        self._write_marker()
+
+    # -- Boot marker -------------------------------------------------------------
+
+    def _marker_path(self) -> str:
+        return os.path.join(self.root, _BOOT_MARKER)
+
+    def _write_marker(self) -> None:
+        with open(self._marker_path(), "w", encoding="utf-8") as handle:
+            json.dump({"pid": os.getpid(), "started_at": self.started_at},
+                      handle)
+
+    # -- Sessions ----------------------------------------------------------------
+
+    def _build_config(self, options: Dict):
+        """Parse wire build options -> (CompilerOptions, jobs, incr, dir)."""
+        opt_level = options.get("opt_level", 2)
+        jobs = options.get("jobs", 1)
+        hlo_jobs = options.get("hlo_jobs", 1)
+        partitions = options.get("partitions")
+        for name, value in (("jobs", jobs), ("hlo_jobs", hlo_jobs)):
+            if not isinstance(value, int) or value < 1:
+                raise RequestError(
+                    ERR_BAD_REQUEST, "'%s' must be an integer >= 1" % name
+                )
+        if partitions is not None and (
+            not isinstance(partitions, int) or partitions < 1
+        ):
+            raise RequestError(
+                ERR_BAD_REQUEST, "'partitions' must be an integer >= 1"
+            )
+        state_dir = options.get("state_dir")
+        if state_dir is not None and not isinstance(state_dir, str):
+            raise RequestError(ERR_BAD_REQUEST, "'state_dir' must be a path")
+        incremental = bool(options.get("incremental")) or (
+            state_dir is not None
+        )
+        try:
+            compiler_options = CompilerOptions(
+                opt_level=opt_level,
+                pbo=options.get("profile_path") is not None,
+                selectivity_percent=options.get("selectivity"),
+                checked=bool(options.get("checked")),
+                hlo_jobs=hlo_jobs,
+                hlo_partitions=partitions,
+            )
+        except ValueError as exc:
+            raise RequestError(ERR_BAD_REQUEST, str(exc))
+        if state_dir is not None:
+            state_dir = os.path.abspath(state_dir)
+        return compiler_options, jobs, incremental, state_dir
+
+    def session_for(self, options: Dict) -> CompileSession:
+        """The warm session serving this build configuration.
+
+        Distinct configurations get distinct sessions (a session pins
+        its options and worker counts); repeat requests with the same
+        configuration reuse the existing one -- that reuse is the
+        entire point of the daemon.
+        """
+        compiler_options, jobs, incremental, state_dir = (
+            self._build_config(options)
+        )
+        key = (
+            compiler_options.describe(),
+            compiler_options.checked,
+            compiler_options.hlo_jobs,
+            compiler_options.hlo_partitions,
+            jobs,
+            incremental,
+            state_dir or "",
+        )
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self.session_reuses += 1
+                return session
+            session = CompileSession(
+                compiler_options,
+                jobs=jobs,
+                incremental=incremental,
+                state_dir=state_dir,
+                artifact_cache=self.artifact_cache,
+                warm=True,
+            )
+            self._sessions[key] = session
+            self.sessions_created += 1
+            return session
+
+    # -- Request execution ---------------------------------------------------------
+
+    def execute(self, op: str, options: Dict, progress=None) -> Dict:
+        """Run one session op; returns the JSON-safe result payload.
+
+        Raises :class:`RequestError` for anything the client should
+        see as a structured failure.  ``progress(phase, **fields)`` is
+        called at coarse checkpoints when provided.
+        """
+        if op == OP_BUILD:
+            return self._execute_build(options, progress)
+        if op == OP_TRAIN:
+            return self._execute_train(options)
+        if op == OP_OBJDUMP:
+            return self._execute_objdump(options)
+        raise RequestError(ERR_BAD_REQUEST, "unknown session op %r" % op)
+
+    def _execute_build(self, options: Dict, progress) -> Dict:
+        sources = _sources_from(options)
+        profile_db = None
+        profile_path = options.get("profile_path")
+        if profile_path is not None:
+            try:
+                profile_db = ProfileDatabase.load(profile_path)
+            except (OSError, ValueError) as exc:
+                raise RequestError(
+                    ERR_BAD_REQUEST,
+                    "unreadable profile %r: %s" % (profile_path, exc),
+                )
+        session = self.session_for(options)
+        if progress is not None:
+            progress("building", warm_builds=session.builds)
+        try:
+            result, report, stats = session.build(
+                sources, profile_db=profile_db
+            )
+        except RequestError:
+            raise
+        except Exception as exc:
+            raise RequestError(
+                ERR_FAILED, "%s: %s" % (type(exc).__name__, exc)
+            )
+        self.builds_served += 1
+        summary = build_summary(
+            session.options, len(sources), result, report=report,
+            events=session.events, jobs=session.jobs,
+            incremental=session.incremental,
+        )
+        image = encode_executable(result.executable)
+        return {
+            "summary": summary,
+            "image_b64": encode_bytes(image),
+            "stats": stats.as_dict(),
+        }
+
+    def _execute_train(self, options: Dict) -> Dict:
+        from ..driver.compiler import train as train_profile
+
+        sources = _sources_from(options)
+        runs = options.get("runs", 1)
+        if not isinstance(runs, int) or runs < 1:
+            raise RequestError(
+                ERR_BAD_REQUEST, "'runs' must be an integer >= 1"
+            )
+        try:
+            database = train_profile(sources, [None] * runs)
+        except Exception as exc:
+            raise RequestError(
+                ERR_FAILED, "%s: %s" % (type(exc).__name__, exc)
+            )
+        hottest = [
+            {"routine": name, "weight": weight}
+            for name, weight in database.hottest_routines(5)
+        ]
+        return {
+            "profile_json": database.to_json(),
+            "runs": runs,
+            "hottest": hottest,
+        }
+
+    def _execute_objdump(self, options: Dict) -> Dict:
+        sources = _sources_from(options)
+        dumps: Dict[str, str] = {}
+        for name, text in sources.items():
+            try:
+                module = compile_source(text, name, detect_language(text))
+            except Exception as exc:
+                raise RequestError(
+                    ERR_FAILED, "%s: %s" % (type(exc).__name__, exc)
+                )
+            dumps[name] = format_module(module)
+        return {"il": dumps}
+
+    # -- Introspection ---------------------------------------------------------------
+
+    def status(self) -> Dict:
+        with self._lock:
+            sessions = [
+                {
+                    "options": session.options.describe(),
+                    "jobs": session.jobs,
+                    "incremental": session.incremental,
+                    "state_dir": session.state_dir,
+                    "builds": session.builds,
+                }
+                for session in self._sessions.values()
+            ]
+        cache_stats = self.artifact_cache.stats_snapshot()
+        return {
+            "root": self.root,
+            "uptime_seconds": time.time() - self.started_at,
+            "recovered": self.recovered,
+            "builds_served": self.builds_served,
+            "sessions_created": self.sessions_created,
+            "session_reuses": self.session_reuses,
+            "sessions": sessions,
+            "artifact_cache": {
+                "entries": len(self.artifact_cache),
+                "bytes": self.artifact_cache.total_bytes,
+                **cache_stats.as_dict(),
+            },
+        }
+
+    # -- Lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Clean shutdown: release sessions and drop the boot marker."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+        try:
+            os.unlink(self._marker_path())
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return "<WarmState %s: %d sessions, %d builds>" % (
+            self.root, len(self._sessions), self.builds_served,
+        )

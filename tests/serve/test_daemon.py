@@ -1,0 +1,304 @@
+"""Daemon end-to-end: byte-identity, admission, lifecycle, recovery.
+
+The daemon runs in a thread inside the test process (the protocol
+neither knows nor cares), which keeps these fast enough for tier 1;
+the CI ``serve-smoke`` job covers the real subprocess + signal path.
+"""
+
+import contextlib
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.driver.compiler import CompileSession
+from repro.driver.options import CompilerOptions
+from repro.linker.objects import encode_executable
+from repro.serve.client import DaemonClient, DaemonError
+from repro.serve.daemon import BuildDaemon, DaemonStartupError
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_DRAINING,
+    ERR_TIMEOUT,
+    make_request,
+    read_message,
+    write_message,
+)
+
+
+@contextlib.contextmanager
+def running_daemon(root, **kwargs):
+    daemon = BuildDaemon(
+        socket_path=os.path.join(str(root), "daemon.sock"),
+        state_root=str(root), **kwargs
+    )
+    daemon.bind()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield daemon, DaemonClient(daemon.socket_path)
+    finally:
+        daemon.request_shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One shared warm daemon for the read-mostly tests."""
+    root = tmp_path_factory.mktemp("served")
+    with running_daemon(root, max_sessions=2, queue_depth=2) as pair:
+        yield pair
+
+
+def cold_image(sources, jobs=1, incremental=False, state_dir=None):
+    """The reference: an in-process build through the same session
+    entry point the CLI uses."""
+    session = CompileSession(
+        CompilerOptions(opt_level=4), jobs=jobs,
+        incremental=incremental, state_dir=state_dir,
+    )
+    result, _, _ = session.build(sources)
+    session.close()
+    return encode_executable(result.executable)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_warm_build_matches_cold_cli(self, served, tmp_path,
+                                         calc_sources, jobs, incremental):
+        daemon, client = served
+        options = {"sources": calc_sources, "opt_level": 4, "jobs": jobs}
+        if incremental:
+            options["state_dir"] = str(
+                tmp_path / ("warm-%d" % jobs)
+            )
+        warm = client.build(options)
+        cold = cold_image(
+            calc_sources, jobs=jobs, incremental=incremental,
+            state_dir=str(tmp_path / ("cold-%d" % jobs))
+            if incremental else None,
+        )
+        assert warm["image"] == cold
+
+    def test_repeat_build_stays_identical_and_warm(self, served,
+                                                   calc_sources):
+        _, client = served
+        options = {"sources": calc_sources, "opt_level": 4}
+        first = client.build(options)
+        second = client.build(options)
+        assert second["image"] == first["image"]
+        assert second["stats"]["warm_builds_before"] >= 1
+        assert second["summary"]["code_size"] == (
+            first["summary"]["code_size"]
+        )
+
+    def test_stats_reported_per_request(self, served, calc_sources):
+        _, client = served
+        result = client.build({"sources": calc_sources, "opt_level": 4})
+        stats = result["stats"]
+        assert stats["seconds"] > 0
+        assert "queue_wait_seconds" in stats
+        assert "cache_hits" in stats and "phase_seconds" in stats
+
+
+class TestConcurrency:
+    def test_concurrent_builds_both_succeed(self, served, calc_sources):
+        _, client = served
+        results = [None, None]
+        errors = []
+
+        def build(slot):
+            try:
+                results[slot] = client.build(
+                    {"sources": calc_sources, "opt_level": 4}
+                )
+            except DaemonError as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=build, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert results[0]["image"] == results[1]["image"]
+
+    def test_busy_rejection_past_queue(self, tmp_path, calc_sources):
+        with running_daemon(tmp_path, max_sessions=1,
+                            queue_depth=0) as (daemon, client):
+            assert daemon.gate.try_acquire() is not None  # occupy
+            try:
+                with pytest.raises(DaemonError) as excinfo:
+                    client.build(
+                        {"sources": calc_sources, "opt_level": 0}
+                    )
+                assert excinfo.value.code == ERR_BUSY
+            finally:
+                daemon.gate.release()
+
+    def test_request_timeout_reported(self, tmp_path):
+        from repro.synth import WorkloadConfig, generate
+
+        # Heavy enough that it cannot finish inside the first
+        # heartbeat tick; the timeout must fire instead.
+        app = generate(WorkloadConfig(
+            "slow", n_modules=12, routines_per_module=8, n_features=3,
+            dispatch_count=60, input_size=12, seed=11,
+        ))
+        with running_daemon(
+            tmp_path, request_timeout=0.001, heartbeat_seconds=0.001,
+        ) as (daemon, client):
+            with pytest.raises(DaemonError) as excinfo:
+                client.build({"sources": app.sources, "opt_level": 4})
+            assert excinfo.value.code == ERR_TIMEOUT
+            assert daemon.timeouts == 1
+
+
+class TestDisconnect:
+    def test_survives_client_vanishing_mid_build(self, tmp_path,
+                                                 calc_sources):
+        with running_daemon(
+            tmp_path, max_sessions=1, queue_depth=1,
+            heartbeat_seconds=0.02,
+        ) as (daemon, client):
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.connect(daemon.socket_path)
+            stream = conn.makefile("rwb")
+            write_message(stream, make_request(
+                "build", {"sources": calc_sources, "opt_level": 4}
+            ))
+            assert read_message(stream)["event"] == "progress"
+            conn.close()  # vanish mid-build
+            # The daemon keeps serving: the abandoned build's slot is
+            # released when its worker finishes, so this admits.
+            result = client.build(
+                {"sources": calc_sources, "opt_level": 4}
+            )
+            assert result["image"]
+
+
+class TestControlPlane:
+    def test_ping(self, served):
+        _, client = served
+        assert client.available()
+
+    def test_status_shape(self, served, calc_sources):
+        _, client = served
+        client.build({"sources": calc_sources, "opt_level": 4})
+        status = client.status()
+        assert status["builds_served"] >= 1
+        assert status["pid"] == os.getpid()
+        assert status["draining"] is False
+        assert status["admission"]["max_sessions"] == 2
+        assert isinstance(status["sessions"], list)
+        assert status["artifact_cache"]["entries"] >= 0
+
+    def test_objdump_op(self, served):
+        _, client = served
+        result = client.objdump(
+            {"sources": {"m": "func f(x) { return x + 1; }"}}
+        )
+        assert "f" in result["il"]["m"]
+
+    def test_train_op(self, served, calc_sources):
+        _, client = served
+        result = client.train({"sources": calc_sources, "runs": 1})
+        assert result["profile_json"]
+        assert result["hottest"]
+
+    @pytest.mark.parametrize("options, pattern", [
+        ({}, "sources"),
+        ({"sources": {}}, "empty"),
+        ({"sources": {"m": "x"}, "jobs": 0}, "jobs"),
+        ({"sources": {"m": "x"}, "opt_level": 9}, "opt"),
+    ])
+    def test_bad_build_options_rejected(self, served, options, pattern):
+        _, client = served
+        with pytest.raises(DaemonError) as excinfo:
+            client.build(options)
+        assert excinfo.value.code == ERR_BAD_REQUEST
+        assert pattern in str(excinfo.value)
+
+    def test_malformed_request_line_rejected(self, served):
+        daemon, _ = served
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.connect(daemon.socket_path)
+        try:
+            stream = conn.makefile("rwb")
+            stream.write(b'{"v": 1, "id": "x", "op": "explode"}\n')
+            stream.flush()
+            answer = read_message(stream)
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == ERR_BAD_REQUEST
+        finally:
+            conn.close()
+
+
+class TestLifecycle:
+    def test_drain_rejects_new_sessions(self, tmp_path, calc_sources):
+        with running_daemon(tmp_path) as (daemon, client):
+            daemon._draining.set()
+            with pytest.raises(DaemonError) as excinfo:
+                client.build({"sources": calc_sources, "opt_level": 0})
+            assert excinfo.value.code == ERR_DRAINING
+
+    def test_shutdown_removes_socket_and_pidfile(self, tmp_path):
+        daemon = BuildDaemon(
+            socket_path=str(tmp_path / "daemon.sock"),
+            state_root=str(tmp_path),
+        )
+        daemon.bind()
+        thread = threading.Thread(target=daemon.serve_forever,
+                                  daemon=True)
+        thread.start()
+        client = DaemonClient(daemon.socket_path)
+        assert client.available()
+        client.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert not os.path.exists(daemon.socket_path)
+        assert not os.path.exists(daemon.pidfile)
+        assert not client.available()
+
+    def test_stale_socket_and_pidfile_reclaimed(self, tmp_path):
+        socket_path = str(tmp_path / "daemon.sock")
+        # A dead daemon left both behind (no listener answers).
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(socket_path)
+        leftover.close()  # socket file remains, nobody accepts
+        with open(str(tmp_path / "daemon.pid"), "w") as handle:
+            handle.write("999999999\n")  # certainly-dead pid
+        daemon = BuildDaemon(socket_path=socket_path,
+                             state_root=str(tmp_path))
+        daemon.bind()  # reclaims instead of failing
+        thread = threading.Thread(target=daemon.serve_forever,
+                                  daemon=True)
+        thread.start()
+        assert DaemonClient(socket_path).available()
+        daemon.request_shutdown()
+        thread.join(timeout=30.0)
+
+    def test_live_daemon_not_stolen(self, tmp_path):
+        with running_daemon(tmp_path) as (daemon, _):
+            rival = BuildDaemon(socket_path=daemon.socket_path,
+                                state_root=str(tmp_path))
+            with pytest.raises(DaemonStartupError, match="already"):
+                rival.bind()
+
+    def test_unclean_shutdown_flagged_on_restart(self, tmp_path):
+        root = tmp_path / "state"
+        with running_daemon(root) as (daemon, client):
+            # Simulate a crash: put the boot marker back after the
+            # drain removes it (the drain is this context's exit).
+            marker = daemon.state._marker_path()
+        with open(marker, "w") as handle:
+            handle.write("{}")
+        with running_daemon(root) as (daemon, client):
+            assert daemon.state.recovered
+            assert client.status()["recovered"] is True
