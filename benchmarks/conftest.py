@@ -1,5 +1,6 @@
 """Benchmark-suite helpers: result capture for EXPERIMENTS.md."""
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -11,3 +12,17 @@ def save_result(name: str, text: str) -> None:
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w",
               encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def save_json(name: str, payload: dict) -> str:
+    """Persist machine-readable benchmark output (``BENCH_<name>.json``).
+
+    CI jobs and tooling read these instead of scraping the rendered
+    tables; returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -70,6 +70,38 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected an integer >= 0, got %r" % text
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (got %d)" % value)
+    return value
+
+
+def _naim_config_from_args(args: argparse.Namespace):
+    """NaimConfig carrying the repository I/O knobs (None = defaults)."""
+    from ..naim.config import NaimConfig
+
+    defaults = NaimConfig()
+    compress = getattr(args, "repo_compress", defaults.repo_compress_level)
+    segment_mb = getattr(args, "repo_segment_mb",
+                         defaults.repo_segment_bytes // (1024 * 1024))
+    depth = getattr(args, "prefetch_depth", defaults.repo_prefetch_depth)
+    if (compress == defaults.repo_compress_level
+            and segment_mb * 1024 * 1024 == defaults.repo_segment_bytes
+            and depth == defaults.repo_prefetch_depth):
+        return None
+    return NaimConfig(
+        repo_compress_level=compress,
+        repo_segment_bytes=segment_mb * 1024 * 1024,
+        repo_prefetch_depth=depth,
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("files", nargs="+", help="MLL source files")
     parser.add_argument(
@@ -103,6 +135,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--partitions", type=_positive_int, default=None, metavar="N",
         help="partition count for the parallel backend "
              "(default: 4x --hlo-jobs)",
+    )
+    parser.add_argument(
+        "--repo-compress", type=int, default=6, choices=range(0, 10),
+        metavar="LEVEL",
+        help="zlib level for NAIM pack-repository entries "
+             "(0 disables compression; default 6)",
+    )
+    parser.add_argument(
+        "--repo-segment-mb", type=_positive_int, default=8, metavar="MB",
+        help="pack-repository segment rollover size in MiB (default 8)",
+    )
+    parser.add_argument(
+        "--prefetch-depth", type=_nonnegative_int, default=1, metavar="N",
+        help="routines fetched ahead by the loader's background "
+             "prefetch pipeline (0 = synchronous fetches; default 1)",
     )
 
 
@@ -168,6 +215,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         checked=args.checked,
         hlo_jobs=args.hlo_jobs,
         hlo_partitions=args.partitions,
+        naim=_naim_config_from_args(args),
     )
     session = CompileSession(options, jobs=args.jobs,
                              incremental=incremental,

@@ -510,7 +510,9 @@ class Compiler:
         cmo_program = Program(cmo_modules)
         repository = None
         if options.repository_dir is not None:
-            repository = Repository(directory=options.repository_dir)
+            repository = Repository.from_config(
+                options.repository_dir, options.naim
+            )
         with _Timer(result.timings, "hlo"):
             hlo = HighLevelOptimizer(
                 cmo_program,
@@ -651,6 +653,9 @@ class SessionBuildStats:
         self.repo_fetches = 0
         self.repo_stores = 0
         self.repo_bytes_read = 0
+        self.repo_bytes_written = 0
+        #: Dead pack-segment bytes awaiting compaction at build end.
+        self.repo_reclaimable_bytes = 0
         #: NAIM loader activity of the link (evictions = compactions).
         self.loader_evictions = 0
         self.loader_offloads = 0
@@ -678,6 +683,8 @@ class SessionBuildStats:
             "repo_fetches": self.repo_fetches,
             "repo_stores": self.repo_stores,
             "repo_bytes_read": self.repo_bytes_read,
+            "repo_bytes_written": self.repo_bytes_written,
+            "repo_reclaimable_bytes": self.repo_reclaimable_bytes,
             "loader_evictions": self.loader_evictions,
             "loader_offloads": self.loader_offloads,
             "loader_cache_hits": self.loader_cache_hits,
@@ -813,6 +820,10 @@ class CompileSession:
             stats.repo_fetches = repo.fetches
             stats.repo_stores = repo.stores
             stats.repo_bytes_read = repo.bytes_read
+            stats.repo_bytes_written = repo.bytes_written
+            stats.repo_reclaimable_bytes = getattr(
+                repo, "reclaimable_bytes", 0
+            )
         if result.hlo_result is not None:
             loader_stats = result.hlo_result.loader.stats
             stats.loader_evictions = loader_stats.compactions
@@ -821,6 +832,22 @@ class CompileSession:
         stats.peak_bytes = result.accountant.peak
         stats.n_spans = len(self.events.spans())
         stats.phase_seconds = dict(result.timings.phases)
+
+    def compact_repositories(self) -> int:
+        """Compact session-owned pack repositories; returns bytes freed.
+
+        Cheap when nothing is reclaimable -- the daemon calls this
+        between requests so dead frames from pruned incremental blobs
+        don't accumulate across a long-lived process.
+        """
+        if self.engine is None or self.engine.incr_state is None:
+            return 0
+        repository = self.engine.incr_state.repository
+        compact = getattr(repository, "maybe_compact", None)
+        if compact is None:
+            return 0
+        with self._lock:
+            return compact()
 
     def close(self) -> None:
         """Release persistent session state (incremental repository)."""

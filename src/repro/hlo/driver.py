@@ -421,7 +421,25 @@ class HighLevelOptimizer:
         ctx = result.ctx
         loader = unit.loader
         pipeline = standard_pipeline()
-        for name in result.scalar_worklist():
+        worklist = result.scalar_worklist()
+        # Issue prefetch batches a window ahead of the routine being
+        # optimized, so repository fetch + decode of offloaded pools
+        # overlaps with scalar optimization instead of stalling it.
+        depth = loader.config.repo_prefetch_depth
+        if depth:
+            loader.prefetch(
+                handle for handle in (
+                    unit.handle(ahead) for ahead in worklist[:depth]
+                ) if handle is not None
+            )
+        for index, name in enumerate(worklist):
+            if depth:
+                loader.prefetch(
+                    handle for handle in (
+                        unit.handle(ahead)
+                        for ahead in worklist[index + 1:index + 1 + depth]
+                    ) if handle is not None
+                )
             routine = unit.routine(name)
             if routine is None:
                 continue
@@ -431,6 +449,7 @@ class HighLevelOptimizer:
             loader.unpin(handle)
             loader.reaccount(handle)
             handle.request_unload()
+        loader.stop_prefetch()
         loader.accountant.mark("optimized")
 
         result.peak_bytes = loader.accountant.peak

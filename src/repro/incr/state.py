@@ -309,11 +309,17 @@ class IncrementalState:
         return report
 
     def _prune_machines(self) -> None:
-        """Drop codegen blobs no current module key references."""
+        """Drop codegen blobs no current module key references.
+
+        On pack segments a discard only tombstones the frame; once
+        enough dead bytes accumulate, fold them out so the on-disk
+        state does not grow monotonically across incremental builds.
+        """
         live = set(self.module_keys.values())
         for kind, name in list(self.repository._known):
             if kind == _MACHINE_KIND and name not in live:
                 self.repository.discard(kind, name)
+        self.repository.maybe_compact()
 
     def close(self) -> None:
         self.repository.close()

@@ -23,7 +23,14 @@ from .memory import (
     program_symtab_bytes,
 )
 from .pools import KIND_IR, KIND_SYMTAB, Handle, Pool, PoolState
-from .repository import OverlayRepository, Repository
+from .prefetch import PrefetchPipeline
+from .repository import (
+    LAYOUT_FILES,
+    LAYOUT_PACK,
+    OverlayRepository,
+    Repository,
+    RepositoryError,
+)
 
 __all__ = [
     "CompactionError",
@@ -52,5 +59,9 @@ __all__ = [
     "Pool",
     "PoolState",
     "OverlayRepository",
+    "PrefetchPipeline",
     "Repository",
+    "RepositoryError",
+    "LAYOUT_FILES",
+    "LAYOUT_PACK",
 ]

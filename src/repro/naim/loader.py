@@ -30,6 +30,7 @@ from .compaction import (
 from .config import NaimConfig, NaimLevel
 from .memory import MemoryAccountant
 from .pools import KIND_IR, KIND_SYMTAB, Handle, Pool, PoolState
+from .prefetch import PrefetchPipeline
 from .repository import Repository
 
 
@@ -45,6 +46,11 @@ class LoaderStats:
         self.repository_fetches = 0
         self.unload_requests = 0
         self.prefetches = 0
+        #: Touches served from the prefetch pipeline's staging area
+        #: (the fetch+decode had already happened off the hot path).
+        self.prefetch_hits = 0
+        #: Pools dropped outright (dead-function elimination).
+        self.drops = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -116,6 +122,9 @@ class Loader:
         self._newest_touch = 0
         # Eviction runs when the count exceeds capacity by this slack.
         self._enforce_slack = 8
+        # Background fetch+decode pipeline, created on first prefetch
+        # (so builds that never offload pay nothing).
+        self._prefetcher: Optional[PrefetchPipeline] = None
 
     # -- Registration -----------------------------------------------------------
 
@@ -178,11 +187,23 @@ class Loader:
         """Remove a pool entirely (routine deleted by dead-function elim).
 
         Also discards the pool's repository entry so dead-function
-        pools do not linger on disk until the next prune.
+        pools do not linger on disk until the next prune.  In the pack
+        layout the discard marks the entry dead rather than deleting
+        bytes; the dead bytes are surfaced through the accountant's
+        reclaimable gauge so nothing leaks silently until compaction.
         """
         pool = handle.pool
         self.release(handle)
+        if self._prefetcher is not None:
+            self._prefetcher.discard(pool.key())
         self.repository.discard(pool.kind, pool.name)
+        self.stats.drops += 1
+        self._update_repo_gauges()
+
+    def _update_repo_gauges(self) -> None:
+        """Mirror repository state gauges into the accountant."""
+        self.accountant.set_reclaimable(self.repository.reclaimable_bytes)
+        self.accountant.set_mapped(self.repository.mapped_bytes())
 
     def release(self, handle: Handle) -> None:
         """Forget a pool without touching the repository.
@@ -214,19 +235,36 @@ class Loader:
             self._note_use(pool)
             return pool.expanded
 
-    # -- expand from compact or disk --
+    # -- expand from prefetch staging, compact bytes, or disk --
         if pool.state is PoolState.OFFLOADED:
-            data = self.repository.fetch(pool.kind, pool.name)
-            self.stats.repository_fetches += 1
-            pool.compact_bytes = data
-            pool.state = PoolState.COMPACT
-        assert pool.compact_bytes is not None
-        if pool.kind == KIND_IR:
-            pool.expanded = uncompact_routine(pool.compact_bytes, self.symtab)
-        else:
-            pool.expanded = uncompact_symtab(pool.compact_bytes, self.symtab)
-        self.stats.uncompactions += 1
-        pool.compact_bytes = None
+            staged = (self._prefetcher.take(pool.key())
+                      if self._prefetcher is not None else None)
+            if staged is not None:
+                # The pipeline already fetched and decoded this pool;
+                # count the decode so NAIM-level ablations stay
+                # comparable, but not a repository fetch (the batch
+                # was counted as a prefetch).
+                pool.expanded = staged
+                pool.state = PoolState.EXPANDED
+                self.stats.prefetch_hits += 1
+                self.stats.uncompactions += 1
+            else:
+                data = self.repository.fetch(pool.kind, pool.name)
+                self.stats.repository_fetches += 1
+                pool.compact_bytes = data
+                pool.state = PoolState.COMPACT
+        if pool.state is not PoolState.EXPANDED:
+            assert pool.compact_bytes is not None
+            if pool.kind == KIND_IR:
+                pool.expanded = uncompact_routine(
+                    pool.compact_bytes, self.symtab
+                )
+            else:
+                pool.expanded = uncompact_symtab(
+                    pool.compact_bytes, self.symtab
+                )
+            self.stats.uncompactions += 1
+            pool.compact_bytes = None
         pool.state = PoolState.EXPANDED
         pool.unload_pending = False
         if not pool.pinned:
@@ -237,34 +275,61 @@ class Loader:
         return pool.expanded
 
     def prefetch(self, handles: Iterable[Handle]) -> int:
-        """Warm offloaded pools back to COMPACT in one repository batch.
+        """Queue offloaded pools into the background fetch+decode pipeline.
 
-        Partition workers call this once per partition so offloaded
-        pools come off disk in a single :meth:`Repository.fetch_many`
-        pass instead of one fetch per first touch.  Returns the number
-        of pools actually fetched.
+        The scalar worklists (serial phase 5, partition workers) call
+        this a window of routines *ahead* of the one being optimized:
+        a background thread fetches the batch in one
+        :meth:`Repository.fetch_many` pass and decodes it, so by the
+        time ``touch`` needs the pool the expensive work has already
+        overlapped with optimization.  Pool state is untouched here --
+        ``touch`` consumes staged objects on the owner thread, keeping
+        every loader decision deterministic.  Returns the number of
+        pools newly queued.
         """
-        offloaded = [
-            handle.pool
+        keys = [
+            handle.pool.key()
             for handle in handles
             if handle.pool.state is PoolState.OFFLOADED
         ]
-        if not offloaded:
+        if not keys:
             return 0
-        fetched = self.repository.fetch_many(
-            [(pool.kind, pool.name) for pool in offloaded]
-        )
-        count = 0
-        for pool in offloaded:
-            data = fetched.get((pool.kind, pool.name))
-            if data is None:
-                continue
-            pool.compact_bytes = data
-            pool.state = PoolState.COMPACT
-            self._account(pool)
-            count += 1
-        self.stats.prefetches += count
-        return count
+        if self._prefetcher is None:
+            self._prefetcher = PrefetchPipeline(
+                self.repository, self._decode_pool_bytes
+            )
+        queued = self._prefetcher.request(keys)
+        self.stats.prefetches += queued
+        return queued
+
+    def _decode_pool_bytes(self, kind: str, data: bytes):
+        """Pipeline decode hook: compact bytes -> expanded object.
+
+        Runs on the background thread; only reads the (frozen during
+        phase 5) program symbol table.
+        """
+        if kind == KIND_IR:
+            return uncompact_routine(data, self.symtab)
+        return uncompact_symtab(data, self.symtab)
+
+    def prefetch_wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued prefetch is staged (tests, barriers)."""
+        if self._prefetcher is None:
+            return True
+        return self._prefetcher.wait(timeout=timeout)
+
+    def prefetch_staged(self) -> int:
+        """Decoded pools waiting in the staging area."""
+        return self._prefetcher.staged() if self._prefetcher else 0
+
+    def stop_prefetch(self) -> None:
+        """Stop the pipeline thread (end of a scalar phase / worker).
+
+        Staged objects stay consumable; a later ``prefetch`` restarts
+        the thread lazily.  Idempotent.
+        """
+        if self._prefetcher is not None:
+            self._prefetcher.close()
 
     def request_unload(self, pool: Pool) -> None:
         """Mark a pool unload-pending; actual work happens lazily."""
@@ -416,6 +481,7 @@ class Loader:
             self.stats.offloads += 1
             pool.compact_bytes = None
             pool.state = PoolState.OFFLOADED
+            self._update_repo_gauges()
         else:
             pool.compact_bytes = data
             pool.state = PoolState.COMPACT

@@ -119,6 +119,14 @@ class MemoryAccountant:
         self.peak = 0
         #: (total, label) samples recorded by mark(); drives Figure 4.
         self.samples: List[Tuple[str, int]] = []
+        #: Repository bytes memory-mapped from pack segments.  Tracked
+        #: as a gauge *outside* the modeled resident total: mapped
+        #: pages are OS-reclaimable page cache, and folding them into
+        #: the total would let background-thread timing perturb NAIM
+        #: threshold decisions (determinism rule, paper §6.2).
+        self.mapped_bytes = 0
+        #: Dead pack-entry bytes awaiting segment compaction.
+        self.reclaimable_bytes = 0
 
     # -- Updates ------------------------------------------------------------
 
@@ -155,6 +163,14 @@ class MemoryAccountant:
         """Record a named sample of the current total."""
         self.samples.append((label, self._total))
 
+    def set_mapped(self, nbytes: int) -> None:
+        """Update the mapped-segment gauge (see ``mapped_bytes``)."""
+        self.mapped_bytes = nbytes
+
+    def set_reclaimable(self, nbytes: int) -> None:
+        """Update the dead-repository-bytes gauge."""
+        self.reclaimable_bytes = nbytes
+
     def merge(self, other: "MemoryAccountant") -> None:
         """Fold a worker's accountant into this one.
 
@@ -173,6 +189,12 @@ class MemoryAccountant:
         self.samples.extend(
             (label, base + total) for label, total in other.samples
         )
+        # Gauges, not flows: workers share the base repository, so the
+        # mapped view is the max anyone saw, never a sum (which would
+        # double-count the same mapping per worker).
+        self.mapped_bytes = max(self.mapped_bytes, other.mapped_bytes)
+        self.reclaimable_bytes = max(self.reclaimable_bytes,
+                                     other.reclaimable_bytes)
 
     # -- Queries --------------------------------------------------------------
 
@@ -196,6 +218,12 @@ class MemoryAccountant:
                                                  fmt_bytes(self.peak))]
         for category, total in sorted(self.by_category().items()):
             lines.append("  %-8s %s" % (category, fmt_bytes(total)))
+        if self.mapped_bytes:
+            lines.append("  mapped   %s (segment pages, OS-reclaimable)"
+                         % fmt_bytes(self.mapped_bytes))
+        if self.reclaimable_bytes:
+            lines.append("  dead     %s (awaiting segment compaction)"
+                         % fmt_bytes(self.reclaimable_bytes))
         return "\n".join(lines)
 
 

@@ -7,21 +7,104 @@ the loaded representation (no translation step), fetches are fast --
 the paper's stated advantage over the Convex Application Compiler's
 monolithic repository.  Each pool is an independent entry, so reading
 one routine never drags the rest of the program in.
+
+Storage layouts:
+
+* ``pack`` (default on disk) -- pools are appended to large segment
+  files (:mod:`repro.naim.packfile`) with an in-memory offset index.
+  Sealed segments carry a footer index and are read through ``mmap``,
+  so a fetch is an index lookup plus a slice of the page cache -- no
+  per-pool open/read/close.  Entries above a size threshold are
+  transparently zlib-compressed (per-entry flag; small pools stay
+  raw).  Discarded and overwritten entries are marked dead in the
+  index and their bytes reported as reclaimable until
+  :meth:`compact_segments` rewrites the live set.
+* ``files`` -- the legacy one-file-per-pool layout
+  (``<kind>__<name>.pool``), kept as the baseline for the repository
+  I/O benchmark and for reading state directories written by older
+  versions (:meth:`reindex` adopts ``.pool`` files in either layout).
+* in-memory (``in_memory=True``) -- a dict, backing unit tests and
+  the partition workers' private overlays.
 """
 
 from __future__ import annotations
 
 import os
+import re
 import tempfile
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
-#: Characters stored verbatim in pool filenames.  ``_`` is *not* safe:
-#: it is the escape lead-in, so escaped text can never contain the
-#: ``__`` kind/name separator by accident.
+from . import packfile
+from .packfile import (
+    FLAG_COMPRESSED,
+    PackEntry,
+    PackFormatError,
+    SEGMENT_MAGIC,
+)
+
+#: Characters stored verbatim in legacy pool filenames.  ``_`` is *not*
+#: safe: it is the escape lead-in, so escaped text can never contain
+#: the ``__`` kind/name separator by accident.
 _SAFE_CHARS = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-"
 )
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{5,})\.pack$")
+
+#: Tombstone flag: a frame recording a discard, so dead entries stay
+#: dead across a reopen + reindex.  Tombstones carry no payload.
+FLAG_TOMBSTONE = 0x02
+
+LAYOUT_PACK = "pack"
+LAYOUT_FILES = "files"
+
+
+class RepositoryError(Exception):
+    """The repository's on-disk state could not be trusted."""
+
+
+class _Segment:
+    """One pack segment: its file, and how to read from it.
+
+    Sealed segments are immutable and memory-mapped; the active
+    segment is read with ``os.pread`` on its read/write handle (safe
+    against concurrent appends -- ``pread`` carries its own offset and
+    every append is flushed before the index learns about it).
+    """
+
+    __slots__ = ("segment_id", "path", "size", "sealed", "handle", "mm",
+                 "entries")
+
+    def __init__(self, segment_id: int, path: str) -> None:
+        self.segment_id = segment_id
+        self.path = path
+        self.size = 0
+        self.sealed = False
+        self.handle = None  # open file object while active
+        self.mm = None  # mmap once sealed
+        #: Frames appended while active (footer material, in order).
+        self.entries: List[PackEntry] = []
+
+    def read_span(self, offset: int, length: int):
+        """Bytes-like view of ``length`` bytes at ``offset``."""
+        if self.mm is not None:
+            return memoryview(self.mm)[offset:offset + length]
+        return os.pread(self.handle.fileno(), length, offset)
+
+    def close(self) -> None:
+        if self.mm is not None:
+            try:
+                self.mm.close()
+            except (BufferError, ValueError):
+                pass  # readers may still hold views; OS reclaims at exit
+            self.mm = None
+        if self.handle is not None:
+            try:
+                self.handle.close()
+            except OSError:
+                pass
+            self.handle = None
 
 
 class Repository:
@@ -34,36 +117,92 @@ class Repository:
     """
 
     def __init__(
-        self, directory: Optional[str] = None, in_memory: bool = False
+        self,
+        directory: Optional[str] = None,
+        in_memory: bool = False,
+        layout: str = LAYOUT_PACK,
+        compress_level: int = 6,
+        compress_min_bytes: int = 512,
+        segment_bytes: int = 8 * 1024 * 1024,
     ) -> None:
+        if layout not in (LAYOUT_PACK, LAYOUT_FILES):
+            raise ValueError("unknown repository layout %r" % layout)
         self._directory = directory
         self._owned_directory: Optional[str] = None
         self._in_memory = in_memory
+        self.layout = layout
+        self.compress_level = compress_level
+        self.compress_min_bytes = compress_min_bytes
+        self.segment_bytes = max(64 * 1024, segment_bytes)
         self._mem: Dict[Tuple[str, str], bytes] = {}
         self._known: Dict[Tuple[str, str], int] = {}
+        #: key -> (segment, PackEntry) for pack entries; a key present
+        #: in ``_known`` but absent here lives in a legacy ``.pool``
+        #: file (or in ``_mem``).
+        self._located: Dict[Tuple[str, str], Tuple[_Segment, PackEntry]] = {}
+        self._segments: Dict[int, _Segment] = {}
+        self._active: Optional[_Segment] = None
+        self._next_segment_id = 0
+        #: Segments replaced by compaction; their mmaps stay alive for
+        #: readers that resolved before the swap, closed at close().
+        self._retired: List[_Segment] = []
+        #: Messages from the last reindex()'s recovery scans.
+        self.reindex_errors: List[str] = []
         # Partition workers fetch concurrently; the index and counters
         # are shared mutable state, so updates take this lock.
         self._lock = threading.Lock()
         #: Operation counters (observable by benchmarks).
         self.stores = 0
+        #: Store requests whose bytes matched the live entry (no write).
+        self.store_skips = 0
         self.fetches = 0
         self.batch_fetches = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        #: Index/footer traffic, counted apart from pool payload I/O
+        #: (footers, tombstones, footer reads during reindex).
+        self.index_bytes_written = 0
+        self.index_bytes_read = 0
+        #: Segment-compaction activity.
+        self.segment_compactions = 0
+        self.compaction_bytes_written = 0
+        #: Dead bytes (overwritten/discarded entries + tombstones)
+        #: awaiting compaction -- the "no silent leak" gauge.
+        self.reclaimable_bytes = 0
+        self.dead_entries = 0
+        self._mapped_bytes = 0
+
+    @classmethod
+    def from_config(cls, directory: Optional[str], config) -> "Repository":
+        """A repository tuned by a :class:`NaimConfig`."""
+        return cls(
+            directory=directory,
+            in_memory=directory is None,
+            layout=getattr(config, "repo_layout", LAYOUT_PACK),
+            compress_level=config.repo_compress_level,
+            compress_min_bytes=config.repo_compress_min_bytes,
+            segment_bytes=config.repo_segment_bytes,
+        )
 
     def reset_counters(self) -> None:
         """Zero the operation counters without touching stored pools.
 
         A long-lived repository (incremental state, build daemon)
         serves many builds from one process; per-build stats are only
-        meaningful if each build starts from zero.
+        meaningful if each build starts from zero.  Gauges describing
+        state (reclaimable bytes, mapped bytes) are *not* reset.
         """
         with self._lock:
             self.stores = 0
+            self.store_skips = 0
             self.fetches = 0
             self.batch_fetches = 0
             self.bytes_written = 0
             self.bytes_read = 0
+            self.index_bytes_written = 0
+            self.index_bytes_read = 0
+            self.segment_compactions = 0
+            self.compaction_bytes_written = 0
 
     # -- Paths ------------------------------------------------------------------
 
@@ -80,11 +219,9 @@ class Repository:
         """Collision-free filename encoding of an arbitrary name.
 
         Unsafe characters become ``_xxxx`` (four hex digits), so
-        distinct names always map to distinct filenames -- the old
-        lossy scheme mapped both ``x:`` and the literal ``x_c`` to
-        ``x_c``, letting one pool silently overwrite another.  The
-        encoding is reversible (see :meth:`_parse_filename`), which is
-        what makes :meth:`reindex` possible.
+        distinct names always map to distinct filenames.  The encoding
+        is reversible (see :meth:`_parse_filename`), which is what
+        makes :meth:`reindex` possible for the files layout.
         """
         return "".join(
             ch if ch in _SAFE_CHARS else "_%04x" % ord(ch) for ch in text
@@ -130,29 +267,169 @@ class Repository:
     def _path(self, kind: str, name: str) -> str:
         return os.path.join(self._ensure_directory(), self._filename(kind, name))
 
+    def _segment_path(self, segment_id: int) -> str:
+        return os.path.join(
+            self._ensure_directory(), "seg-%05d.pack" % segment_id
+        )
+
+    # -- Pack internals (call with the lock held) ----------------------------------
+
+    def _open_segment(self) -> _Segment:
+        segment = _Segment(self._next_segment_id,
+                           self._segment_path(self._next_segment_id))
+        self._next_segment_id += 1
+        segment.handle = open(segment.path, "w+b")
+        segment.handle.write(SEGMENT_MAGIC)
+        segment.handle.flush()
+        segment.size = len(SEGMENT_MAGIC)
+        self._segments[segment.segment_id] = segment
+        return segment
+
+    def _active_segment(self) -> _Segment:
+        if self._active is None:
+            self._active = self._open_segment()
+        return self._active
+
+    def _append_frame(self, segment: _Segment, kind: str, name: str,
+                      stored: bytes, raw_len: int, flags: int) -> PackEntry:
+        frame = packfile.encode_entry(kind, name, stored, raw_len, flags)
+        offset = segment.size
+        segment.handle.write(frame)
+        segment.handle.flush()
+        segment.size += len(frame)
+        payload_offset = offset + len(frame) - len(stored)
+        entry = PackEntry(kind, name, offset, payload_offset, raw_len,
+                          len(stored), flags)
+        segment.entries.append(entry)
+        return entry
+
+    def _seal(self, segment: _Segment) -> None:
+        """Write the footer index; the segment becomes immutable + mmap'd."""
+        if segment.sealed:
+            return
+        footer = packfile.encode_footer(segment.entries)
+        segment.handle.write(footer)
+        segment.handle.flush()
+        segment.size += len(footer)
+        self.index_bytes_written += len(footer)
+        segment.sealed = True
+        self._map_segment(segment)
+
+    def _map_segment(self, segment: _Segment) -> None:
+        import mmap
+
+        with open(segment.path, "rb") as handle:
+            segment.mm = mmap.mmap(handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+        self._mapped_bytes += len(segment.mm)
+
+    def _maybe_roll(self) -> None:
+        if self._active is not None and self._active.size >= self.segment_bytes:
+            self._seal(self._active)
+            self._active = None
+
+    def _kill_entry(self, key: Tuple[str, str]) -> None:
+        """Mark ``key``'s current pack entry dead (reclaimable)."""
+        located = self._located.pop(key, None)
+        if located is not None:
+            _segment, entry = located
+            self.reclaimable_bytes += entry.frame_len
+            self.dead_entries += 1
+
     # -- Store / fetch -------------------------------------------------------------
 
     def store(self, kind: str, name: str, data: bytes) -> None:
+        key = (kind, name)
+        if self._in_memory:
+            with self._lock:
+                self.stores += 1
+                self.bytes_written += len(data)
+                self._known[key] = len(data)
+                self._mem[key] = data
+            return
+        if self.layout == LAYOUT_FILES:
+            with self._lock:
+                self.stores += 1
+                self.bytes_written += len(data)
+                self._known[key] = len(data)
+            with open(self._path(kind, name), "wb") as handle:
+                handle.write(data)
+            return
+        stored, flags = packfile.encode_payload(
+            data, self.compress_level, self.compress_min_bytes
+        )
+        # Skip identical re-stores.  The loader re-offloads every evicted
+        # pool, but most round-trips bring the bytes back unchanged;
+        # deterministic compression means equal raw bytes encode to equal
+        # stored bytes, so one length/flags check plus a compare against
+        # the live entry's span avoids the append entirely.
+        plan = None
         with self._lock:
+            located = self._located.get(key)
+            if (located is not None
+                    and located[1].stored_len == len(stored)
+                    and located[1].flags == flags):
+                plan = located
+        if plan is not None:
+            segment, entry = plan
+            span = segment.read_span(entry.payload_offset, entry.stored_len)
+            if bytes(span) == stored:
+                with self._lock:
+                    if self._located.get(key) is plan:
+                        self.stores += 1
+                        self.store_skips += 1
+                        return
+        with self._lock:
+            segment = self._active_segment()
+            entry = self._append_frame(segment, kind, name, stored,
+                                       len(data), flags)
+            self._kill_entry(key)
+            if key in self._known and key not in self._located:
+                # Superseding a legacy .pool (or in-memory) copy.
+                self._mem.pop(key, None)
+            self._located[key] = (segment, entry)
+            self._known[key] = len(data)
             self.stores += 1
-            self.bytes_written += len(data)
-            self._known[(kind, name)] = len(data)
-            if self._in_memory:
-                self._mem[(kind, name)] = data
-                return
-        with open(self._path(kind, name), "wb") as handle:
-            handle.write(data)
+            self.bytes_written += entry.frame_len
+            self._maybe_roll()
+
+    def _resolve(self, key: Tuple[str, str]):
+        """Index lookup -> a self-contained read plan (lock held).
+
+        The plan stays valid after the lock is released: a sealed
+        segment's mmap outlives any index swap (compaction retires it
+        but keeps the mapping open), and the active segment's handle
+        is never closed while the repository is open.
+        """
+        located = self._located.get(key)
+        if located is None:
+            return None
+        segment, entry = located
+        return (segment, entry)
 
     def fetch(self, kind: str, name: str) -> bytes:
+        key = (kind, name)
+        plan = None
         with self._lock:
-            if (kind, name) not in self._known:
+            if key not in self._known:
                 raise KeyError("repository has no %s pool %r" % (kind, name))
             self.fetches += 1
+            if not self._in_memory and self.layout == LAYOUT_PACK:
+                plan = self._resolve(key)
+                if plan is not None:
+                    self.bytes_read += plan[1].stored_len
         if self._in_memory:
-            data = self._mem[(kind, name)]
-        else:
-            with open(self._path(kind, name), "rb") as handle:
-                data = handle.read()
+            data = self._mem[key]
+            with self._lock:
+                self.bytes_read += len(data)
+            return data
+        if plan is not None:
+            segment, entry = plan
+            span = segment.read_span(entry.payload_offset, entry.stored_len)
+            return packfile.decode_payload(span, entry.flags)
+        # Legacy .pool file (adopted by reindex, or files layout).
+        with open(self._path(kind, name), "rb") as handle:
+            data = handle.read()
         with self._lock:
             self.bytes_read += len(data)
         return data
@@ -162,80 +439,341 @@ class Repository:
     ) -> Dict[Tuple[str, str], bytes]:
         """Fetch a batch of pools in one pass.
 
-        Partition workers warm their offloaded pools with a single
-        batch instead of one :meth:`fetch` round-trip per touch.  Keys
-        absent from the repository are silently skipped (the caller
-        decides whether that is an error); each key present counts as
-        one fetch, the batch as one ``batch_fetches``.
+        Partition workers and the loader's prefetch pipeline warm
+        offloaded pools with a single batch instead of one
+        :meth:`fetch` round-trip per touch.  Keys absent from the
+        repository are silently skipped (the caller decides whether
+        that is an error); each key present counts as one fetch, the
+        batch as one ``batch_fetches``.  The lock is taken **once per
+        batch**: every counter (including exact ``bytes_read``) is
+        settled while resolving, so concurrent batches never interleave
+        half-updated totals.
         """
         wanted: List[Tuple[str, str]] = []
+        plans: Dict[Tuple[str, str], Tuple[_Segment, PackEntry]] = {}
+        mem: Dict[Tuple[str, str], bytes] = {}
         with self._lock:
             self.batch_fetches += 1
+            total = 0
             for key in keys:
-                if key in self._known:
-                    wanted.append(key)
+                if key not in self._known:
+                    continue
+                wanted.append(key)
+                if self._in_memory:
+                    data = self._mem[key]
+                    mem[key] = data
+                    total += len(data)
+                    continue
+                plan = (self._resolve(key)
+                        if self.layout == LAYOUT_PACK else None)
+                if plan is not None:
+                    plans[key] = plan
+                    total += plan[1].stored_len
+                else:
+                    total += self._known[key]
             self.fetches += len(wanted)
-        out: Dict[Tuple[str, str], bytes] = {}
-        total = 0
-        for kind, name in wanted:
-            if self._in_memory:
-                data = self._mem[(kind, name)]
-            else:
-                with open(self._path(kind, name), "rb") as handle:
-                    data = handle.read()
-            out[(kind, name)] = data
-            total += len(data)
-        with self._lock:
             self.bytes_read += total
+        if self._in_memory:
+            return mem
+        out: Dict[Tuple[str, str], bytes] = {}
+        for key in wanted:
+            plan = plans.get(key)
+            if plan is not None:
+                segment, entry = plan
+                span = segment.read_span(entry.payload_offset,
+                                         entry.stored_len)
+                out[key] = packfile.decode_payload(span, entry.flags)
+            else:
+                with open(self._path(*key), "rb") as handle:
+                    out[key] = handle.read()
         return out
 
     def discard(self, kind: str, name: str) -> bool:
-        """Drop one pool if present; returns whether it existed."""
+        """Drop one pool if present; returns whether it existed.
+
+        In the pack layout the entry is marked dead in the index and a
+        tombstone frame is appended (so the discard survives a reopen
+        + reindex); the bytes stay on disk -- counted in
+        ``reclaimable_bytes`` -- until :meth:`compact_segments`.
+        """
+        key = (kind, name)
+        unlink_legacy = False
         with self._lock:
-            if (kind, name) not in self._known:
+            if key not in self._known:
                 return False
-            del self._known[(kind, name)]
-            self._mem.pop((kind, name), None)
-        if not self._in_memory:
+            del self._known[key]
+            self._mem.pop(key, None)
+            if not self._in_memory and self.layout == LAYOUT_PACK:
+                if key in self._located:
+                    self._kill_entry(key)
+                    segment = self._active_segment()
+                    tombstone = self._append_frame(
+                        segment, kind, name, b"", 0, FLAG_TOMBSTONE
+                    )
+                    self.index_bytes_written += tombstone.frame_len
+                    self.reclaimable_bytes += tombstone.frame_len
+                    self._maybe_roll()
+                else:
+                    unlink_legacy = True  # adopted .pool file
+            elif not self._in_memory:
+                unlink_legacy = True
+        if unlink_legacy:
             try:
                 os.unlink(self._path(kind, name))
             except OSError:
                 pass
         return True
 
-    def reindex(self) -> int:
+    # -- Reindex / recovery ---------------------------------------------------------
+
+    def reindex(self, strict: bool = False) -> int:
         """Rebuild the (kind, name) index from an existing directory.
 
         A fresh Repository instance only knows about pools it stored
         itself; pointing it at a directory written by an earlier
         process and calling ``reindex`` makes those pools fetchable
-        again.  Unparseable filenames (foreign files, pre-escape
-        legacy pools) are skipped.  Returns the number of indexed
-        pools.
+        again.  Pack segments are indexed from their footers; a
+        segment with a missing or damaged footer (crash before seal)
+        is recovered by scanning its entry frames, keeping the
+        CRC-verified prefix.  Damage descriptions are collected in
+        ``reindex_errors``; with ``strict=True`` any damage raises
+        :class:`RepositoryError` instead.  Legacy one-file-per-pool
+        entries are adopted in either layout.  Returns the number of
+        indexed pools.
         """
         if self._in_memory or self._directory is None:
             return len(self._known)
         if not os.path.isdir(self._directory):
             return 0
-        for entry in sorted(os.listdir(self._directory)):
-            parsed = self._parse_filename(entry)
-            if parsed is None:
+        with self._lock:
+            self.reindex_errors = []
+            segment_ids = []
+            pool_files = []
+            for entry in sorted(os.listdir(self._directory)):
+                match = _SEGMENT_RE.match(entry)
+                if match:
+                    segment_ids.append(int(match.group(1)))
+                elif entry.endswith(".pool"):
+                    pool_files.append(entry)
+            for segment_id in sorted(segment_ids):
+                self._reindex_segment(segment_id)
+            for entry in pool_files:
+                parsed = self._parse_filename(entry)
+                if parsed is None:
+                    continue
+                try:
+                    size = os.path.getsize(
+                        os.path.join(self._directory, entry)
+                    )
+                except OSError:
+                    continue
+                self._known.setdefault(parsed, size)
+            if strict and self.reindex_errors:
+                raise RepositoryError(
+                    "repository index rebuild found damage: "
+                    + "; ".join(self.reindex_errors)
+                )
+            return len(self._known)
+
+    def _reindex_segment(self, segment_id: int) -> None:
+        """Index one existing segment file (lock held)."""
+        if segment_id in self._segments:
+            return  # already open (our own write)
+        path = self._segment_path(segment_id)
+        try:
+            size = os.path.getsize(path)
+        except OSError as exc:
+            self.reindex_errors.append("%s: %s" % (path, exc))
+            return
+        self._next_segment_id = max(self._next_segment_id, segment_id + 1)
+        if size < len(SEGMENT_MAGIC):
+            self.reindex_errors.append(
+                "%s: shorter than the segment header" % os.path.basename(path)
+            )
+            return
+        segment = _Segment(segment_id, path)
+        segment.size = size
+        segment.sealed = True  # reopened segments are never appended to
+        try:
+            self._map_segment(segment)
+        except (OSError, ValueError) as exc:
+            self.reindex_errors.append("%s: %s" % (path, exc))
+            return
+        if not packfile.check_header(segment.mm, size=size):
+            self.reindex_errors.append(
+                "%s: bad segment header magic" % os.path.basename(path)
+            )
+            self._mapped_bytes -= len(segment.mm)
+            segment.close()
+            return
+        entries = packfile.read_footer(segment.mm, size=size)
+        if entries is not None:
+            self.index_bytes_read += packfile.footer_span(segment.mm,
+                                                          size=size)
+        else:
+            entries, error = packfile.scan_segment(segment.mm, size=size)
+            if error is not None:
+                self.reindex_errors.append(
+                    "%s: recovered %d entries, then: %s"
+                    % (os.path.basename(path), len(entries), error)
+                )
+        segment.entries = entries
+        self._segments[segment_id] = segment
+        for entry in entries:  # offset order: later frames supersede
+            key = (entry.kind, entry.name)
+            if entry.flags & FLAG_TOMBSTONE:
+                self._kill_entry(key)
+                self._known.pop(key, None)
+                self.reclaimable_bytes += entry.frame_len
                 continue
-            try:
-                size = os.path.getsize(os.path.join(self._directory, entry))
-            except OSError:
-                continue
-            self._known.setdefault(parsed, size)
-        return len(self._known)
+            self._kill_entry(key)
+            self._located[key] = (segment, entry)
+            self._known[key] = entry.raw_len
+
+    # -- Compaction ----------------------------------------------------------------
+
+    def maybe_compact(self, min_fraction: float = 0.25,
+                      min_bytes: int = 64 * 1024) -> int:
+        """Compact when enough dead bytes accumulated; returns reclaimed.
+
+        The incremental pruner and the daemon's between-requests hook
+        call this: cheap to call, only rewrites when at least
+        ``min_bytes`` *and* ``min_fraction`` of the stored bytes are
+        dead.
+        """
+        with self._lock:
+            if self.reclaimable_bytes < min_bytes:
+                return 0
+            stored = sum(segment.size for segment in self._segments.values())
+            if stored <= 0 or self.reclaimable_bytes < min_fraction * stored:
+                return 0
+        return self.compact_segments()
+
+    def compact_segments(self) -> int:
+        """Rewrite segments keeping only live entries; returns bytes freed.
+
+        Live frames are copied verbatim (no recompression) into fresh
+        segments in (segment, offset) order, footers written, the index
+        swapped, and the old files unlinked.  Old mmaps are *retired*,
+        not closed: a concurrent reader that resolved its entry before
+        the swap still reads valid bytes, and POSIX keeps unlinked
+        mapped files alive until the mapping goes away.
+        """
+        with self._lock:
+            if self._in_memory or self.layout != LAYOUT_PACK:
+                return 0
+            if not self._segments:
+                return 0
+            before = sum(segment.size for segment in self._segments.values())
+            ordered = sorted(
+                self._located.items(),
+                key=lambda item: (item[1][0].segment_id, item[1][1].offset),
+            )
+            old_segments = list(self._segments.values())
+            self._segments = {}
+            self._active = None
+            new_located: Dict[Tuple[str, str], Tuple[_Segment, PackEntry]] = {}
+            copied = 0
+            for key, (old_segment, old_entry) in ordered:
+                segment = self._active_segment()
+                frame = bytes(old_segment.read_span(old_entry.offset,
+                                                    old_entry.frame_len))
+                offset = segment.size
+                segment.handle.write(frame)
+                segment.size += len(frame)
+                shift = offset - old_entry.offset
+                entry = PackEntry(
+                    old_entry.kind, old_entry.name, offset,
+                    old_entry.payload_offset + shift, old_entry.raw_len,
+                    old_entry.stored_len, old_entry.flags,
+                )
+                segment.entries.append(entry)
+                new_located[key] = (segment, entry)
+                copied += len(frame)
+                if segment.size >= self.segment_bytes:
+                    self._seal(segment)
+                    self._active = None
+            if self._active is not None:
+                self._active.handle.flush()
+                self._seal(self._active)
+                self._active = None
+            self._located = new_located
+            for segment in old_segments:
+                if segment.mm is not None:
+                    self._mapped_bytes -= len(segment.mm)
+                self._retired.append(segment)
+                try:
+                    os.unlink(segment.path)
+                except OSError:
+                    pass
+            after = sum(segment.size for segment in self._segments.values())
+            self.segment_compactions += 1
+            self.compaction_bytes_written += copied
+            self.reclaimable_bytes = 0
+            self.dead_entries = 0
+            return max(0, before - after)
+
+    def flush(self) -> None:
+        """Seal the active segment so its footer index reaches disk."""
+        with self._lock:
+            if self._active is not None:
+                self._seal(self._active)
+                self._active = None
+
+    # -- Queries --------------------------------------------------------------------
 
     def contains(self, kind: str, name: str) -> bool:
         return (kind, name) in self._known
 
     def stored_size(self, kind: str, name: str) -> int:
+        """Raw (uncompressed) size of one pool."""
+        return self._known.get((kind, name), 0)
+
+    def packed_size(self, kind: str, name: str) -> int:
+        """On-disk payload size (compressed when the flag is set)."""
+        located = self._located.get((kind, name))
+        if located is not None:
+            return located[1].stored_len
         return self._known.get((kind, name), 0)
 
     def total_bytes(self) -> int:
+        """Total raw bytes of live pools."""
         return sum(self._known.values())
+
+    def packed_bytes(self) -> int:
+        """Total on-disk bytes of live pool payloads."""
+        total = 0
+        for key, size in self._known.items():
+            located = self._located.get(key)
+            total += located[1].stored_len if located is not None else size
+        return total
+
+    def mapped_bytes(self) -> int:
+        """Bytes currently memory-mapped from sealed segments."""
+        return self._mapped_bytes
+
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def io_stats(self) -> Dict[str, int]:
+        """Counter snapshot for benchmarks and build summaries."""
+        with self._lock:
+            return {
+                "stores": self.stores,
+                "store_skips": self.store_skips,
+                "fetches": self.fetches,
+                "batch_fetches": self.batch_fetches,
+                "bytes_written": self.bytes_written,
+                "bytes_read": self.bytes_read,
+                "index_bytes_written": self.index_bytes_written,
+                "index_bytes_read": self.index_bytes_read,
+                "reclaimable_bytes": self.reclaimable_bytes,
+                "dead_entries": self.dead_entries,
+                "mapped_bytes": self._mapped_bytes,
+                "segments": len(self._segments),
+                "segment_compactions": self.segment_compactions,
+                "compaction_bytes_written": self.compaction_bytes_written,
+            }
 
     def __len__(self) -> int:
         return len(self._known)
@@ -243,9 +781,22 @@ class Repository:
     # -- Lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
-        """Remove owned on-disk state."""
-        self._mem.clear()
-        self._known.clear()
+        """Release mappings/handles; remove owned on-disk state."""
+        if self._directory is not None and self._owned_directory is None:
+            # A caller-owned directory will be reopened later: seal the
+            # active segment so reindex reads one footer instead of
+            # scan-recovering the frames.
+            self.flush()
+        with self._lock:
+            for segment in list(self._segments.values()) + self._retired:
+                segment.close()
+            self._segments.clear()
+            self._retired = []
+            self._active = None
+            self._located.clear()
+            self._mapped_bytes = 0
+            self._mem.clear()
+            self._known.clear()
         if self._owned_directory and os.path.isdir(self._owned_directory):
             for entry in os.listdir(self._owned_directory):
                 try:

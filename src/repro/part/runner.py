@@ -215,8 +215,14 @@ class PartitionRunner:
                 compact_bytes=transfer.compact_bytes,
                 offloaded=transfer.offloaded,
             )
-        # One batch fetch warms every pool the WPA phases offloaded.
-        worker_loader.prefetch(handles.values())
+        # Warm offloaded pools a window ahead of the optimization loop:
+        # the pipeline fetches + decodes the next routines' pools on a
+        # background thread while this one is being compiled.
+        depth = worker_loader.config.repo_prefetch_depth
+        if depth:
+            worker_loader.prefetch(
+                handles[t.name] for t in batch[:depth]
+            )
 
         # Private context: views/stats are written per routine; the
         # symbol table, mod/ref info and interprocedural facts are
@@ -231,7 +237,12 @@ class PartitionRunner:
         pipeline = standard_pipeline()
         outcome = _PartitionOutcome(partition)
 
-        for transfer in batch:
+        for index, transfer in enumerate(batch):
+            if depth:
+                worker_loader.prefetch(
+                    handles[t.name]
+                    for t in batch[index + 1:index + 1 + depth]
+                )
             handle = handles[transfer.name]
             routine = handle.get()
             if routine is None:
@@ -245,6 +256,7 @@ class PartitionRunner:
                 routine, ctx.views.get(transfer.name)
             )
             handle.request_unload()
+        worker_loader.stop_prefetch()
         worker_loader.accountant.mark("ltrans:p%d" % partition.index)
 
         # Package final pool payloads for re-adoption, then release so

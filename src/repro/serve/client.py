@@ -78,6 +78,9 @@ def build_options_from_args(args, sources: Dict[str, str]) -> Dict:
         "hlo_jobs": args.hlo_jobs,
         "checked": bool(args.checked),
         "incremental": bool(getattr(args, "incremental", False)),
+        "repo_compress": getattr(args, "repo_compress", 6),
+        "repo_segment_mb": getattr(args, "repo_segment_mb", 8),
+        "prefetch_depth": getattr(args, "prefetch_depth", 1),
     }
     if args.partitions is not None:
         options["partitions"] = args.partitions

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 
 from ..driver.compiler import CompileSession
 from ..driver.options import CompilerOptions
+from ..naim.config import NaimConfig
 from ..driver.report import build_summary
 from ..frontend import compile_source, detect_language
 from ..ir.printer import format_module
@@ -98,6 +99,8 @@ class WarmState:
         self.sessions_created = 0
         self.session_reuses = 0
         self.builds_served = 0
+        #: Pack-segment bytes reclaimed by between-requests compaction.
+        self.repo_bytes_reclaimed = 0
         self._write_marker()
 
     # -- Boot marker -------------------------------------------------------------
@@ -135,6 +138,22 @@ class WarmState:
         incremental = bool(options.get("incremental")) or (
             state_dir is not None
         )
+        repo_compress = options.get("repo_compress", 6)
+        repo_segment_mb = options.get("repo_segment_mb", 8)
+        prefetch_depth = options.get("prefetch_depth", 1)
+        for name, value in (
+            ("repo_compress", repo_compress),
+            ("repo_segment_mb", repo_segment_mb),
+            ("prefetch_depth", prefetch_depth),
+        ):
+            if not isinstance(value, int) or value < 0:
+                raise RequestError(
+                    ERR_BAD_REQUEST, "'%s' must be an integer >= 0" % name
+                )
+        if repo_segment_mb < 1:
+            raise RequestError(
+                ERR_BAD_REQUEST, "'repo_segment_mb' must be >= 1"
+            )
         try:
             compiler_options = CompilerOptions(
                 opt_level=opt_level,
@@ -143,6 +162,11 @@ class WarmState:
                 checked=bool(options.get("checked")),
                 hlo_jobs=hlo_jobs,
                 hlo_partitions=partitions,
+                naim=NaimConfig(
+                    repo_compress_level=repo_compress,
+                    repo_segment_bytes=repo_segment_mb * 1024 * 1024,
+                    repo_prefetch_depth=prefetch_depth,
+                ),
             )
         except ValueError as exc:
             raise RequestError(ERR_BAD_REQUEST, str(exc))
@@ -166,6 +190,9 @@ class WarmState:
             compiler_options.checked,
             compiler_options.hlo_jobs,
             compiler_options.hlo_partitions,
+            compiler_options.naim.repo_compress_level,
+            compiler_options.naim.repo_segment_bytes,
+            compiler_options.naim.repo_prefetch_depth,
             jobs,
             incremental,
             state_dir or "",
@@ -230,6 +257,13 @@ class WarmState:
                 ERR_FAILED, "%s: %s" % (type(exc).__name__, exc)
             )
         self.builds_served += 1
+        # Between-requests housekeeping: fold dead pack-segment frames
+        # (pruned incremental blobs, superseded pools) back into live
+        # segments while the daemon is otherwise idle.  Threshold-gated,
+        # so most requests pay nothing.
+        reclaimed = session.compact_repositories()
+        if reclaimed:
+            self.repo_bytes_reclaimed += reclaimed
         summary = build_summary(
             session.options, len(sources), result, report=report,
             events=session.events, jobs=session.jobs,
@@ -302,6 +336,7 @@ class WarmState:
             "builds_served": self.builds_served,
             "sessions_created": self.sessions_created,
             "session_reuses": self.session_reuses,
+            "repo_bytes_reclaimed": self.repo_bytes_reclaimed,
             "sessions": sessions,
             "artifact_cache": {
                 "entries": len(self.artifact_cache),

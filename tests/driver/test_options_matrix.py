@@ -79,6 +79,6 @@ class TestNaimPlumbing:
         import os
 
         assert os.path.isdir(directory)
-        assert any(name.endswith(".pool") for name in os.listdir(directory))
+        assert any(name.endswith(".pack") for name in os.listdir(directory))
         stats = build.hlo_result.loader.stats
         assert stats.offloads > 0

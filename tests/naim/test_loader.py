@@ -280,17 +280,23 @@ class TestPrefetch:
             if h.peek_state() is PoolState.OFFLOADED
         ]
         assert offloaded
-        fetched = loader.prefetch(handles.values())
-        assert fetched == len(offloaded)
+        queued = loader.prefetch(handles.values())
+        assert queued == len(offloaded)
         assert loader.stats.prefetches == len(offloaded)
-        assert loader.repository.batch_fetches == 1
+        assert loader.prefetch_wait(timeout=30.0)
+        assert loader.repository.batch_fetches >= 1
+        # Prefetch stages decoded objects off to the side; pool state
+        # only changes when the owner thread consumes them via touch.
         assert all(
-            h.peek_state() is PoolState.COMPACT for h in offloaded
+            h.peek_state() is PoolState.OFFLOADED for h in offloaded
         )
+        assert loader.prefetch_staged() == len(offloaded)
         # Touching a prefetched pool needs no further repository fetch.
         before = loader.repository.fetches
-        offloaded[0].get()
+        assert offloaded[0].get() is not None
         assert loader.repository.fetches == before
+        assert loader.stats.prefetch_hits == 1
+        loader.stop_prefetch()
 
     def test_prefetch_without_offloaded_pools_is_free(self):
         _, loader, handles = make_loader(NaimLevel.OFF)

@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.naim.repository import Repository
+from repro.naim.repository import LAYOUT_FILES, Repository
 
 
 class TestInMemory:
@@ -44,6 +44,13 @@ class TestOnDisk:
         repo.store("ir", "mod::fn", b"\x00\x01\x02")
         assert repo.fetch("ir", "mod::fn") == b"\x00\x01\x02"
         files = os.listdir(str(tmp_path))
+        assert len(files) == 1 and files[0].endswith(".pack")
+
+    def test_round_trip_files_layout(self, tmp_path):
+        repo = Repository(directory=str(tmp_path), layout=LAYOUT_FILES)
+        repo.store("ir", "mod::fn", b"\x00\x01\x02")
+        assert repo.fetch("ir", "mod::fn") == b"\x00\x01\x02"
+        files = os.listdir(str(tmp_path))
         assert len(files) == 1 and files[0].endswith(".pool")
 
     def test_kinds_are_disjoint(self, tmp_path):
@@ -74,10 +81,12 @@ class TestOnDisk:
 
 
 class TestFilenameEncoding:
+    """The legacy one-file-per-pool layout's name escaping."""
+
     def test_similar_names_do_not_collide(self, tmp_path):
         """Historical bug: ``x:`` and ``x_c`` (or any escaped/literal
         pair) used to map to the same file and clobber each other."""
-        repo = Repository(directory=str(tmp_path))
+        repo = Repository(directory=str(tmp_path), layout=LAYOUT_FILES)
         repo.store("ir", "x:", b"colon")
         repo.store("ir", "x_c", b"underscore")
         repo.store("ir", "x c", b"space")
@@ -89,7 +98,7 @@ class TestFilenameEncoding:
     def test_kind_name_boundary_unambiguous(self, tmp_path):
         """(``a_b``, ``c``) and (``a``, ``b_c``) must be distinct
         entries -- the separator can't be forged from name text."""
-        repo = Repository(directory=str(tmp_path))
+        repo = Repository(directory=str(tmp_path), layout=LAYOUT_FILES)
         repo.store("a_b", "c", b"first")
         repo.store("a", "b_c", b"second")
         assert repo.fetch("a_b", "c") == b"first"
@@ -111,8 +120,19 @@ class TestDiscardAndReindex:
         repo.store("ir", "f", b"data")
         assert repo.discard("ir", "f")
         assert not repo.contains("ir", "f")
-        assert os.listdir(str(tmp_path)) == []
+        # Pack segments keep the dead frame on disk until compaction,
+        # but the space is surfaced as reclaimable.
+        assert repo.reclaimable_bytes > 0
+        assert repo.dead_entries == 1
         assert not repo.discard("ir", "f")  # second discard is a no-op
+
+    def test_discard_files_layout_unlinks(self, tmp_path):
+        repo = Repository(directory=str(tmp_path), layout=LAYOUT_FILES)
+        repo.store("ir", "f", b"data")
+        assert repo.discard("ir", "f")
+        assert not repo.contains("ir", "f")
+        assert os.listdir(str(tmp_path)) == []
+        assert not repo.discard("ir", "f")
 
     def test_discard_in_memory(self):
         repo = Repository(in_memory=True)

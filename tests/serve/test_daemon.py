@@ -302,3 +302,41 @@ class TestLifecycle:
         with running_daemon(root) as (daemon, client):
             assert daemon.state.recovered
             assert client.status()["recovered"] is True
+
+    def test_recovers_corrupt_pack_state_after_crash(self, tmp_path,
+                                                     calc_sources):
+        """Boot-marker path with damaged repository state: a daemon
+        restarted after a crash that mangled the incremental pack
+        segments must still serve a correct (byte-identical) build."""
+        root = tmp_path / "state"
+        state_dir = str(tmp_path / "incr")
+        reference = cold_image(calc_sources, incremental=True,
+                               state_dir=str(tmp_path / "ref"))
+
+        # Populate the pack-file incremental state, then damage it the
+        # way a crash would: flip bytes mid-segment, clip the footer.
+        cold_image(calc_sources, incremental=True, state_dir=state_dir)
+        repo_dir = os.path.join(state_dir, "incr-cmo")
+        segments = [name for name in os.listdir(repo_dir)
+                    if name.endswith(".pack")]
+        assert segments
+        for name in segments:
+            path = os.path.join(repo_dir, name)
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.seek(size // 2)
+                handle.write(b"\xff" * 32)
+                handle.truncate(size - 4)
+
+        os.makedirs(str(root), exist_ok=True)
+        with open(os.path.join(str(root), "daemon.boot.json"),
+                  "w") as handle:
+            handle.write("{}")
+
+        with running_daemon(root) as (daemon, client):
+            assert daemon.state.recovered
+            warm = client.build({
+                "sources": calc_sources, "opt_level": 4,
+                "state_dir": state_dir,
+            })
+            assert warm["image"] == reference
