@@ -31,7 +31,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from conftest import save_result
+from conftest import save_json, save_result
 
 from repro.serve.client import DaemonClient
 from repro.synth import WorkloadConfig, generate
@@ -181,14 +181,26 @@ def run_bench(quick=False):
         "",
         "  images byte-identical to cold CLI: yes (every request)",
     ]
-    return "\n".join(lines)
+    payload = {
+        "workload": {"modules": len(app.sources),
+                     "source_lines": app.source_lines()},
+        "requests": n_requests,
+        "cold_cli_mean_seconds": cold_mean,
+        "warm_serial_mean_seconds": warm_mean,
+        "warm_speedup": cold_mean / warm_mean if warm_mean else 0.0,
+        "concurrent_threads": n_threads,
+        "concurrent_requests_per_second": concurrent_rps,
+        "byte_identical": True,
+    }
+    return "\n".join(lines), payload
 
 
 def test_serve_bench():
-    text = run_bench(quick=True)
+    text, payload = run_bench(quick=True)
     print()
     print(text)
     save_result("serve_quick", text)
+    save_json("serve", payload)
 
 
 def main(argv=None):
@@ -196,9 +208,10 @@ def main(argv=None):
     parser.add_argument("--quick", action="store_true",
                         help="smaller workload, fewer requests")
     args = parser.parse_args(argv)
-    text = run_bench(quick=args.quick)
+    text, payload = run_bench(quick=args.quick)
     print(text)
     save_result("serve", text)
+    print("wrote %s" % save_json("serve", payload))
     return 0
 
 

@@ -5,6 +5,11 @@ import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Machine-readable results land at the repository root, where CI jobs
+#: and tooling expect ``BENCH_*.json`` (the results/ subdirectory is
+#: only for rendered tables and is not scanned).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 
 def save_result(name: str, text: str) -> None:
     """Persist a rendered figure table for later inspection."""
@@ -18,10 +23,10 @@ def save_json(name: str, payload: dict) -> str:
     """Persist machine-readable benchmark output (``BENCH_<name>.json``).
 
     CI jobs and tooling read these instead of scraping the rendered
-    tables; returns the path written.
+    tables; the file goes to the repo root (not benchmarks/results/)
+    so a bare ``ls BENCH_*.json`` finds it.  Returns the path written.
     """
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+    path = os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

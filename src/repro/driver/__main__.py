@@ -18,6 +18,10 @@ module defining ``main``) provides the entry point.
 ``build --daemon`` routes the request to a running build daemon
 (:mod:`repro.serve`) over its UNIX socket, falling back to in-process
 compilation when none is running; output is identical either way.
+``build --farm HOST:PORT`` routes it to a compile-farm coordinator
+(:mod:`repro.farm`) over authenticated TCP instead -- an explicit
+endpoint, so an unreachable farm fails the build rather than falling
+back silently.  Images are byte-identical down every path.
 """
 
 from __future__ import annotations
@@ -167,14 +171,15 @@ def _print_run(result) -> None:
              result.calls))
 
 
-def _daemon_build(args: argparse.Namespace,
-                  sources: Dict[str, str]) -> int:
+def _daemon_build(args: argparse.Namespace, sources: Dict[str, str],
+                  client=None) -> int:
     """One build via the daemon; assumes a daemon answered the ping."""
     from ..linker.objects import decode_executable
     from ..serve.client import DaemonClient, build_options_from_args
     from ..vm.machine import run_image
 
-    client = DaemonClient.from_env()
+    if client is None:
+        client = DaemonClient.from_env()
     result = client.build(build_options_from_args(args, sources))
     _print_summary(result["summary"])
     image = result["image"]
@@ -190,6 +195,26 @@ def _daemon_build(args: argparse.Namespace,
 def cmd_build(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
     incremental = args.incremental or args.state_dir is not None
+
+    if args.farm:
+        # An explicit endpoint is a promise, not a hint: a farm the
+        # user named but cannot be reached is an error, never a silent
+        # in-process fallback (unlike --daemon, which is opportunistic).
+        from ..farm import FarmClient
+        from ..farm.coordinator import default_farm_root
+        from ..farm.transport import resolve_token
+        from ..serve.client import DaemonError
+
+        client = FarmClient(
+            args.farm,
+            token=resolve_token(args.farm_token,
+                                root=default_farm_root()),
+        )
+        try:
+            return _daemon_build(args, sources, client=client)
+        except DaemonError as exc:
+            print("farm: %s" % exc, file=sys.stderr)
+            return 1
 
     if args.daemon and not args.trace_out:
         # Transparent daemon path: only taken when a daemon answers;
@@ -300,6 +325,16 @@ def main(argv=None) -> int:
         "--daemon", action="store_true",
         help="build via a running repro.serve daemon (warm caches); "
              "falls back to in-process compilation if none is running",
+    )
+    build_parser.add_argument(
+        "--farm", default=None, metavar="HOST:PORT",
+        help="build via a repro.farm coordinator over TCP "
+             "(fails, never falls back, when it cannot be reached)",
+    )
+    build_parser.add_argument(
+        "--farm-token", default=None, metavar="SECRET",
+        help="farm shared secret (default: $REPRO_FARM_TOKEN, else "
+             "the local coordinator root's farm.token)",
     )
     build_parser.set_defaults(func=cmd_build)
 

@@ -116,6 +116,14 @@ class Compiler:
 
     def __init__(self, options: Optional[CompilerOptions] = None) -> None:
         self.options = options or CompilerOptions()
+        #: When set (by the farm coordinator), partitioned LTRANS runs
+        #: are offered to this dispatcher instead of local threads; it
+        #: must answer ``ready()`` and ``runner(hlo_result,
+        #: llo_options, naim_config, jobs, events)``.  Builds fall
+        #: back to the in-process runner whenever it is absent or has
+        #: no workers, so a farm with zero workers still serves
+        #: (locally executed) builds.
+        self.partition_dispatcher = None
 
     # -- Frontend --------------------------------------------------------------
 
@@ -552,13 +560,23 @@ class Compiler:
                 n_partitions = options.hlo_partitions or max(
                     1, options.hlo_jobs * 4
                 )
-                runner = PartitionRunner(
-                    hlo_result,
-                    llo_options,
-                    naim_config=options.naim,
-                    jobs=options.hlo_jobs,
-                    events=events,
-                )
+                dispatcher = self.partition_dispatcher
+                if dispatcher is not None and dispatcher.ready():
+                    runner = dispatcher.runner(
+                        hlo_result,
+                        llo_options,
+                        naim_config=options.naim,
+                        jobs=options.hlo_jobs,
+                        events=events,
+                    )
+                else:
+                    runner = PartitionRunner(
+                        hlo_result,
+                        llo_options,
+                        naim_config=options.naim,
+                        jobs=options.hlo_jobs,
+                        events=events,
+                    )
                 run_out = runner.run(
                     partition_unit(hlo_result, n_partitions)
                 )

@@ -1,0 +1,35 @@
+"""Distributed compile farm: coordinator + workers over TCP.
+
+The single-process daemon (:mod:`repro.serve`) scales to one
+machine's cores; the farm scales the LTRANS half across machines.
+One **coordinator** (:mod:`.coordinator`) speaks the existing build
+protocol to clients over TCP, runs the serial WPA phase itself, and
+dispatches the resulting partitions to connected **workers**
+(:mod:`.worker`) through a work-stealing queue
+(:class:`repro.sched.StealQueue`).  Partition inputs and results
+travel through a shared **content-addressed store** (:mod:`.store`)
+backed by the coordinator's pack-file repository, so warm rebuilds
+deduplicate farm-wide and any worker can run any partition.
+
+Every connection authenticates with a shared secret (:mod:`
+.transport`); clients reach the farm with ``python -m repro.driver
+build --farm HOST:PORT``.  Farm images are byte-identical to
+single-daemon and cold-CLI images -- the worker-side execution loop
+is the same code path, mirrored across the wire (:mod:`repro.part.
+wire`).
+"""
+
+from .client import FarmClient
+from .coordinator import FarmCoordinator, run_coordinator
+from .transport import AuthError, parse_endpoint
+from .worker import FarmWorker, run_worker
+
+__all__ = [
+    "FarmClient",
+    "FarmCoordinator",
+    "run_coordinator",
+    "AuthError",
+    "parse_endpoint",
+    "FarmWorker",
+    "run_worker",
+]

@@ -1,0 +1,66 @@
+"""Client side of the farm: the daemon protocol over authenticated TCP.
+
+:class:`FarmClient` subclasses :class:`~repro.serve.client.
+DaemonClient` and changes exactly one thing -- how a connection is
+made (TCP dial + token hello instead of a UNIX connect) -- so every
+operation (build/train/objdump/status/ping/shutdown), the progress
+streaming and the error mapping are byte-for-byte the single-daemon
+client's.  ``python -m repro.driver build --farm HOST:PORT`` uses
+this.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Dict, Optional
+
+from ..serve.client import PING_TIMEOUT, DaemonClient, DaemonError
+from ..serve.protocol import OP_PING
+from .transport import ROLE_CLIENT, AuthError, connect, parse_endpoint, resolve_token
+
+
+class FarmClient(DaemonClient):
+    """One client of a running farm coordinator."""
+
+    def __init__(self, endpoint: str,
+                 token: Optional[str] = None,
+                 timeout: Optional[float] = None,
+                 on_progress: Optional[Callable[[Dict], None]] = None):
+        host, port = parse_endpoint(endpoint)
+        super().__init__(socket_path="%s:%d" % (host, port),
+                         timeout=timeout, on_progress=on_progress)
+        self.host = host
+        self.port = port
+        self.token = resolve_token(token)
+
+    def _connect(self, timeout: Optional[float]) -> socket.socket:
+        try:
+            conn, stream = connect(
+                self.host, self.port, ROLE_CLIENT, self.token,
+                timeout=timeout,
+            )
+        except AuthError as exc:
+            raise DaemonError(
+                "farm at %s refused the connection: %s"
+                % (self.socket_path, exc)
+            )
+        except OSError as exc:
+            raise DaemonError(
+                "cannot connect to farm at %s: %s"
+                % (self.socket_path, exc)
+            )
+        # The handshake stream is done; close the wrapper (the socket
+        # itself stays open -- the request path makes its own).
+        try:
+            stream.close()
+        except OSError:
+            pass
+        return conn
+
+    def available(self) -> bool:
+        """True when a coordinator answers a ping at the endpoint."""
+        try:
+            return bool(self.request(OP_PING, timeout=PING_TIMEOUT)
+                        .get("pong"))
+        except DaemonError:
+            return False

@@ -1,0 +1,132 @@
+"""Content-addressed blobs over the farm's shared pack store.
+
+Both sides of partition dispatch move bytes through here: the
+coordinator publishes the shared context and every routine's compact
+IR; workers fetch those and publish their outcomes.  Blobs are named
+by their SHA-256, stored under NAIM kind ``"cas"`` in the
+coordinator's pack repository -- so the pack layer's identical-store
+skip *is* the farm-wide deduplication (a warm rebuild re-publishes
+byte-identical blobs, which cost one hash lookup and no disk writes).
+
+:class:`StoreClient` wraps a :class:`~repro.naim.remote.
+RemoteRepository` stream with hashing, an LRU blob cache (shared
+context blobs are fetched once per build, not once per partition) and
+``has``-before-``put`` so unchanged blobs do not cross the wire at
+all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional
+
+from ..naim.remote import RemoteRepository
+
+#: NAIM pool kind under which CAS blobs live in the pack repository.
+CAS_KIND = "cas"
+
+
+def cas_key(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class StoreClient:
+    """Hash-addressed get/put against a remote repository stream."""
+
+    def __init__(self, repository: RemoteRepository,
+                 cache_bytes: int = 64 * 1024 * 1024) -> None:
+        self._repository = repository
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[str, bytes]" = OrderedDict()
+        self._cache_bytes = 0
+        self._cache_limit = cache_bytes
+        self.puts = 0
+        self.put_skips = 0
+        self.gets = 0
+        self.cache_hits = 0
+
+    # -- Cache ------------------------------------------------------------------
+
+    def _cache_put(self, key: str, data: bytes) -> None:
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                return
+            self._cache[key] = data
+            self._cache_bytes += len(data)
+            while self._cache_bytes > self._cache_limit and self._cache:
+                _, evicted = self._cache.popitem(last=False)
+                self._cache_bytes -= len(evicted)
+
+    def _cache_get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            data = self._cache.get(key)
+            if data is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+            return data
+
+    # -- Blobs ------------------------------------------------------------------
+
+    def put_blob(self, data: bytes) -> str:
+        """Publish bytes; returns their content hash.
+
+        A blob the store already holds (warm rebuild, another worker
+        got there first) skips the payload upload entirely."""
+        key = cas_key(data)
+        if self._cache_get(key) is not None:
+            self.put_skips += 1
+            return key
+        if self._repository.contains(CAS_KIND, key):
+            self.put_skips += 1
+        else:
+            self._repository.store(CAS_KIND, key, data)
+            self.puts += 1
+        self._cache_put(key, data)
+        return key
+
+    def get_blob(self, key: str) -> bytes:
+        data = self._cache_get(key)
+        if data is not None:
+            return data
+        data = self._repository.fetch(CAS_KIND, key)
+        if cas_key(data) != key:
+            raise ValueError(
+                "store returned corrupt blob for %s" % key[:12]
+            )
+        self.gets += 1
+        self._cache_put(key, data)
+        return data
+
+    def get_blobs(self, keys: Iterable[str]) -> Dict[str, bytes]:
+        """Batch fetch (one round trip for the cache misses)."""
+        wanted = list(keys)
+        out: Dict[str, bytes] = {}
+        missing: List[str] = []
+        for key in wanted:
+            data = self._cache_get(key)
+            if data is not None:
+                out[key] = data
+            else:
+                missing.append(key)
+        if missing:
+            found = self._repository.fetch_many(
+                [(CAS_KIND, key) for key in missing]
+            )
+            for (_, key), data in found.items():
+                self.gets += 1
+                self._cache_put(key, data)
+                out[key] = data
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "puts": self.puts,
+                "put_skips": self.put_skips,
+                "gets": self.gets,
+                "cache_hits": self.cache_hits,
+                "cache_bytes": self._cache_bytes,
+            }

@@ -1,0 +1,303 @@
+"""Remote repository access: the pack store served over a stream.
+
+The compile farm shares one content-addressed artifact store, backed
+by the coordinator's pack-file :class:`~repro.naim.repository.
+Repository`.  This module is the wire layer on both sides:
+
+* :class:`RepositoryServer` -- the coordinator side: a request loop
+  over one NDJSON stream (``get``/``put``/``has``/``many``/``stats``)
+  against a local repository.  The repository's own lock makes the
+  operations safe across concurrent connections; identical re-stores
+  hit the pack layer's skip path, which is what deduplicates warm
+  farm builds.
+* :class:`RemoteRepository` -- the worker side: ``fetch`` /
+  ``fetch_many`` / ``contains`` / ``store`` forwarded over the
+  stream, one request in flight at a time (an internal lock makes it
+  safe to share between a partition worker and the loader's prefetch
+  thread), with a bounded read-through cache so a partition touching
+  the same pool twice pays one round trip.
+* :class:`CasBackedRepository` -- an adapter that presents CAS blobs
+  under NAIM ``(kind, name)`` keys via a caller-supplied name-to-hash
+  mapping, so a worker's :class:`~repro.naim.repository.
+  OverlayRepository` (and the prefetch pipeline above it) reads
+  partition inputs straight from the shared store.
+
+Messages are one JSON object per line (see :mod:`repro.serve.
+protocol`); binary payloads travel base64-encoded under ``_b64``
+keys, exactly like build images do.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_bytes,
+    encode_bytes,
+    read_message,
+    write_message,
+)
+
+#: Repository ops served over the wire.
+REPO_OP_GET = "get"
+REPO_OP_PUT = "put"
+REPO_OP_HAS = "has"
+REPO_OP_MANY = "many"
+REPO_OP_STATS = "stats"
+
+
+class RemoteRepositoryError(Exception):
+    """The remote side answered with an error or the stream broke."""
+
+
+class RepositoryServer:
+    """Serve one repository over one stream until EOF.
+
+    Bound to a connection by the coordinator; every request is
+    answered in order on the same stream.  Unknown ops and missing
+    pools produce ``{"ok": false}`` answers rather than killing the
+    connection -- a worker asking for a pool that was compacted away
+    should fail *that fetch*, not its whole session."""
+
+    def __init__(self, repository, max_bytes: int = MAX_LINE_BYTES) -> None:
+        self.repository = repository
+        self.max_bytes = max_bytes
+        self.requests = 0
+
+    def serve(self, stream) -> None:
+        while True:
+            try:
+                message = read_message(stream, max_bytes=self.max_bytes)
+            except ProtocolError as exc:
+                self._answer(stream, {"ok": False, "error": str(exc)})
+                return
+            if message is None:
+                return
+            self.requests += 1
+            try:
+                answer = self._dispatch(message)
+            except Exception as exc:  # noqa: BLE001 - answer, don't die
+                answer = {
+                    "ok": False,
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                }
+            if not self._answer(stream, answer):
+                return
+
+    def _answer(self, stream, message: Dict) -> bool:
+        try:
+            write_message(stream, message, max_bytes=self.max_bytes)
+            return True
+        except (OSError, ValueError, ProtocolError):
+            return False
+
+    def _dispatch(self, message: Dict) -> Dict:
+        op = message.get("op")
+        if op == REPO_OP_GET:
+            kind, name = message["kind"], message["name"]
+            if not self.repository.contains(kind, name):
+                return {"ok": False,
+                        "error": "no %s pool %r" % (kind, name)}
+            data = self.repository.fetch(kind, name)
+            return {"ok": True, "data_b64": encode_bytes(data)}
+        if op == REPO_OP_PUT:
+            kind, name = message["kind"], message["name"]
+            data = decode_bytes(message["data_b64"])
+            known = self.repository.contains(kind, name)
+            self.repository.store(kind, name, data)
+            return {"ok": True, "stored": not known}
+        if op == REPO_OP_HAS:
+            return {
+                "ok": True,
+                "has": self.repository.contains(
+                    message["kind"], message["name"]
+                ),
+            }
+        if op == REPO_OP_MANY:
+            found = self.repository.fetch_many(
+                [(str(k), str(n)) for k, n in message.get("keys", [])]
+            )
+            return {
+                "ok": True,
+                "entries": [
+                    [kind, name, encode_bytes(data)]
+                    for (kind, name), data in found.items()
+                ],
+            }
+        if op == REPO_OP_STATS:
+            return {"ok": True, "io": dict(self.repository.io_stats()),
+                    "entries": len(self.repository)}
+        return {"ok": False, "error": "unknown repository op %r" % op}
+
+
+class RemoteRepository:
+    """Client side: a repository whose bytes live across the wire.
+
+    Implements the read surface an :class:`~repro.naim.repository.
+    OverlayRepository` base needs (``fetch``/``fetch_many``/
+    ``contains``/``stored_size``) plus ``store`` for pushing results
+    back.  One lock serializes the request/response pairs; the cache
+    keeps the most recent ``cache_entries`` fetches."""
+
+    def __init__(self, stream, max_bytes: int = MAX_LINE_BYTES,
+                 cache_entries: int = 512) -> None:
+        self._stream = stream
+        self._max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+        self._cache_entries = cache_entries
+        self.fetches = 0
+        self.stores = 0
+        self.cache_hits = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _roundtrip(self, message: Dict) -> Dict:
+        with self._lock:
+            try:
+                write_message(self._stream, message,
+                              max_bytes=self._max_bytes)
+                answer = read_message(self._stream,
+                                      max_bytes=self._max_bytes)
+            except (OSError, ValueError, ProtocolError) as exc:
+                raise RemoteRepositoryError(
+                    "repository stream failed: %s" % exc
+                )
+        if answer is None:
+            raise RemoteRepositoryError("repository stream closed")
+        return answer
+
+    def _remember(self, key: Tuple[str, str], data: bytes) -> None:
+        self._cache[key] = data
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_entries:
+            self._cache.popitem(last=False)
+
+    # -- Repository surface ----------------------------------------------------------
+
+    def fetch(self, kind: str, name: str) -> bytes:
+        key = (kind, name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        answer = self._roundtrip(
+            {"op": REPO_OP_GET, "kind": kind, "name": name}
+        )
+        if not answer.get("ok"):
+            raise KeyError(answer.get("error",
+                                      "no %s pool %r" % (kind, name)))
+        data = decode_bytes(answer["data_b64"])
+        self.fetches += 1
+        self.bytes_read += len(data)
+        self._remember(key, data)
+        return data
+
+    def fetch_many(
+        self, keys: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bytes]:
+        wanted = list(keys)
+        out: Dict[Tuple[str, str], bytes] = {}
+        missing: List[Tuple[str, str]] = []
+        for key in wanted:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                out[key] = cached
+            else:
+                missing.append(key)
+        if missing:
+            answer = self._roundtrip({
+                "op": REPO_OP_MANY,
+                "keys": [[kind, name] for kind, name in missing],
+            })
+            if not answer.get("ok"):
+                raise RemoteRepositoryError(
+                    answer.get("error", "batch fetch failed")
+                )
+            for kind, name, blob in answer.get("entries", []):
+                data = decode_bytes(blob)
+                self.fetches += 1
+                self.bytes_read += len(data)
+                self._remember((kind, name), data)
+                out[(kind, name)] = data
+        return out
+
+    def contains(self, kind: str, name: str) -> bool:
+        if (kind, name) in self._cache:
+            return True
+        answer = self._roundtrip(
+            {"op": REPO_OP_HAS, "kind": kind, "name": name}
+        )
+        return bool(answer.get("ok")) and bool(answer.get("has"))
+
+    def stored_size(self, kind: str, name: str) -> int:
+        cached = self._cache.get((kind, name))
+        if cached is not None:
+            return len(cached)
+        return len(self.fetch(kind, name))
+
+    def store(self, kind: str, name: str, data: bytes) -> None:
+        answer = self._roundtrip({
+            "op": REPO_OP_PUT, "kind": kind, "name": name,
+            "data_b64": encode_bytes(data),
+        })
+        if not answer.get("ok"):
+            raise RemoteRepositoryError(
+                answer.get("error", "store failed")
+            )
+        self.stores += 1
+        self.bytes_written += len(data)
+        self._remember((kind, name), data)
+
+    def io_stats(self) -> Dict[str, int]:
+        return {
+            "fetches": self.fetches,
+            "stores": self.stores,
+            "cache_hits": self.cache_hits,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class CasBackedRepository:
+    """NAIM ``(kind, name)`` reads resolved through a CAS mapping.
+
+    A partition job names its input pools by routine name but ships
+    them as content-addressed blobs; this adapter lets the worker's
+    loader (and prefetch pipeline) fetch by name while the bytes come
+    from the shared store under their content hash.  Read-only by
+    design: workers push results as new CAS blobs, never mutate
+    inputs."""
+
+    def __init__(self, store, mapping: Dict[Tuple[str, str], str]) -> None:
+        self._store = store
+        self._mapping = dict(mapping)
+
+    def fetch(self, kind: str, name: str) -> bytes:
+        key = self._mapping.get((kind, name))
+        if key is None:
+            raise KeyError("no %s pool %r in partition inputs"
+                           % (kind, name))
+        return self._store.get_blob(key)
+
+    def fetch_many(
+        self, keys: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bytes]:
+        wanted = [(key, self._mapping.get(key)) for key in keys]
+        hashes = [h for _, h in wanted if h is not None]
+        blobs = self._store.get_blobs(hashes)
+        return {
+            key: blobs[h]
+            for key, h in wanted if h is not None and h in blobs
+        }
+
+    def contains(self, kind: str, name: str) -> bool:
+        return (kind, name) in self._mapping
+
+    def stored_size(self, kind: str, name: str) -> int:
+        return len(self.fetch(kind, name))

@@ -18,3 +18,7 @@ __all__ = [
     "PartitionRunner",
     "PartitionRunResult",
 ]
+
+# repro.part.remote / repro.part.wire (farm dispatch) are imported
+# directly by the farm package; keeping them out of this namespace
+# avoids pulling the serve transport into every local build.

@@ -1,0 +1,427 @@
+"""Partition serialization: LTRANS jobs that cross process boundaries.
+
+The farm coordinator runs the serial WPA half, then ships each
+partition to a worker daemon.  Everything a worker needs is built
+from primitives that already round-trip deterministically:
+
+* the **shared context** -- program symbol table (with its exact PID
+  order, which IR compaction encodes against), HLO/LLO/NAIM options,
+  mod/ref analysis, profile views, interprocedural facts and the
+  scalar worklist -- encoded once per build as one canonical JSON
+  blob.  Canonical here means ``sort_keys`` + fixed separators: a
+  warm rebuild of the same program produces the identical blob, so
+  the content-addressed store deduplicates it farm-wide.
+* each **routine's IR** as NAIM compact bytes (the same encoding the
+  offload repository stores), shipped as content-addressed blobs.
+* each **outcome** -- machine code via
+  :func:`~repro.linker.objects.encode_machine_routines`, final pool
+  payloads, and the worker's loader/accountant/LLO/pass statistics --
+  as a JSON object the coordinator folds back with the *same*
+  ``_fold`` the in-process runner uses, in partition index order, so
+  every observable number is independent of which host ran what.
+
+:func:`execute_partition_job` is the worker-side mirror of
+:meth:`~repro.part.runner.PartitionRunner._run_partition`: same
+private loader over an overlay, same prefetch window, same pin /
+scalar / codegen / unload sequence -- so farm images are byte-for-byte
+the images the single-process build produces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..hlo.analysis.modref import ModRefAnalysis, ModRefInfo
+from ..hlo.driver import standard_pipeline
+from ..hlo.options import HloOptions
+from ..hlo.passes import OptContext, PassStats
+from ..hlo.profile_view import ProfileView
+from ..ir.symbols import GlobalVar, ProgramSymbolTable
+from ..linker.objects import decode_machine_routines, encode_machine_routines
+from ..llo.driver import LloOptions, LloStats, LowLevelOptimizer
+from ..naim.compaction import compact_routine
+from ..naim.config import NaimConfig, NaimLevel
+from ..naim.loader import Loader, LoaderStats
+from ..naim.memory import MemoryAccountant
+from ..naim.pools import KIND_IR, PoolState
+from ..naim.repository import OverlayRepository
+from ..serve.protocol import decode_bytes, encode_bytes
+from .runner import _PartitionOutcome, _PoolTransfer
+
+#: Version tag inside the shared-context blob; a worker rejects
+#: contexts it does not speak rather than miscompiling them.
+WIRE_VERSION = 1
+
+
+class WireError(Exception):
+    """A malformed or version-skewed partition payload."""
+
+
+# -- Shared context ----------------------------------------------------------------
+
+
+def _symtab_payload(symtab: ProgramSymbolTable) -> Dict:
+    return {
+        "globals": [
+            [var.name, var.size, list(var.init), var.defining_module,
+             bool(var.exported)]
+            for var in symtab.globals.values()
+        ],
+        "routines": [
+            [name, module] for name, module in symtab.routines.items()
+        ],
+        # PID order is load-bearing: compact IR encodes symbol
+        # references as indexes into this list.
+        "pid_order": list(symtab._name_by_pid),
+    }
+
+
+def _decode_symtab(payload: Dict) -> ProgramSymbolTable:
+    symtab = ProgramSymbolTable()
+    for name, size, init, module, exported in payload["globals"]:
+        symtab.globals[name] = GlobalVar(
+            name, size, init, module, bool(exported)
+        )
+    for name, module in payload["routines"]:
+        symtab.routines[name] = module
+    for name in payload["pid_order"]:
+        symtab.pid_of(name)
+    return symtab
+
+
+def _views_payload(views: Dict[str, ProfileView]) -> Dict:
+    return {
+        name: {
+            "blocks": dict(view.block_counts),
+            "edges": [
+                [from_label, to_label, count]
+                for (from_label, to_label), count
+                in view.edge_counts.items()
+            ],
+            "static": bool(view.is_static_estimate),
+            "stale": bool(view.stale),
+        }
+        for name, view in views.items()
+    }
+
+
+def _decode_views(payload: Dict) -> Dict[str, ProfileView]:
+    return {
+        name: ProfileView(
+            name,
+            block_counts=entry.get("blocks") or {},
+            edge_counts={
+                (from_label, to_label): count
+                for from_label, to_label, count in entry.get("edges", [])
+            },
+            is_static_estimate=bool(entry.get("static")),
+            stale=bool(entry.get("stale")),
+        )
+        for name, entry in payload.items()
+    }
+
+
+def _modref_payload(modref: Optional[ModRefAnalysis]) -> Optional[Dict]:
+    if modref is None:
+        return None
+    return {
+        name: {
+            "mod": sorted(info.mod),
+            "ref": sorted(info.ref),
+            "unknown": bool(info.unknown),
+            "has_calls": bool(info.has_calls),
+        }
+        for name, info in modref.info.items()
+    }
+
+
+def _decode_modref(payload: Optional[Dict]) -> Optional[ModRefAnalysis]:
+    if payload is None:
+        return None
+    analysis = ModRefAnalysis()
+    for name, entry in payload.items():
+        info = ModRefInfo()
+        info.mod = set(entry.get("mod", ()))
+        info.ref = set(entry.get("ref", ()))
+        info.unknown = bool(entry.get("unknown"))
+        info.has_calls = bool(entry.get("has_calls"))
+        analysis.info[name] = info
+    return analysis
+
+
+def _naim_payload(config: NaimConfig) -> Dict:
+    return {
+        "physical_memory_bytes": config.physical_memory_bytes,
+        "level": None if config.level is None else int(config.level),
+        "ir_compact_fraction": config.ir_compact_fraction,
+        "st_compact_fraction": config.st_compact_fraction,
+        "offload_fraction": config.offload_fraction,
+        "cache_pools": config._cache_pools,
+        "cache_fraction": config.cache_fraction,
+        "avg_pool_bytes_hint": config.avg_pool_bytes_hint,
+        "repo_compress_level": config.repo_compress_level,
+        "repo_compress_min_bytes": config.repo_compress_min_bytes,
+        "repo_segment_bytes": config.repo_segment_bytes,
+        "repo_prefetch_depth": config.repo_prefetch_depth,
+        "repo_layout": config.repo_layout,
+    }
+
+
+def _decode_naim(payload: Dict) -> NaimConfig:
+    level = payload.get("level")
+    return NaimConfig(
+        physical_memory_bytes=payload["physical_memory_bytes"],
+        level=None if level is None else NaimLevel(level),
+        ir_compact_fraction=payload["ir_compact_fraction"],
+        st_compact_fraction=payload["st_compact_fraction"],
+        offload_fraction=payload["offload_fraction"],
+        cache_pools=payload.get("cache_pools"),
+        cache_fraction=payload["cache_fraction"],
+        avg_pool_bytes_hint=payload["avg_pool_bytes_hint"],
+        repo_compress_level=payload["repo_compress_level"],
+        repo_compress_min_bytes=payload["repo_compress_min_bytes"],
+        repo_segment_bytes=payload["repo_segment_bytes"],
+        repo_prefetch_depth=payload["repo_prefetch_depth"],
+        repo_layout=payload["repo_layout"],
+    )
+
+
+def encode_shared_context(hlo_result, llo_options: LloOptions,
+                          naim_config: NaimConfig,
+                          scalar_names) -> bytes:
+    """One canonical blob of everything partition-independent.
+
+    Warm rebuilds of an unchanged program re-encode to identical
+    bytes, so the CAS stores it once per program state."""
+    ctx = hlo_result.ctx
+    payload = {
+        "wire": WIRE_VERSION,
+        "symtab": _symtab_payload(ctx.symtab),
+        "hlo_options": dict(ctx.options.__dict__),
+        "llo_options": {
+            "opt_level": llo_options.opt_level,
+            "use_profile": llo_options.use_profile,
+            "schedule_window": llo_options.schedule_window,
+        },
+        "naim": _naim_payload(naim_config),
+        "modref": _modref_payload(ctx.modref),
+        "views": _views_payload(ctx.views),
+        "readonly_globals": sorted(ctx.readonly_globals),
+        "const_returns": dict(ctx.const_returns),
+        "scalar": sorted(scalar_names),
+    }
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class SharedJobContext:
+    """A decoded shared context, reusable across a worker's jobs.
+
+    Everything here is read-only during partition execution *except*
+    profile views, which the scalar passes mutate per routine -- so
+    views are rebuilt fresh from the raw payload for every job
+    (:meth:`fresh_views`) while the symbol table, options and
+    analysis results are decoded once and shared."""
+
+    def __init__(self, payload: Dict) -> None:
+        if payload.get("wire") != WIRE_VERSION:
+            raise WireError(
+                "unsupported wire version %r (worker speaks %d)"
+                % (payload.get("wire"), WIRE_VERSION)
+            )
+        self.symtab = _decode_symtab(payload["symtab"])
+        options = HloOptions()
+        options.__dict__.update(payload["hlo_options"])
+        self.hlo_options = options
+        llo = payload["llo_options"]
+        self.llo_options = LloOptions(
+            opt_level=llo["opt_level"],
+            use_profile=bool(llo["use_profile"]),
+            schedule_window=llo["schedule_window"],
+        )
+        self.naim_config = _decode_naim(payload["naim"])
+        self.modref = _decode_modref(payload.get("modref"))
+        self._views_payload = payload.get("views") or {}
+        self.readonly_globals = set(payload.get("readonly_globals", ()))
+        self.const_returns = dict(payload.get("const_returns", {}))
+        self.scalar_set = frozenset(payload.get("scalar", ()))
+
+    def fresh_views(self) -> Dict[str, ProfileView]:
+        return _decode_views(self._views_payload)
+
+
+def decode_shared_context(data: bytes) -> SharedJobContext:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError("undecodable shared context: %s" % exc)
+    if not isinstance(payload, dict):
+        raise WireError("shared context must be a JSON object")
+    return SharedJobContext(payload)
+
+
+# -- Statistics --------------------------------------------------------------------
+
+
+def _accountant_payload(accountant: MemoryAccountant) -> Dict:
+    return {
+        "usage": [
+            [category, name, nbytes]
+            for (category, name), nbytes in accountant._usage.items()
+        ],
+        "peak": accountant.peak,
+        "samples": [[label, total] for label, total in accountant.samples],
+        "mapped_bytes": accountant.mapped_bytes,
+        "reclaimable_bytes": accountant.reclaimable_bytes,
+    }
+
+
+def _decode_accountant(payload: Dict) -> MemoryAccountant:
+    accountant = MemoryAccountant()
+    for category, name, nbytes in payload.get("usage", []):
+        accountant.set_usage(category, name, nbytes)
+    accountant.peak = max(accountant.peak, payload.get("peak", 0))
+    accountant.samples = [
+        (label, total) for label, total in payload.get("samples", [])
+    ]
+    accountant.mapped_bytes = payload.get("mapped_bytes", 0)
+    accountant.reclaimable_bytes = payload.get("reclaimable_bytes", 0)
+    return accountant
+
+
+def _decode_loader_stats(payload: Dict) -> LoaderStats:
+    stats = LoaderStats()
+    for name, value in payload.items():
+        if hasattr(stats, name):
+            setattr(stats, name, value)
+    return stats
+
+
+def _decode_llo_stats(payload: Dict) -> LloStats:
+    stats = LloStats()
+    stats.routines = payload.get("routines", 0)
+    stats.instructions = payload.get("instructions", 0)
+    stats.spilled = payload.get("spilled", 0)
+    stats.stall_fills = payload.get("stall_fills", 0)
+    stats.peak_working_bytes = payload.get("peak_working_bytes", 0)
+    return stats
+
+
+# -- Outcomes ----------------------------------------------------------------------
+
+
+def decode_outcome(partition, payload: Dict) -> _PartitionOutcome:
+    """Rehydrate a worker's reply into the exact shape
+    :meth:`PartitionRunner._fold` consumes."""
+    outcome = _PartitionOutcome(partition)
+    machines = decode_machine_routines(
+        decode_bytes(payload["machines_b64"])
+    )
+    outcome.machines = {machine.name: machine for machine in machines}
+    for name, blob in payload.get("returned", []):
+        transfer = _PoolTransfer(name)
+        transfer.compact_bytes = decode_bytes(blob)
+        outcome.returned.append(transfer)
+    outcome.loader_stats = _decode_loader_stats(
+        payload.get("loader_stats", {})
+    )
+    outcome.accountant = _decode_accountant(payload.get("accountant", {}))
+    outcome.llo_stats = _decode_llo_stats(payload.get("llo_stats", {}))
+    stats = PassStats()
+    stats.counts = dict(payload.get("pass_counts", {}))
+    outcome.pass_stats = stats
+    outcome.views = _decode_views(payload.get("views", {}))
+    return outcome
+
+
+# -- Worker-side execution ---------------------------------------------------------
+
+
+def execute_partition_job(shared: SharedJobContext, job: Dict,
+                          repository) -> Dict:
+    """Run one partition exactly the way the in-process runner does.
+
+    ``repository`` supplies every routine's compact IR under
+    ``(KIND_IR, name)`` (see :class:`~repro.naim.remote.
+    CasBackedRepository`); the mirror of ``_run_partition`` below
+    keeps the pin / scalar / codegen / unload sequence -- and with it
+    byte-identical machine code."""
+    index = job["index"]
+    names: List[str] = [entry["name"] for entry in job["routines"]]
+    worker_loader = Loader(
+        shared.naim_config,
+        shared.symtab,
+        MemoryAccountant(),
+        OverlayRepository(repository),
+    )
+    handles = {
+        name: worker_loader.adopt_routine(name, offloaded=True)
+        for name in names
+    }
+    depth = worker_loader.config.repo_prefetch_depth
+    if depth:
+        worker_loader.prefetch(handles[name] for name in names[:depth])
+
+    ctx = OptContext(shared.symtab, shared.hlo_options, shared.modref)
+    ctx.views = shared.fresh_views()
+    ctx.readonly_globals = shared.readonly_globals
+    ctx.const_returns = shared.const_returns
+
+    llo = LowLevelOptimizer(shared.llo_options, worker_loader.accountant)
+    pipeline = standard_pipeline()
+    machines: List = []
+
+    for position, name in enumerate(names):
+        if depth:
+            worker_loader.prefetch(
+                handles[other]
+                for other in names[position + 1:position + 1 + depth]
+            )
+        handle = handles[name]
+        routine = handle.get()
+        if routine is None:
+            continue
+        if name in shared.scalar_set:
+            worker_loader.pin(handle)
+            pipeline.run_routine(routine, ctx)
+            worker_loader.unpin(handle)
+            worker_loader.reaccount(handle)
+        machines.append(llo.compile_routine(routine, ctx.views.get(name)))
+        handle.request_unload()
+    worker_loader.stop_prefetch()
+    worker_loader.accountant.mark("ltrans:p%d" % index)
+
+    returned: List[Tuple[str, str]] = []
+    for name in names:
+        handle = handles[name]
+        pool = handle.pool
+        if pool.state is PoolState.EXPANDED:
+            data = compact_routine(pool.expanded, shared.symtab)
+        elif pool.state is PoolState.COMPACT:
+            data = pool.compact_bytes
+        else:
+            data = worker_loader.repository.fetch(KIND_IR, name)
+        worker_loader.release(handle)
+        returned.append((name, encode_bytes(data)))
+
+    return {
+        "index": index,
+        "machines_b64": encode_bytes(encode_machine_routines(machines)),
+        "returned": [[name, blob] for name, blob in returned],
+        "loader_stats": worker_loader.stats.as_dict(),
+        "accountant": _accountant_payload(worker_loader.accountant),
+        "llo_stats": {
+            "routines": llo.stats.routines,
+            "instructions": llo.stats.instructions,
+            "spilled": llo.stats.spilled,
+            "stall_fills": llo.stats.stall_fills,
+            "peak_working_bytes": llo.stats.peak_working_bytes,
+        },
+        "pass_counts": dict(ctx.stats.counts),
+        "views": _views_payload({
+            name: ctx.views[name]
+            for name in names if name in ctx.views
+        }),
+    }

@@ -20,6 +20,7 @@ from .artifacts import PIPELINE_EPOCH, ArtifactCache, CacheStats
 from .events import BuildEvent, EventLog
 from .executor import ExecutionOutcome, Executor, TaskError
 from .graph import Task, TaskGraph, TaskState
+from .steal import StealQueue, StealTask, TaskFailure
 
 __all__ = [
     "PIPELINE_EPOCH",
@@ -33,4 +34,7 @@ __all__ = [
     "Task",
     "TaskGraph",
     "TaskState",
+    "StealQueue",
+    "StealTask",
+    "TaskFailure",
 ]

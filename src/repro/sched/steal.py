@@ -1,0 +1,274 @@
+"""Work-stealing dispatch queue for the compile farm.
+
+The coordinator owns one :class:`StealQueue`; each connected worker
+connection is registered under a worker id and pulls tasks through
+:meth:`next_for`.  Tasks submitted together are spread over the
+registered workers longest-processing-time-first (heaviest task to
+the least-loaded queue), which is the same greedy bound the local
+partition executor relies on; after that, placement self-corrects:
+
+* an **idle** worker first pops its own queue head, then the shared
+  backlog, then *steals* from the tail of the most-loaded peer queue
+  (tail, not head, so the victim keeps the tasks it would run next);
+* a **failed or disconnected** worker's queued *and* in-flight tasks
+  are re-queued onto the backlog with their attempt count bumped; a
+  task that exceeds ``retry_limit`` attempts fails the whole batch
+  (the waiter gets :class:`TaskFailure`) instead of cycling forever.
+
+The queue is transport-agnostic: it never touches a socket.  Workers
+here are *connections* -- a worker daemon with ``--jobs 4`` registers
+four of them -- so "steal from a loaded peer" and "spread over hosts"
+fall out of the same mechanism.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+
+class TaskFailure(Exception):
+    """A task exhausted its retry budget; ``task_id``/``attempts``
+    identify it and ``reason`` carries the last worker's error."""
+
+    def __init__(self, task_id: str, attempts: int, reason: str) -> None:
+        super().__init__(
+            "task %s failed after %d attempt(s): %s"
+            % (task_id, attempts, reason)
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+        self.reason = reason
+
+
+class StealTask:
+    """One unit of dispatchable work."""
+
+    __slots__ = ("task_id", "payload", "weight", "attempts")
+
+    def __init__(self, task_id: str, payload, weight: int = 1) -> None:
+        self.task_id = task_id
+        self.payload = payload
+        self.weight = weight
+        self.attempts = 0
+
+    def __repr__(self) -> str:
+        return "<StealTask %s w=%d a=%d>" % (
+            self.task_id, self.weight, self.attempts,
+        )
+
+
+class StealQueue:
+    """Bounded-retry work-stealing queue (see module docstring)."""
+
+    def __init__(self, retry_limit: int = 2) -> None:
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        self.retry_limit = retry_limit
+        self._cond = threading.Condition()
+        self._queues: Dict[str, Deque[StealTask]] = {}
+        self._inflight: Dict[Tuple[str, str], StealTask] = {}
+        self._backlog: Deque[StealTask] = deque()
+        self._results: Dict[str, object] = {}
+        self._failures: Dict[str, TaskFailure] = {}
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.steals = 0
+        self.requeues = 0
+
+    # -- Workers ---------------------------------------------------------------------
+
+    def register_worker(self, worker_id: str) -> None:
+        with self._cond:
+            if worker_id in self._queues:
+                raise ValueError("worker %r already registered" % worker_id)
+            self._queues[worker_id] = deque()
+            self._cond.notify_all()
+
+    def unregister_worker(self, worker_id: str) -> None:
+        """Drop a worker; its queued and in-flight tasks re-queue.
+
+        An in-flight task counts the lost run as an attempt (the
+        worker may have died *because* of it); queued tasks re-queue
+        for free."""
+        with self._cond:
+            queued = self._queues.pop(worker_id, None) or ()
+            inflight = [
+                task for (wid, _), task in list(self._inflight.items())
+                if wid == worker_id
+            ]
+            for key in [key for key in self._inflight
+                        if key[0] == worker_id]:
+                del self._inflight[key]
+            for task in inflight:
+                task.attempts += 1
+                self._retire_or_requeue(
+                    task, "worker %s disconnected" % worker_id
+                )
+            for task in queued:
+                self.requeues += 1
+                self._backlog.append(task)
+            self._cond.notify_all()
+
+    def worker_count(self) -> int:
+        with self._cond:
+            return len(self._queues)
+
+    def is_registered(self, worker_id: str) -> bool:
+        with self._cond:
+            return not self._closed and worker_id in self._queues
+
+    # -- Submission ------------------------------------------------------------------
+
+    def submit(self, tasks: Sequence[StealTask]) -> None:
+        """Queue a batch: heaviest-first onto the least-loaded worker
+        queues (LPT), or onto the backlog when no worker is up yet."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            ordered = sorted(tasks, key=lambda t: (-t.weight, t.task_id))
+            loads = {
+                wid: sum(t.weight for t in q)
+                for wid, q in self._queues.items()
+            }
+            for task in ordered:
+                self.submitted += 1
+                if not loads:
+                    self._backlog.append(task)
+                    continue
+                wid = min(sorted(loads), key=lambda w: loads[w])
+                self._queues[wid].append(task)
+                loads[wid] += task.weight
+            self._cond.notify_all()
+
+    # -- Dispatch --------------------------------------------------------------------
+
+    def next_for(self, worker_id: str,
+                 timeout: Optional[float] = None) -> Optional[StealTask]:
+        """Next task for ``worker_id``: own queue, backlog, or stolen
+        from the most-loaded peer.  Blocks up to ``timeout`` (None =
+        forever); returns None on timeout, queue close, or if the
+        worker was unregistered while waiting."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed or worker_id not in self._queues:
+                    return None
+                task = self._take_locked(worker_id)
+                if task is not None:
+                    self._inflight[(worker_id, task.task_id)] = task
+                    return task
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(timeout=remaining)
+
+    def _take_locked(self, worker_id: str) -> Optional[StealTask]:
+        own = self._queues[worker_id]
+        if own:
+            return own.popleft()
+        if self._backlog:
+            return self._backlog.popleft()
+        victim = None
+        victim_load = 0
+        for wid in sorted(self._queues):
+            if wid == worker_id:
+                continue
+            load = sum(t.weight for t in self._queues[wid])
+            if load > victim_load:
+                victim, victim_load = wid, load
+        if victim is not None and self._queues[victim]:
+            self.steals += 1
+            return self._queues[victim].pop()  # tail: victim keeps its head
+        return None
+
+    # -- Completion ------------------------------------------------------------------
+
+    def complete(self, worker_id: str, task_id: str, result) -> None:
+        with self._cond:
+            self._inflight.pop((worker_id, task_id), None)
+            self._results[task_id] = result
+            self.completed += 1
+            self._cond.notify_all()
+
+    def fail(self, worker_id: str, task_id: str, reason: str) -> None:
+        """A worker reported failure; re-queue or retire the task."""
+        with self._cond:
+            task = self._inflight.pop((worker_id, task_id), None)
+            if task is None:
+                return
+            task.attempts += 1
+            self._retire_or_requeue(task, reason)
+            self._cond.notify_all()
+
+    def _retire_or_requeue(self, task: StealTask, reason: str) -> None:
+        if task.attempts > self.retry_limit:
+            self.failed += 1
+            self._failures[task.task_id] = TaskFailure(
+                task.task_id, task.attempts, reason
+            )
+        else:
+            self.requeues += 1
+            self._backlog.append(task)
+
+    # -- Waiting ---------------------------------------------------------------------
+
+    def wait(self, task_ids: Sequence[str],
+             timeout: Optional[float] = None) -> Dict[str, object]:
+        """Block until every task finished; returns ``{id: result}``.
+
+        Raises :class:`TaskFailure` when any task exhausted its
+        retries and ``TimeoutError`` when ``timeout`` elapses first.
+        Finished tasks are consumed (removed from the queue's result
+        map) so ids can be reused across batches."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        wanted = list(task_ids)
+        with self._cond:
+            while True:
+                for task_id in wanted:
+                    failure = self._failures.get(task_id)
+                    if failure is not None:
+                        del self._failures[task_id]
+                        raise failure
+                if all(tid in self._results for tid in wanted):
+                    return {tid: self._results.pop(tid) for tid in wanted}
+                if self._closed:
+                    raise TaskFailure(
+                        "?", 0, "queue closed while waiting"
+                    )
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    missing = [tid for tid in wanted
+                               if tid not in self._results]
+                    raise TimeoutError(
+                        "timed out waiting for %d task(s): %s"
+                        % (len(missing), ", ".join(missing[:4]))
+                    )
+                self._cond.wait(timeout=remaining)
+
+    # -- Lifecycle / stats -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "workers": len(self._queues),
+                "queued": (len(self._backlog)
+                           + sum(len(q) for q in self._queues.values())),
+                "inflight": len(self._inflight),
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "steals": self.steals,
+                "requeues": self.requeues,
+            }

@@ -40,12 +40,14 @@ from .protocol import (
     ERR_BUSY,
     ERR_DRAINING,
     ERR_INTERNAL,
+    ERR_LINE_TOO_LONG,
     ERR_TIMEOUT,
     ERR_BAD_REQUEST,
     OP_PING,
     OP_SHUTDOWN,
     OP_STATUS,
     SESSION_OPS,
+    LineTooLongError,
     ProtocolError,
     make_error,
     make_progress,
@@ -172,7 +174,7 @@ class BuildDaemon:
         #: Wall-clock budget for one session op (None = unlimited).
         self.request_timeout = request_timeout
         self.heartbeat_seconds = heartbeat_seconds
-        self.state = WarmState(self.state_root)
+        self.state = self._make_state()
         self.requests_served = 0
         self.disconnects = 0
         self.timeouts = 0
@@ -181,6 +183,10 @@ class BuildDaemon:
         self._listener: Optional[socket.socket] = None
         self._conn_threads: set = set()
         self._threads_lock = threading.Lock()
+
+    def _make_state(self) -> WarmState:
+        """Hook: subclasses substitute their own warm state."""
+        return WarmState(self.state_root)
 
     # -- Socket/pidfile ownership ---------------------------------------------------
 
@@ -317,6 +323,14 @@ class BuildDaemon:
     def _handle(self, stream) -> None:
         try:
             message = read_message(stream)
+        except LineTooLongError as exc:
+            # The oversized line was drained, so this structured answer
+            # actually reaches the client (previously: silent drop and
+            # a diagnosis-free disconnect).
+            self._send(stream, make_error(
+                "?", ERR_LINE_TOO_LONG, str(exc), limit=exc.limit,
+            ))
+            return
         except ProtocolError as exc:
             self._send(stream, make_error("?", ERR_BAD_REQUEST, str(exc)))
             return

@@ -60,10 +60,27 @@ ERR_FAILED = "RequestFailed"
 ERR_TIMEOUT = "Timeout"
 #: Anything unexpected inside the daemon.
 ERR_INTERNAL = "Internal"
+#: One incoming protocol line exceeded the receiver's line limit.
+ERR_LINE_TOO_LONG = "LineTooLong"
 
 
 class ProtocolError(Exception):
     """A malformed, oversized or truncated protocol line."""
+
+
+class LineTooLongError(ProtocolError):
+    """One incoming line exceeded ``max_bytes``.
+
+    The oversized line has been consumed (drained) when this is
+    raised, so the stream is back in sync: the receiver can still
+    answer with a structured ``LineTooLong`` error instead of leaving
+    the peer to diagnose a bare disconnect."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            "incoming line exceeds the %d-byte limit" % limit
+        )
+        self.limit = limit
 
 
 def new_request_id() -> str:
@@ -113,34 +130,54 @@ def make_error(request_id: str, code: str, message: str,
 # -- Framing -----------------------------------------------------------------------
 
 
-def write_message(stream, message: Dict) -> None:
+def write_message(stream, message: Dict,
+                  max_bytes: Optional[int] = None) -> None:
     """Serialize one message as a single NDJSON line and flush it.
 
     Key order is preserved, never sorted: module order inside
     ``options.sources`` is the link layout order, and reordering it in
     transit would change the built image."""
+    if max_bytes is None:
+        max_bytes = MAX_LINE_BYTES
     line = json.dumps(message, separators=(",", ":"))
     data = line.encode("utf-8")
-    if len(data) + 1 > MAX_LINE_BYTES:
+    if len(data) + 1 > max_bytes:
         raise ProtocolError(
             "outgoing message of %d bytes exceeds the %d-byte line limit"
-            % (len(data), MAX_LINE_BYTES)
+            % (len(data), max_bytes)
         )
     stream.write(data + b"\n")
     stream.flush()
 
 
-def read_message(stream) -> Optional[Dict]:
+def _drain_line(stream, max_bytes: int) -> None:
+    """Consume the rest of an oversized line (bounded reads) so the
+    stream stays in sync and the peer's blocked ``sendall`` completes
+    instead of deadlocking against our full receive buffer."""
+    while True:
+        chunk = stream.readline(max_bytes)
+        if not chunk or chunk.endswith(b"\n"):
+            return
+
+
+def read_message(stream,
+                 max_bytes: Optional[int] = None) -> Optional[Dict]:
     """Read one NDJSON line; None on clean EOF.
 
-    Raises :class:`ProtocolError` on oversized lines, truncated final
-    lines, undecodable bytes or non-object payloads.
+    Raises :class:`LineTooLongError` on oversized lines (after
+    draining them, so the caller can still send a structured error)
+    and :class:`ProtocolError` on truncated final lines, undecodable
+    bytes or non-object payloads.
     """
-    line = stream.readline(MAX_LINE_BYTES + 1)
+    if max_bytes is None:
+        max_bytes = MAX_LINE_BYTES
+    line = stream.readline(max_bytes + 1)
     if not line:
         return None
-    if len(line) > MAX_LINE_BYTES:
-        raise ProtocolError("incoming line exceeds %d bytes" % MAX_LINE_BYTES)
+    if len(line) > max_bytes:
+        if not line.endswith(b"\n"):
+            _drain_line(stream, max_bytes)
+        raise LineTooLongError(max_bytes)
     if not line.endswith(b"\n"):
         raise ProtocolError("truncated message (no trailing newline)")
     try:

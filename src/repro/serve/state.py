@@ -202,17 +202,26 @@ class WarmState:
             if session is not None:
                 self.session_reuses += 1
                 return session
-            session = CompileSession(
-                compiler_options,
-                jobs=jobs,
-                incremental=incremental,
-                state_dir=state_dir,
-                artifact_cache=self.artifact_cache,
-                warm=True,
+            session = self._make_session(
+                compiler_options, jobs, incremental, state_dir
             )
             self._sessions[key] = session
             self.sessions_created += 1
             return session
+
+    def _make_session(self, compiler_options, jobs: int,
+                      incremental: bool,
+                      state_dir: Optional[str]) -> CompileSession:
+        """Hook: subclasses decorate freshly created sessions (the
+        farm coordinator attaches its partition dispatcher here)."""
+        return CompileSession(
+            compiler_options,
+            jobs=jobs,
+            incremental=incremental,
+            state_dir=state_dir,
+            artifact_cache=self.artifact_cache,
+            warm=True,
+        )
 
     # -- Request execution ---------------------------------------------------------
 

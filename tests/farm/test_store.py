@@ -1,0 +1,193 @@
+"""The shared artifact store: remote repository wire + CAS client."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.farm.store import CAS_KIND, StoreClient, cas_key
+from repro.naim.remote import (
+    CasBackedRepository,
+    RemoteRepository,
+    RemoteRepositoryError,
+    RepositoryServer,
+)
+from repro.naim.pools import KIND_IR
+from repro.naim.repository import Repository
+
+
+@pytest.fixture()
+def served_repo(tmp_path):
+    """A pack repository served over a socketpair; yields the client
+    stream's RemoteRepository and the backing Repository."""
+    repository = Repository(directory=str(tmp_path / "repo"))
+    server_sock, client_sock = socket.socketpair()
+    server_stream = server_sock.makefile("rwb")
+    client_stream = client_sock.makefile("rwb")
+    server = RepositoryServer(repository)
+    thread = threading.Thread(target=server.serve, args=(server_stream,),
+                              daemon=True)
+    thread.start()
+    remote = RemoteRepository(client_stream)
+    try:
+        yield remote, repository
+    finally:
+        client_stream.close()
+        client_sock.close()
+        thread.join(timeout=5.0)
+        server_stream.close()
+        server_sock.close()
+        repository.close()
+
+
+class TestRemoteRepository:
+    def test_store_then_fetch_roundtrip(self, served_repo):
+        remote, local = served_repo
+        remote.store("cas", "abc", b"payload bytes")
+        assert local.fetch("cas", "abc") == b"payload bytes"
+        assert remote.fetch("cas", "abc") == b"payload bytes"
+
+    def test_fetch_reads_serverside_entries(self, served_repo):
+        remote, local = served_repo
+        local.store(KIND_IR, "routine", b"\x01\x02\x03")
+        assert remote.fetch(KIND_IR, "routine") == b"\x01\x02\x03"
+
+    def test_missing_pool_raises_keyerror_not_disconnect(self, served_repo):
+        remote, _ = served_repo
+        with pytest.raises(KeyError):
+            remote.fetch("cas", "nothere")
+        # The stream survived the miss: the next request still works.
+        remote.store("cas", "x", b"y")
+        assert remote.fetch("cas", "x") == b"y"
+
+    def test_contains(self, served_repo):
+        remote, local = served_repo
+        assert not remote.contains("cas", "k")
+        local.store("cas", "k", b"v")
+        assert remote.contains("cas", "k")
+
+    def test_fetch_many_batches(self, served_repo):
+        remote, local = served_repo
+        for i in range(5):
+            local.store("cas", "k%d" % i, b"v%d" % i)
+        out = remote.fetch_many([("cas", "k%d" % i) for i in range(5)])
+        assert out[("cas", "k3")] == b"v3"
+        assert len(out) == 5
+
+    def test_fetch_caches(self, served_repo):
+        remote, _ = served_repo
+        remote.store("cas", "k", b"v")
+        remote.fetch("cas", "k")
+        hits_before = remote.cache_hits
+        remote.fetch("cas", "k")
+        assert remote.cache_hits == hits_before + 1
+
+    def test_closed_stream_raises(self, tmp_path):
+        server_sock, client_sock = socket.socketpair()
+        stream = client_sock.makefile("rwb")
+        server_sock.close()
+        remote = RemoteRepository(stream)
+        with pytest.raises(RemoteRepositoryError):
+            remote.fetch("cas", "k")
+        try:
+            stream.close()  # flushes into the dead pipe
+        except OSError:
+            pass
+        client_sock.close()
+
+    def test_threaded_clients_serialize(self, served_repo):
+        remote, _ = served_repo
+        errors = []
+
+        def hammer(i):
+            try:
+                for j in range(10):
+                    name = "t%d-%d" % (i, j)
+                    remote.store("cas", name, name.encode())
+                    assert remote.fetch("cas", name) == name.encode()
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20.0)
+        assert not errors
+
+
+class TestStoreClient:
+    def test_put_get_roundtrip(self, served_repo):
+        remote, _ = served_repo
+        store = StoreClient(remote)
+        key = store.put_blob(b"hello farm")
+        assert key == cas_key(b"hello farm")
+        assert store.get_blob(key) == b"hello farm"
+
+    def test_identical_put_skips_upload(self, served_repo):
+        remote, _ = served_repo
+        store = StoreClient(remote)
+        store.put_blob(b"dedup me")
+        store.put_blob(b"dedup me")
+        assert store.puts == 1
+        assert store.put_skips == 1
+
+    def test_put_skips_blob_another_client_stored(self, served_repo):
+        remote, local = served_repo
+        data = b"already there"
+        local.store(CAS_KIND, cas_key(data), data)
+        store = StoreClient(remote)
+        store.put_blob(data)
+        assert store.puts == 0 and store.put_skips == 1
+
+    def test_get_blobs_batch_and_cache(self, served_repo):
+        remote, _ = served_repo
+        store = StoreClient(remote)
+        keys = [store.put_blob(b"blob %d" % i) for i in range(4)]
+        out = store.get_blobs(keys)
+        assert out[keys[2]] == b"blob 2"
+        hits_before = store.cache_hits
+        store.get_blobs(keys)  # second round is all cache
+        assert store.cache_hits >= hits_before + 4
+
+    def test_corrupt_blob_detected(self, served_repo):
+        remote, local = served_repo
+        store = StoreClient(remote)
+        key = cas_key(b"expected")
+        local.store(CAS_KIND, key, b"tampered")
+        with pytest.raises(ValueError, match="corrupt"):
+            store.get_blob(key)
+
+    def test_cache_bounded(self, served_repo):
+        remote, _ = served_repo
+        store = StoreClient(remote, cache_bytes=64)
+        for i in range(8):
+            store.put_blob(b"x" * 32 + b"%d" % i)
+        assert store.stats()["cache_bytes"] <= 64 + 33
+
+
+class TestCasBackedRepository:
+    def test_reads_resolve_through_mapping(self, served_repo):
+        remote, _ = served_repo
+        store = StoreClient(remote)
+        key = store.put_blob(b"compact ir bytes")
+        repo = CasBackedRepository(store, {(KIND_IR, "main"): key})
+        assert repo.contains(KIND_IR, "main")
+        assert repo.fetch(KIND_IR, "main") == b"compact ir bytes"
+        assert repo.stored_size(KIND_IR, "main") == 16
+
+    def test_unmapped_name_raises(self, served_repo):
+        remote, _ = served_repo
+        repo = CasBackedRepository(StoreClient(remote), {})
+        assert not repo.contains(KIND_IR, "ghost")
+        with pytest.raises(KeyError):
+            repo.fetch(KIND_IR, "ghost")
+
+    def test_fetch_many_skips_unmapped(self, served_repo):
+        remote, _ = served_repo
+        store = StoreClient(remote)
+        key = store.put_blob(b"only one")
+        repo = CasBackedRepository(store, {(KIND_IR, "a"): key})
+        out = repo.fetch_many([(KIND_IR, "a"), (KIND_IR, "b")])
+        assert out == {(KIND_IR, "a"): b"only one"}

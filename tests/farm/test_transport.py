@@ -1,0 +1,176 @@
+"""Farm transport: endpoints, tokens, and the authentication hello."""
+
+import os
+import socket
+import stat
+import threading
+
+import pytest
+
+from repro.farm.transport import (
+    HELLO_MAX_BYTES,
+    ROLE_CLIENT,
+    ROLE_WORKER,
+    AuthError,
+    check_hello,
+    connect,
+    ensure_token,
+    make_hello,
+    parse_endpoint,
+    resolve_token,
+    serve_hello,
+    token_path,
+)
+
+
+class TestEndpoints:
+    @pytest.mark.parametrize("text, expected", [
+        ("localhost:7633", ("localhost", 7633)),
+        ("10.1.2.3:80", ("10.1.2.3", 80)),
+        ("  host:1  ", ("host", 1)),
+        ("justhost", ("justhost", 7633)),
+        (":9000", ("127.0.0.1", 9000)),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_endpoint(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "host:notaport", "host:-1",
+                                      "host:70000"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_endpoint(text)
+
+
+class TestTokens:
+    def test_ensure_token_generates_once(self, tmp_path):
+        root = str(tmp_path / "root")
+        first = ensure_token(root)
+        second = ensure_token(root)
+        assert first == second
+        assert len(first) >= 32
+
+    def test_token_file_owner_only(self, tmp_path):
+        root = str(tmp_path / "root")
+        ensure_token(root)
+        mode = stat.S_IMODE(os.stat(token_path(root)).st_mode)
+        assert mode == 0o600
+
+    def test_resolve_precedence(self, tmp_path, monkeypatch):
+        root = str(tmp_path / "root")
+        file_token = ensure_token(root)
+        monkeypatch.delenv("REPRO_FARM_TOKEN", raising=False)
+        assert resolve_token(None, root=root) == file_token
+        monkeypatch.setenv("REPRO_FARM_TOKEN", "env-secret")
+        assert resolve_token(None, root=root) == "env-secret"
+        assert resolve_token("flag-secret", root=root) == "flag-secret"
+        monkeypatch.delenv("REPRO_FARM_TOKEN")
+        assert resolve_token(None) is None
+
+
+class TestHelloValidation:
+    def test_good_hello_returns_role(self):
+        hello = make_hello(ROLE_WORKER, "secret")
+        assert check_hello(hello, "secret") == ROLE_WORKER
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(AuthError, match="token"):
+            check_hello(make_hello(ROLE_CLIENT, "wrong"), "secret")
+
+    def test_unknown_role_rejected(self):
+        hello = make_hello(ROLE_CLIENT, "s")
+        hello["role"] = "admin"
+        with pytest.raises(AuthError, match="role"):
+            check_hello(hello, "s")
+
+    def test_version_skew_rejected(self):
+        hello = make_hello(ROLE_CLIENT, "s")
+        hello["farm"] = 99
+        with pytest.raises(AuthError, match="version"):
+            check_hello(hello, "s")
+
+    def test_missing_token_field_rejected(self):
+        hello = make_hello(ROLE_CLIENT, "s")
+        del hello["token"]
+        with pytest.raises(AuthError):
+            check_hello(hello, "s")
+
+    def test_empty_tokens_match(self):
+        # No token configured on either side: same-trust-domain mode.
+        assert check_hello(make_hello(ROLE_CLIENT, None), None) == ROLE_CLIENT
+
+
+class _Listener:
+    """One-connection TCP listener running serve_hello in a thread."""
+
+    def __init__(self, token):
+        self.token = token
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(1)
+        self.port = self.sock.getsockname()[1]
+        self.accepted = []
+        self.thread = threading.Thread(target=self._accept, daemon=True)
+        self.thread.start()
+
+    def _accept(self):
+        conn, _ = self.sock.accept()
+        stream = conn.makefile("rwb")
+        self.accepted.append(serve_hello(stream, self.token))
+        try:
+            stream.close()
+        finally:
+            conn.close()
+
+    def close(self):
+        self.sock.close()
+        self.thread.join(timeout=5.0)
+
+
+class TestHandshake:
+    def test_connect_authenticates(self):
+        listener = _Listener("secret")
+        try:
+            conn, stream = connect("127.0.0.1", listener.port,
+                                   ROLE_WORKER, "secret", label="w0")
+            conn.close()
+        finally:
+            listener.close()
+        assert listener.accepted[0]["role"] == ROLE_WORKER
+        assert listener.accepted[0]["label"] == "w0"
+
+    def test_wrong_token_refused(self):
+        listener = _Listener("secret")
+        try:
+            with pytest.raises(AuthError, match="token"):
+                connect("127.0.0.1", listener.port, ROLE_WORKER, "nope")
+        finally:
+            listener.close()
+        assert listener.accepted == [None]
+
+    def test_garbage_hello_refused(self):
+        listener = _Listener("secret")
+        sock = socket.create_connection(("127.0.0.1", listener.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            answer = sock.recv(4096)
+        finally:
+            sock.close()
+            listener.close()
+        assert listener.accepted == [None]
+        assert b'"ok":false' in answer
+
+    def test_hello_read_is_bounded(self):
+        # An unauthenticated peer cannot push an unbounded line: the
+        # hello read stops at HELLO_MAX_BYTES and the peer is refused.
+        listener = _Listener("secret")
+        sock = socket.create_connection(("127.0.0.1", listener.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(b"x" * (HELLO_MAX_BYTES + 1024) + b"\n")
+            answer = sock.recv(4096)
+        finally:
+            sock.close()
+            listener.close()
+        assert listener.accepted == [None]
+        assert b"exceeds" in answer

@@ -1,0 +1,218 @@
+"""Partition serialization: the farm's wire format, verified in-process.
+
+A loopback dispatcher drives :class:`RemotePartitionRunner` with
+``execute_partition_job`` running in the same process -- every encode/
+decode/execute step of real farm dispatch, minus the sockets -- and the
+resulting images must be byte-identical to the local runner's.
+"""
+
+import json
+
+import pytest
+
+from repro.driver.compiler import Compiler, train
+from repro.driver.options import CompilerOptions
+from repro.farm.store import cas_key
+from repro.linker.objects import encode_executable
+from repro.naim.pools import KIND_IR
+from repro.naim.remote import CasBackedRepository
+from repro.part.remote import RemoteDispatchError, RemotePartitionRunner
+from repro.part.wire import (
+    WIRE_VERSION,
+    WireError,
+    decode_shared_context,
+    encode_shared_context,
+    execute_partition_job,
+)
+from repro.synth import WorkloadConfig, generate
+
+
+def app_sources(seed=21, n_modules=6):
+    config = WorkloadConfig(
+        "wire%d" % seed,
+        n_modules=n_modules,
+        routines_per_module=3,
+        n_features=2,
+        dispatch_count=40,
+        input_size=16,
+        seed=seed,
+    )
+    return generate(config).sources
+
+
+class LoopbackStore:
+    """put/get blob surface of the farm store, in a dict."""
+
+    def __init__(self):
+        self.blobs = {}
+        self.puts = 0
+
+    def put_blob(self, data):
+        key = cas_key(data)
+        if key not in self.blobs:
+            self.blobs[key] = data
+            self.puts += 1
+        return key
+
+    def get_blob(self, key):
+        return self.blobs[key]
+
+    def get_blobs(self, keys):
+        return {key: self.blobs[key] for key in keys}
+
+
+class LoopbackDispatcher:
+    """The coordinator's dispatcher contract, executed inline."""
+
+    def __init__(self):
+        self.store = LoopbackStore()
+        self.jobs_seen = 0
+
+    def ready(self):
+        return True
+
+    def runner(self, hlo_result, llo_options, naim_config=None,
+               jobs=1, events=None):
+        return RemotePartitionRunner(
+            hlo_result, llo_options, naim_config=naim_config,
+            jobs=jobs, events=events,
+            dispatch=self.dispatch, put_blob=self.store.put_blob,
+        )
+
+    def dispatch(self, jobs):
+        outcomes = []
+        for job in jobs:
+            self.jobs_seen += 1
+            shared = decode_shared_context(
+                self.store.get_blob(job["ctx"])
+            )
+            repository = CasBackedRepository(self.store, {
+                (KIND_IR, entry["name"]): entry["pool"]
+                for entry in job["routines"]
+            })
+            outcomes.append(
+                execute_partition_job(shared, job, repository)
+            )
+        # Any order is fine: the runner folds by partition index.
+        return list(reversed(outcomes))
+
+
+def build(sources, profile_db=None, dispatcher=None, **option_kwargs):
+    options = CompilerOptions(
+        opt_level=4, pbo=profile_db is not None, **option_kwargs
+    )
+    compiler = Compiler(options)
+    if dispatcher is not None:
+        compiler.partition_dispatcher = dispatcher
+    return compiler.build(sources, profile_db)
+
+
+class TestLoopbackByteIdentity:
+    def test_dispatched_image_matches_local(self):
+        sources = app_sources()
+        reference = encode_executable(
+            build(sources, hlo_jobs=2).executable
+        )
+        dispatcher = LoopbackDispatcher()
+        remote = build(sources, dispatcher=dispatcher, hlo_jobs=2)
+        assert encode_executable(remote.executable) == reference
+        assert dispatcher.jobs_seen > 0
+
+    def test_dispatched_image_matches_serial(self):
+        sources = app_sources(seed=22)
+        reference = encode_executable(build(sources).executable)
+        remote = build(sources, dispatcher=LoopbackDispatcher(),
+                       hlo_jobs=2, hlo_partitions=5)
+        assert encode_executable(remote.executable) == reference
+
+    def test_identical_with_profiles_and_selectivity(self):
+        sources = app_sources(seed=23)
+        profile_db = train(sources, [None])
+        reference = encode_executable(
+            build(sources, profile_db, hlo_jobs=2,
+                  selectivity_percent=60).executable
+        )
+        remote = build(sources, profile_db,
+                       dispatcher=LoopbackDispatcher(),
+                       hlo_jobs=2, selectivity_percent=60)
+        assert encode_executable(remote.executable) == reference
+
+    def test_folded_stats_deterministic(self):
+        sources = app_sources(seed=24)
+        local = build(sources, hlo_jobs=2)
+        remote = build(sources, dispatcher=LoopbackDispatcher(),
+                       hlo_jobs=2)
+        assert remote.llo_stats.instructions == local.llo_stats.instructions
+        assert remote.llo_stats.routines == local.llo_stats.routines
+
+
+class TestSharedContext:
+    def _encode(self, seed=25):
+        sources = app_sources(seed=seed)
+        dispatcher = LoopbackDispatcher()
+        build(sources, dispatcher=dispatcher, hlo_jobs=2)
+        # The context blob the build published:
+        for blob in dispatcher.store.blobs.values():
+            try:
+                payload = json.loads(blob.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                continue
+            if isinstance(payload, dict) and payload.get("wire"):
+                return blob
+        raise AssertionError("no shared context published")
+
+    def test_warm_reencode_is_byte_identical(self):
+        # Same program, two builds -> the same canonical context blob,
+        # which is what lets the CAS deduplicate it farm-wide.
+        assert self._encode() == self._encode()
+
+    def test_roundtrip_preserves_symtab_and_options(self):
+        blob = self._encode()
+        shared = decode_shared_context(blob)
+        payload = json.loads(blob.decode("utf-8"))
+        assert payload["wire"] == WIRE_VERSION
+        assert list(shared.symtab._name_by_pid) == \
+            payload["symtab"]["pid_order"]
+        assert shared.llo_options.opt_level == \
+            payload["llo_options"]["opt_level"]
+        assert shared.scalar_set == frozenset(payload["scalar"])
+
+    def test_fresh_views_are_independent(self):
+        shared = decode_shared_context(self._encode())
+        first = shared.fresh_views()
+        second = shared.fresh_views()
+        assert first is not second
+        for name, view in first.items():
+            assert view.block_counts == second[name].block_counts
+            assert view is not second[name]
+
+    def test_version_skew_rejected(self):
+        payload = json.loads(self._encode())
+        payload["wire"] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            decode_shared_context(json.dumps(payload).encode())
+
+    @pytest.mark.parametrize("data", [b"\xff\xfe", b"[1, 2]", b"junk"])
+    def test_garbage_rejected(self, data):
+        with pytest.raises(WireError):
+            decode_shared_context(data)
+
+
+class TestRunnerContract:
+    def test_requires_both_callables(self):
+        sources = app_sources(seed=26)
+        built = build(sources, hlo_jobs=2)
+        with pytest.raises(ValueError, match="required"):
+            RemotePartitionRunner(
+                built.hlo_result, None, dispatch=None, put_blob=None
+            )
+
+    def test_missing_outcome_raises(self):
+        sources = app_sources(seed=27)
+
+        class DroppyDispatcher(LoopbackDispatcher):
+            def dispatch(self, jobs):
+                return super().dispatch(jobs)[1:]  # lose one outcome
+
+        with pytest.raises(RemoteDispatchError, match="no outcome"):
+            build(sources, dispatcher=DroppyDispatcher(), hlo_jobs=2)

@@ -1,0 +1,223 @@
+"""StealQueue: LPT placement, stealing, re-queue, retry caps."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sched.steal import StealQueue, StealTask, TaskFailure
+
+
+def tasks(*specs):
+    """``("id", weight)`` pairs -> StealTasks."""
+    return [StealTask(task_id, {"id": task_id}, weight=weight)
+            for task_id, weight in specs]
+
+
+class TestRegistration:
+    def test_register_and_count(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        queue.register_worker("b")
+        assert queue.worker_count() == 2
+        assert queue.is_registered("a")
+
+    def test_duplicate_register_rejected(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        with pytest.raises(ValueError):
+            queue.register_worker("a")
+
+    def test_negative_retry_limit_rejected(self):
+        with pytest.raises(ValueError):
+            StealQueue(retry_limit=-1)
+
+
+class TestPlacement:
+    def test_no_workers_goes_to_backlog(self):
+        queue = StealQueue()
+        queue.submit(tasks(("t1", 1)))
+        queue.register_worker("a")
+        task = queue.next_for("a", timeout=1.0)
+        assert task is not None and task.task_id == "t1"
+
+    def test_lpt_spreads_heaviest_to_least_loaded(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        queue.register_worker("b")
+        # Heaviest first: t4(8)->a, t3(5)->b, t2(4)->b (4+5=9 > 8? no:
+        # b has 5 < a's 8), t1(1)->a? a=8, b=9 -> a.
+        queue.submit(tasks(("t1", 1), ("t2", 4), ("t3", 5), ("t4", 8)))
+        seen = {"a": [], "b": []}
+        for wid in ("a", "b"):
+            while True:
+                task = queue.next_for(wid, timeout=0.05)
+                if task is None:
+                    break
+                seen[wid].append(task.task_id)
+                queue.complete(wid, task.task_id, {})
+        # a drains its own queue then steals b's tail; either way all
+        # four ran exactly once across the two workers.
+        assert sorted(seen["a"] + seen["b"]) == ["t1", "t2", "t3", "t4"]
+        assert "t4" in seen["a"]  # heaviest went to the first queue
+
+    def test_idle_worker_steals_from_loaded_peer(self):
+        queue = StealQueue()
+        queue.register_worker("busy")
+        queue.register_worker("idle")
+        queue.submit(tasks(("t1", 1)))
+        queue.submit(tasks(("t2", 1)))
+        # Both landed on queues; drain them through "idle" only.
+        got = []
+        for _ in range(2):
+            task = queue.next_for("idle", timeout=1.0)
+            got.append(task.task_id)
+            queue.complete("idle", task.task_id, {})
+        assert sorted(got) == ["t1", "t2"]
+        assert queue.steals >= 1
+
+    def test_steal_takes_victim_tail(self):
+        queue = StealQueue()
+        queue.register_worker("victim")
+        # Three tasks queue up on the only worker...
+        queue.submit(tasks(("t1", 1), ("t2", 1), ("t3", 1)))
+        queue.register_worker("thief")
+        # ...the thief steals from the tail, so the victim keeps the
+        # tasks it would run next (its queue head).
+        stolen = queue.next_for("thief", timeout=1.0)
+        assert stolen.task_id == "t3"  # queued last -> the tail
+        own = queue.next_for("victim", timeout=1.0)
+        assert own.task_id == "t1"  # the head stays with the victim
+
+    def test_submit_after_close_rejected(self):
+        queue = StealQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.submit(tasks(("t1", 1)))
+
+
+class TestCompletion:
+    def test_wait_returns_results_by_id(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        queue.submit(tasks(("t1", 1), ("t2", 1)))
+        for _ in range(2):
+            task = queue.next_for("a", timeout=1.0)
+            queue.complete("a", task.task_id, {"ran": task.task_id})
+        results = queue.wait(["t1", "t2"], timeout=1.0)
+        assert results["t1"] == {"ran": "t1"}
+        assert results["t2"] == {"ran": "t2"}
+
+    def test_results_consumed_ids_reusable(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        for round_no in range(2):
+            queue.submit(tasks(("t1", 1)))
+            task = queue.next_for("a", timeout=1.0)
+            queue.complete("a", task.task_id, round_no)
+            assert queue.wait(["t1"], timeout=1.0) == {"t1": round_no}
+
+    def test_wait_timeout(self):
+        queue = StealQueue()
+        queue.submit(tasks(("t1", 1)))
+        with pytest.raises(TimeoutError, match="t1"):
+            queue.wait(["t1"], timeout=0.05)
+
+    def test_wait_raises_after_close(self):
+        queue = StealQueue()
+        queue.submit(tasks(("t1", 1)))
+        queue.close()
+        with pytest.raises(TaskFailure, match="closed"):
+            queue.wait(["t1"], timeout=1.0)
+
+
+class TestFailure:
+    def test_failed_task_requeues(self):
+        queue = StealQueue(retry_limit=2)
+        queue.register_worker("a")
+        queue.submit(tasks(("t1", 1)))
+        task = queue.next_for("a", timeout=1.0)
+        queue.fail("a", task.task_id, "boom")
+        assert queue.requeues == 1
+        retry = queue.next_for("a", timeout=1.0)
+        assert retry.task_id == "t1" and retry.attempts == 1
+        queue.complete("a", "t1", {"ok": True})
+        assert queue.wait(["t1"], timeout=1.0)["t1"] == {"ok": True}
+
+    def test_retry_cap_fails_the_waiter(self):
+        queue = StealQueue(retry_limit=1)
+        queue.register_worker("a")
+        queue.submit(tasks(("t1", 1)))
+        for _ in range(2):  # retry_limit=1 -> 2 attempts allowed
+            task = queue.next_for("a", timeout=1.0)
+            queue.fail("a", task.task_id, "boom")
+        assert queue.next_for("a", timeout=0.05) is None  # retired
+        with pytest.raises(TaskFailure, match="boom") as exc_info:
+            queue.wait(["t1"], timeout=1.0)
+        assert exc_info.value.attempts == 2
+
+
+class TestDisconnect:
+    def test_unregister_requeues_queued_and_inflight(self):
+        queue = StealQueue(retry_limit=2)
+        queue.register_worker("dead")
+        queue.submit(tasks(("t1", 2), ("t2", 1)))
+        inflight = queue.next_for("dead", timeout=1.0)
+        queue.unregister_worker("dead")
+        assert queue.worker_count() == 0
+        assert queue.requeues == 2
+        queue.register_worker("alive")
+        rescued = {}
+        for _ in range(2):
+            task = queue.next_for("alive", timeout=1.0)
+            rescued[task.task_id] = task.attempts
+            queue.complete("alive", task.task_id, {})
+        # The in-flight task's lost run counts as an attempt (the
+        # worker may have died because of it); queued ones re-queue free.
+        assert rescued[inflight.task_id] == 1
+        other = (set(rescued) - {inflight.task_id}).pop()
+        assert rescued[other] == 0
+        queue.wait(["t1", "t2"], timeout=1.0)
+
+    def test_inflight_disconnect_respects_retry_cap(self):
+        queue = StealQueue(retry_limit=0)
+        queue.register_worker("dead")
+        queue.submit(tasks(("t1", 1)))
+        queue.next_for("dead", timeout=1.0)
+        queue.unregister_worker("dead")
+        with pytest.raises(TaskFailure, match="disconnected"):
+            queue.wait(["t1"], timeout=1.0)
+
+    def test_next_for_unregistered_returns_none(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        queue.unregister_worker("a")
+        assert queue.next_for("a", timeout=0.05) is None
+
+    def test_unregister_wakes_parked_worker(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        got = []
+
+        def park():
+            got.append(queue.next_for("a", timeout=10.0))
+
+        thread = threading.Thread(target=park)
+        thread.start()
+        time.sleep(0.05)
+        queue.unregister_worker("a")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+
+class TestStats:
+    def test_stats_shape(self):
+        queue = StealQueue()
+        queue.register_worker("a")
+        queue.submit(tasks(("t1", 1)))
+        stats = queue.stats()
+        assert stats["workers"] == 1
+        assert stats["queued"] == 1
+        assert stats["submitted"] == 1
+        assert stats["inflight"] == 0

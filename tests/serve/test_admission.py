@@ -81,6 +81,75 @@ class TestBounds:
             AdmissionGate(1, -1)
 
 
+class TestBoundaries:
+    def test_queue_exactly_full_last_slot_admits_then_rejects(self):
+        # queue_depth=2: the boundary is the *third* waiter -- the
+        # first two park, the third is turned away without blocking.
+        gate = AdmissionGate(max_sessions=1, queue_depth=2)
+        assert gate.try_acquire() is not None
+        waiters = [threading.Thread(
+            target=lambda: gate.try_acquire(timeout=10.0)
+        ) for _ in range(2)]
+        for waiter in waiters:
+            waiter.start()
+        while gate.waiting < 2:
+            time.sleep(0.005)
+        assert gate.waiting == 2  # exactly full, not over
+        assert gate.try_acquire() is None
+        assert gate.rejected == 1
+        for _ in range(2):  # each release hands the slot to a waiter
+            admitted_before = gate.admitted
+            gate.release()
+            while gate.admitted == admitted_before:
+                time.sleep(0.005)
+        for waiter in waiters:
+            waiter.join(timeout=10.0)
+        gate.release()
+        assert gate.admitted == 3
+
+    def test_zero_queue_boundary_is_max_sessions(self):
+        gate = AdmissionGate(max_sessions=2, queue_depth=0)
+        assert gate.try_acquire() is not None
+        assert gate.try_acquire() is not None  # exactly at the cap
+        assert gate.try_acquire() is None  # one past it
+        gate.release()
+        assert gate.try_acquire() is not None  # the freed slot readmits
+
+    def test_admission_during_drain_takes_the_freed_slot(self):
+        # Sessions-full while one is draining: a request arriving in
+        # the release window must be admitted (parked then woken), not
+        # bounced off the momentarily-full gate.
+        gate = AdmissionGate(max_sessions=2, queue_depth=2)
+        gate.try_acquire()
+        gate.try_acquire()
+        admitted = []
+
+        def arrival():
+            admitted.append(gate.try_acquire(timeout=10.0))
+
+        thread = threading.Thread(target=arrival)
+        thread.start()
+        while gate.waiting == 0:
+            time.sleep(0.005)
+        assert gate.active == 2  # still full: the arrival is parked
+        gate.release()  # the draining session finishes
+        thread.join(timeout=10.0)
+        assert admitted and admitted[0] is not None
+        assert gate.active == 2  # the freed slot was handed over
+        assert gate.rejected == 0
+
+    def test_waiter_timeout_then_release_leaves_gate_consistent(self):
+        # A waiter that gives up must not leak queue accounting: the
+        # next release wakes nobody and the slot is re-acquirable.
+        gate = AdmissionGate(max_sessions=1, queue_depth=1)
+        gate.try_acquire()
+        assert gate.try_acquire(timeout=0.05) is None
+        assert gate.waiting == 0
+        gate.release()
+        assert gate.try_acquire() is not None
+        assert gate.stats()["active"] == 1
+
+
 class TestAccounting:
     def test_stats_shape(self):
         gate = AdmissionGate(max_sessions=2, queue_depth=3)

@@ -22,6 +22,7 @@ from repro.serve.protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
     ERR_DRAINING,
+    ERR_LINE_TOO_LONG,
     ERR_TIMEOUT,
     make_request,
     read_message,
@@ -236,6 +237,26 @@ class TestControlPlane:
             answer = read_message(stream)
             assert answer["ok"] is False
             assert answer["error"]["code"] == ERR_BAD_REQUEST
+        finally:
+            conn.close()
+
+    def test_oversized_request_answered_not_dropped(self, served,
+                                                    monkeypatch):
+        # A request past the line limit gets a structured LineTooLong
+        # answer (previously: silent drop and a bare disconnect).
+        daemon, _ = served
+        monkeypatch.setattr("repro.serve.protocol.MAX_LINE_BYTES", 1024)
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.connect(daemon.socket_path)
+        try:
+            stream = conn.makefile("rwb")
+            stream.write(b'{"v": 1, "id": "big", "op": "ping", "pad": "'
+                         + b"x" * 4096 + b'"}\n')
+            stream.flush()
+            answer = read_message(stream)
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == ERR_LINE_TOO_LONG
+            assert answer["error"]["limit"] == 1024
         finally:
             conn.close()
 

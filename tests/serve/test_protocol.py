@@ -8,6 +8,7 @@ import pytest
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    LineTooLongError,
     ProtocolError,
     decode_bytes,
     encode_bytes,
@@ -72,6 +73,39 @@ class TestFraming:
         monkeypatch.setattr("repro.serve.protocol.MAX_LINE_BYTES", 64)
         with pytest.raises(ProtocolError, match="exceeds"):
             write_message(io.BytesIO(), {"pad": "y" * 100})
+
+
+class TestLineTooLong:
+    def test_carries_limit_as_typed_error(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.protocol.MAX_LINE_BYTES", 64)
+        with pytest.raises(LineTooLongError) as excinfo:
+            read_message(io.BytesIO(b'{"pad": "%s"}\n' % (b"x" * 100)))
+        assert excinfo.value.limit == 64
+        assert isinstance(excinfo.value, ProtocolError)
+
+    def test_oversized_line_is_drained_stream_stays_in_sync(self):
+        # The receiver can keep talking after rejecting the line: the
+        # next message on the stream parses normally.
+        oversized = b'{"pad": "%s"}\n' % (b"y" * 4096)
+        stream = io.BytesIO(oversized + b'{"after": true}\n')
+        with pytest.raises(LineTooLongError):
+            read_message(stream, max_bytes=64)
+        assert read_message(stream, max_bytes=64) == {"after": True}
+
+    def test_drain_handles_lines_far_past_the_limit(self):
+        # Drain reads are bounded chunks, so a line many multiples of
+        # the limit still leaves the stream positioned correctly.
+        stream = io.BytesIO(b"z" * (64 * 37) + b"\n" + b'{"v": 1}\n')
+        with pytest.raises(LineTooLongError):
+            read_message(stream, max_bytes=64)
+        assert read_message(stream, max_bytes=64) == {"v": 1}
+
+    def test_eof_inside_oversized_line(self):
+        # Peer died mid-flood: drain hits EOF, the error still raises.
+        stream = io.BytesIO(b"x" * 300)  # no newline, then EOF
+        with pytest.raises(LineTooLongError):
+            read_message(stream, max_bytes=64)
+        assert read_message(stream, max_bytes=64) is None
 
 
 class TestEnvelopes:
