@@ -33,7 +33,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from conftest import save_result
+from conftest import save_json, save_result
 
 from repro.driver.compiler import Compiler
 from repro.driver.options import CompilerOptions
@@ -73,6 +73,7 @@ def run_bench(quick=False):
     serial_secs = _ltrans_seconds(serial, serial=True)
 
     rows = []
+    settings = []
     best = serial_secs
     for jobs in (1, 2, 4):
         # hlo_jobs=1 alone means "serial"; pin the partition count so
@@ -89,6 +90,12 @@ def run_bench(quick=False):
             % ("partitioned (jobs=%d)" % jobs, secs,
                serial_secs / secs if secs else 0.0, stats.prefetches)
         )
+        settings.append({
+            "hlo_jobs": jobs,
+            "ltrans_seconds": secs,
+            "speedup_vs_serial": serial_secs / secs if secs else 0.0,
+            "prefetches": stats.prefetches,
+        })
 
     lines = [
         "parallel LTRANS bench: %d modules, %d source lines "
@@ -109,14 +116,28 @@ def run_bench(quick=False):
         "(fused single-load phase, batched repository reads), not "
         "CPU parallelism.",
     ]
-    return "\n".join(lines)
+    payload = {
+        "quick": bool(quick),
+        "modules": len(app.sources),
+        "source_lines": app.source_lines(),
+        "serial_ltrans_seconds": serial_secs,
+        "serial_scalar_seconds":
+            serial.hlo_result.phase_seconds.get("scalar", 0.0),
+        "serial_codegen_seconds":
+            serial.timings.phases.get("codegen_cmo", 0.0),
+        "partitioned": settings,
+        "best_speedup_vs_serial": serial_secs / best if best else 0.0,
+        "byte_identical": True,
+    }
+    return "\n".join(lines), payload
 
 
 def test_hlo_parallel_bench():
-    text = run_bench(quick=True)
+    text, payload = run_bench(quick=True)
     print()
     print(text)
     save_result("hlo_parallel_quick", text)
+    save_json("hlo_parallel", payload)
 
 
 def main(argv=None):
@@ -124,9 +145,10 @@ def main(argv=None):
     parser.add_argument("--quick", action="store_true",
                         help="8 modules instead of 28")
     args = parser.parse_args(argv)
-    text = run_bench(quick=args.quick)
+    text, payload = run_bench(quick=args.quick)
     print(text)
     save_result("hlo_parallel", text)
+    save_json("hlo_parallel", payload)
     return 0
 
 

@@ -17,7 +17,13 @@ from repro.hlo.driver import standard_pipeline
 from repro.hlo.passes import OptContext
 from repro.interp import run_program
 from repro.naim import Loader, NaimConfig, NaimLevel, Repository
-from repro.naim.compaction import compact_routine, uncompact_routine
+from repro.naim.compaction import (
+    compact_routine,
+    compact_routine_reference,
+    uncompact_routine,
+    uncompact_routine_reference,
+)
+from repro.naim.intern import InternPool
 from repro.synth import WorkloadConfig, generate
 
 
@@ -52,6 +58,48 @@ def test_compaction_round_trip(benchmark, program):
             uncompact_routine(compact_routine(routine, symtab), symtab)
 
     benchmark(round_trip)
+
+
+def test_codec_reference_round_trip(benchmark, program):
+    """Reference per-field codec: the baseline the batched one beats."""
+    symtab = program.symtab
+    routines = program.all_routines()
+
+    def round_trip():
+        for routine in routines:
+            uncompact_routine_reference(
+                compact_routine_reference(routine, symtab), symtab
+            )
+
+    benchmark(round_trip)
+
+
+def test_codec_batched_decode(benchmark, program):
+    """Decode-side hot loop alone (interned, eager)."""
+    symtab = program.symtab
+    blobs = [compact_routine(routine, symtab)
+             for routine in program.all_routines()]
+    intern = InternPool()
+
+    def decode_all():
+        for blob in blobs:
+            uncompact_routine(blob, symtab, intern=intern)
+
+    benchmark(decode_all)
+
+
+def test_codec_lazy_decode(benchmark, program):
+    """Lazy decode: locate blocks/annotations, no instruction build."""
+    symtab = program.symtab
+    blobs = [compact_routine(routine, symtab)
+             for routine in program.all_routines()]
+    intern = InternPool()
+
+    def decode_all():
+        for blob in blobs:
+            uncompact_routine(blob, symtab, intern=intern, lazy=True)
+
+    benchmark(decode_all)
 
 
 def test_scalar_pipeline(benchmark, app):

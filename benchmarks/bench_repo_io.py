@@ -11,7 +11,10 @@ bytes written/read, and fetch/store counts, and asserts:
   the repository is a cache of relocatable bytes, never a semantic
   input);
 * in full mode, packed+compressed writes at least halve ``bytes_written``
-  and the offload-phase wall-clock improves by >= 30%.
+  and the offload-phase wall-clock improves by >= 30%;
+* the batched IL codec decodes the workload's routine pools at least
+  2x faster than the reference per-field codec, from byte-identical
+  relocatable images (full mode; always reported).
 
 Run standalone (``python benchmarks/bench_repo_io.py [--smoke|--quick]``)
 or via ``pytest benchmarks/bench_repo_io.py -s``.
@@ -31,8 +34,17 @@ from conftest import save_json, save_result
 from repro.bench.figures import _aggressive_hlo
 from repro.driver.compiler import Compiler, train
 from repro.driver.options import CompilerOptions
+from repro.frontend import compile_source, detect_language
+from repro.ir.symbols import ProgramSymbolTable
 from repro.linker.objects import encode_executable
+from repro.naim.compaction import (
+    compact_routine,
+    compact_routine_reference,
+    uncompact_routine,
+    uncompact_routine_reference,
+)
 from repro.naim.config import NaimConfig, NaimLevel
+from repro.naim.intern import InternPool
 from repro.synth.config import spec_like_suite
 from repro.synth.generator import generate
 
@@ -40,6 +52,8 @@ from repro.synth.generator import generate
 #: bytes hitting disk and cut >= 30% of the offload build's wall time.
 MIN_WRITE_REDUCTION = 2.0
 MIN_TIME_IMPROVEMENT = 0.30
+#: Full-mode acceptance bar (ISSUE 7): batched decode vs reference.
+MIN_DECODE_SPEEDUP = 2.0
 
 
 def _workload(scale):
@@ -91,6 +105,58 @@ def _run_build(app, profile_db, cache_pools, layout, prefetch_depth,
         shutil.rmtree(repo_dir, ignore_errors=True)
 
 
+def _codec_bench(app, repeats=3):
+    """Decode-side codec comparison on the workload's real IL.
+
+    Compacts every routine of the workload once (asserting the batched
+    and reference encoders produce identical bytes), then times
+    decoding the whole relocatable set with the reference per-field
+    codec vs the batched codec (eager, interned) -- the exact work a
+    pool touch pays after a repository fetch.  Best-of-N wall times.
+    """
+    symtab = ProgramSymbolTable()
+    routines = []
+    for name, text in app.sources.items():
+        module = compile_source(text, name, detect_language(text))
+        routines.extend(module.routines.values())
+    blobs = []
+    for routine in routines:
+        blob = compact_routine(routine, symtab)
+        assert blob == compact_routine_reference(routine, symtab), (
+            "batched and reference encoders diverged on %s" % routine.name
+        )
+        blobs.append(blob)
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def decode_reference():
+        for blob in blobs:
+            uncompact_routine_reference(blob, symtab)
+
+    intern = InternPool()
+
+    def decode_batched():
+        for blob in blobs:
+            uncompact_routine(blob, symtab, intern=intern)
+
+    reference_secs = best_of(decode_reference)
+    batched_secs = best_of(decode_batched)
+    return {
+        "routines": len(routines),
+        "relocatable_bytes": sum(len(blob) for blob in blobs),
+        "decode_reference_seconds": reference_secs,
+        "decode_batched_seconds": batched_secs,
+        "decode_speedup": (reference_secs / batched_secs
+                           if batched_secs else float("inf")),
+    }
+
+
 def run_bench(mode="full"):
     scale = {"smoke": 0.5, "quick": 1.0}.get(mode, 2.0)
     cache_pools = 2 if mode == "smoke" else 4
@@ -114,6 +180,7 @@ def run_bench(mode="full"):
         (legacy["seconds"] - packed["seconds"]) / legacy["seconds"]
         if legacy["seconds"] else 0.0
     )
+    codec = _codec_bench(app)
     if mode == "full":
         assert write_reduction >= MIN_WRITE_REDUCTION, (
             "pack writes %.2fx less than per-file (need >= %.1fx)"
@@ -122,6 +189,11 @@ def run_bench(mode="full"):
         assert time_improvement >= MIN_TIME_IMPROVEMENT, (
             "pack saves %.0f%% wall-clock (need >= %.0f%%)"
             % (100 * time_improvement, 100 * MIN_TIME_IMPROVEMENT)
+        )
+        assert codec["decode_speedup"] >= MIN_DECODE_SPEEDUP, (
+            "batched decode is %.2fx the reference codec "
+            "(need >= %.1fx)"
+            % (codec["decode_speedup"], MIN_DECODE_SPEEDUP)
         )
 
     def row(label, r):
@@ -146,6 +218,11 @@ def run_bench(mode="full"):
         "  prefetches issued/hit: %d/%d"
         % (packed["prefetches"], packed["prefetch_hits"]),
         "  images byte-identical across layouts: yes",
+        "  codec decode (%d routines, %d B relocatable): "
+        "reference %.3fs vs batched %.3fs -> %.2fx"
+        % (codec["routines"], codec["relocatable_bytes"],
+           codec["decode_reference_seconds"],
+           codec["decode_batched_seconds"], codec["decode_speedup"]),
     ]
 
     payload = {
@@ -157,6 +234,7 @@ def run_bench(mode="full"):
         "time_improvement": time_improvement,
         "legacy": {k: v for k, v in legacy.items() if k != "image"},
         "pack": {k: v for k, v in packed.items() if k != "image"},
+        "codec": codec,
     }
     return "\n".join(lines), payload
 

@@ -1,0 +1,141 @@
+"""Hot-path profiling hooks for the compiler's own execution.
+
+The perf work in this repo targets the compiler's constant factors
+(codec loops, pool swizzling, pack I/O), and regressions there are
+invisible in pass-level phase timings.  These hooks attribute wall
+time to *functions*: a :class:`HotPathProfiler` wraps one build in
+``cProfile`` plus a ``perf_counter_ns`` fence and flattens the result
+into a small JSON-able report that rides inside
+:class:`~repro.driver.compiler.SessionBuildStats` -- so a slow build
+in a ``BENCH_*.json`` trajectory can be diagnosed from the artifact
+alone, without re-running anything.
+
+``cProfile`` instruments every Python call, so a profiled build is
+*slower* than a plain one (typically 1.3-2x); the report records both
+the profiled wall time and that caveat.  Profiling is therefore
+strictly opt-in (``build --profile-hot``) and never on for the
+benchmark numbers themselves.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+from typing import Dict, List, Optional
+
+#: Entries kept in the flat report (sorted by own-time, descending).
+DEFAULT_TOP = 25
+
+
+class HotPathProfiler:
+    """One-shot profiler for a single build (not reentrant).
+
+    Usage::
+
+        profiler = HotPathProfiler()
+        profiler.start()
+        ...build...
+        profiler.stop()
+        stats["hot_profile"] = profiler.report()
+    """
+
+    def __init__(self, top: int = DEFAULT_TOP) -> None:
+        self.top = top
+        self._profile: Optional[cProfile.Profile] = None
+        self._start_ns = 0
+        self._wall_ns = 0
+
+    def start(self) -> None:
+        self._profile = cProfile.Profile()
+        self._start_ns = time.perf_counter_ns()
+        self._profile.enable()
+
+    def stop(self) -> None:
+        assert self._profile is not None, "start() was never called"
+        self._profile.disable()
+        self._wall_ns = time.perf_counter_ns() - self._start_ns
+
+    def __enter__(self) -> "HotPathProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def report(self) -> Dict[str, object]:
+        """Flat hot-path report: top functions by own (exclusive) time."""
+        assert self._profile is not None, "start() was never called"
+        rows: List[Dict[str, object]] = []
+        total_tt = 0.0
+        for entry in self._profile.getstats():
+            code = entry.code
+            if isinstance(code, str):  # builtin: '<method ...>'
+                func, location = code, "~"
+            else:
+                func = code.co_name
+                location = "%s:%d" % (_short_file(code.co_filename),
+                                      code.co_firstlineno)
+            total_tt += entry.inlinetime
+            rows.append({
+                "func": func,
+                "where": location,
+                "calls": entry.callcount,
+                "own_ms": entry.inlinetime * 1e3,
+                "cum_ms": entry.totaltime * 1e3,
+            })
+        rows.sort(key=lambda row: row["own_ms"], reverse=True)
+        kept = rows[: self.top]
+        for row in kept:
+            row["own_ms"] = round(row["own_ms"], 3)
+            row["cum_ms"] = round(row["cum_ms"], 3)
+        return {
+            "wall_ns": self._wall_ns,
+            "profiled_ms": round(total_tt * 1e3, 3),
+            "n_functions": len(rows),
+            "top": kept,
+            "note": "cProfile overhead included; do not compare "
+                    "wall_ns against unprofiled builds",
+        }
+
+
+def profile_call(fn, *args, top: int = DEFAULT_TOP, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under a profiler.
+
+    Returns ``(result, report)``; the building block for wiring
+    ``--profile-hot`` through any entry point.
+    """
+    profiler = HotPathProfiler(top=top)
+    profiler.start()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.stop()
+    return result, profiler.report()
+
+
+def render_hot_report(report: Dict[str, object],
+                      limit: int = 15) -> List[str]:
+    """Human-readable lines for a :meth:`HotPathProfiler.report` dict."""
+    lines = [
+        "hot paths (%d functions, %.1f ms profiled, wall %.1f ms):"
+        % (report.get("n_functions", 0),
+           float(report.get("profiled_ms", 0.0)),
+           float(report.get("wall_ns", 0)) / 1e6)
+    ]
+    top = report.get("top") or []
+    for row in top[:limit]:
+        lines.append(
+            "  %8.1fms own %8.1fms cum %9d calls  %s (%s)"
+            % (float(row["own_ms"]), float(row["cum_ms"]),
+               int(row["calls"]), row["func"], row["where"])
+        )
+    return lines
+
+
+def _short_file(path: str) -> str:
+    """Trim file paths to the part a report reader needs (repro/...)."""
+    marker = "repro/"
+    index = path.rfind(marker)
+    if index >= 0:
+        return path[index:]
+    return path.rsplit("/", 1)[-1]

@@ -155,6 +155,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="routines fetched ahead by the loader's background "
              "prefetch pipeline (0 = synchronous fetches; default 1)",
     )
+    parser.add_argument(
+        "--profile-hot", action="store_true",
+        help="profile the compiler's own hot paths during the build "
+             "(cProfile; slower, output unchanged) and print a flat "
+             "report",
+    )
 
 
 def _print_summary(summary: Dict[str, object]) -> None:
@@ -182,6 +188,11 @@ def _daemon_build(args: argparse.Namespace, sources: Dict[str, str],
         client = DaemonClient.from_env()
     result = client.build(build_options_from_args(args, sources))
     _print_summary(result["summary"])
+    hot = (result.get("stats") or {}).get("hot_profile")
+    if hot:
+        from ..bench.profile_hooks import render_hot_report
+        for line in render_hot_report(hot):
+            print(line)
     image = result["image"]
     if args.emit_image:
         with open(args.emit_image, "wb") as handle:
@@ -245,11 +256,17 @@ def cmd_build(args: argparse.Namespace) -> int:
     session = CompileSession(options, jobs=args.jobs,
                              incremental=incremental,
                              state_dir=args.state_dir)
-    build, report, _stats = session.build(sources, profile_db=profile_db)
+    build, report, _stats = session.build(
+        sources, profile_db=profile_db, profile_hot=args.profile_hot,
+    )
     _print_summary(build_summary(
         options, len(sources), build, report=report, events=session.events,
         jobs=args.jobs, incremental=session.incremental,
     ))
+    if _stats.hot_profile:
+        from ..bench.profile_hooks import render_hot_report
+        for line in render_hot_report(_stats.hot_profile):
+            print(line)
     if args.emit_image:
         from ..linker.objects import encode_executable
 

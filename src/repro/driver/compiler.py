@@ -684,6 +684,8 @@ class SessionBuildStats:
         self.n_spans = 0
         #: Wall-clock seconds per build phase.
         self.phase_seconds: Dict[str, float] = {}
+        #: Flat hot-path report (``build --profile-hot``), else None.
+        self.hot_profile: Optional[Dict[str, object]] = None
         #: How many builds this session had served before this one.
         self.warm_builds_before = 0
 
@@ -709,6 +711,7 @@ class SessionBuildStats:
             "peak_bytes": self.peak_bytes,
             "n_spans": self.n_spans,
             "phase_seconds": dict(self.phase_seconds),
+            "hot_profile": self.hot_profile,
             "warm_builds_before": self.warm_builds_before,
         }
 
@@ -796,11 +799,17 @@ class CompileSession:
     # -- Building ----------------------------------------------------------------------
 
     def build(self, sources: Dict[str, str],
-              profile_db: Optional[ProfileDatabase] = None):
+              profile_db: Optional[ProfileDatabase] = None,
+              profile_hot: bool = False):
         """Run one build; returns ``(result, report, stats)``.
 
         ``report`` is a :class:`~repro.driver.build.RebuildReport` when
-        the session runs on an engine, else None.
+        the session runs on an engine, else None.  With
+        ``profile_hot=True`` the build runs under
+        :class:`~repro.bench.profile_hooks.HotPathProfiler` and the
+        flat report lands in ``stats.hot_profile`` (profiling overhead
+        makes ``stats.seconds`` incomparable to unprofiled builds; the
+        build output itself is unaffected).
         """
         with self._lock:
             stats = SessionBuildStats()
@@ -810,18 +819,30 @@ class CompileSession:
                 self.artifact_cache.stats_snapshot()
                 if self.artifact_cache is not None else None
             )
+            profiler = None
+            if profile_hot:
+                from ..bench.profile_hooks import HotPathProfiler
+                profiler = HotPathProfiler()
             start = time.perf_counter()
-            if self.engine is not None:
-                result, report = self.engine.build(
-                    sources, profile_db=profile_db
-                )
-            else:
-                result = self.compiler.build(
-                    sources, profile_db=profile_db, jobs=self.jobs,
-                    events=self.events,
-                )
-                report = None
+            if profiler is not None:
+                profiler.start()
+            try:
+                if self.engine is not None:
+                    result, report = self.engine.build(
+                        sources, profile_db=profile_db
+                    )
+                else:
+                    result = self.compiler.build(
+                        sources, profile_db=profile_db, jobs=self.jobs,
+                        events=self.events,
+                    )
+                    report = None
+            finally:
+                if profiler is not None:
+                    profiler.stop()
             stats.seconds = time.perf_counter() - start
+            if profiler is not None:
+                stats.hot_profile = profiler.report()
             self.builds += 1
             self._collect_stats(stats, result, cache_before)
             return result, report, stats

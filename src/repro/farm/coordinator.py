@@ -116,7 +116,8 @@ class FarmDispatcher:
         return key
 
     def get_blob(self, key: str) -> bytes:
-        return self.repository.fetch(CAS_KIND, key)
+        # Snapshot zero-copy views; callers json-decode and cache this.
+        return bytes(self.repository.fetch(CAS_KIND, key))
 
     # -- Dispatch ---------------------------------------------------------------
 

@@ -91,7 +91,9 @@ class StoreClient:
         data = self._cache_get(key)
         if data is not None:
             return data
-        data = self._repository.fetch(CAS_KIND, key)
+        # Snapshot zero-copy views: the blob cache is long-lived and
+        # must not pin the repository's segment mmaps.
+        data = bytes(self._repository.fetch(CAS_KIND, key))
         if cas_key(data) != key:
             raise ValueError(
                 "store returned corrupt blob for %s" % key[:12]
@@ -117,6 +119,7 @@ class StoreClient:
             )
             for (_, key), data in found.items():
                 self.gets += 1
+                data = bytes(data)
                 self._cache_put(key, data)
                 out[key] = data
         return out

@@ -191,7 +191,9 @@ class IncrementalState:
             return
         try:
             data = json.loads(
-                self.repository.fetch(_INDEX_KIND, _INDEX_NAME).decode("utf-8")
+                bytes(
+                    self.repository.fetch(_INDEX_KIND, _INDEX_NAME)
+                ).decode("utf-8")
             )
         except Exception:
             return  # unreadable state: behave like a first build

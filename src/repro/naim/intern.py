@@ -1,0 +1,65 @@
+"""Per-repository string interning for pool decode (hot-path support).
+
+Uncompaction decodes the same small set of strings over and over:
+module names, block labels, source-language tags, annotation keys.
+Each ``uncompact_routine`` call used to pay ``bytes.decode("utf-8")``
+plus a fresh ``str`` allocation for every one of them, every fetch.
+
+An :class:`InternPool` maps the *raw encoded bytes* to one canonical
+``str`` per session, so a string is decoded once per repository
+lifetime rather than once per fetch.  Canonical strings also make the
+dict lookups downstream (symbol tables, label maps, annotation keys)
+cheaper: CPython short-circuits ``str`` comparison on pointer
+equality, and :func:`sys.intern` extends that sharing across pools.
+
+The pool is deliberately unbounded: the universe of strings in a
+compilation is the program's identifier set, which the program symbol
+table already keeps resident for the whole session anyway (paper
+§4.1's "permanent objects").  ``clear()`` exists for long-lived
+daemons that recycle a repository between unrelated programs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+
+class InternPool:
+    """Bytes -> canonical ``str`` cache shared across pool decodes."""
+
+    __slots__ = ("_by_raw", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._by_raw: Dict[bytes, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def utf8(self, raw: bytes) -> str:
+        """Decode UTF-8 ``raw`` to the session's canonical string.
+
+        Raises ``UnicodeDecodeError`` exactly like ``bytes.decode``;
+        callers wrap it in their own format error.
+        """
+        text = self._by_raw.get(raw)
+        if text is None:
+            self.misses += 1
+            text = sys.intern(raw.decode("utf-8"))
+            self._by_raw[bytes(raw)] = text
+            return text
+        self.hits += 1
+        return text
+
+    def canonical(self, text: str) -> str:
+        """Canonicalize an already-decoded string (wire/JSON inputs)."""
+        return sys.intern(text)
+
+    def __len__(self) -> int:
+        return len(self._by_raw)
+
+    def clear(self) -> None:
+        self._by_raw.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._by_raw), "hits": self.hits,
+                "misses": self.misses}

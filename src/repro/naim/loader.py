@@ -255,13 +255,18 @@ class Loader:
                 pool.state = PoolState.COMPACT
         if pool.state is not PoolState.EXPANDED:
             assert pool.compact_bytes is not None
+            intern = getattr(self.repository, "intern", None)
             if pool.kind == KIND_IR:
+                # Lazy: block bodies and annotations materialize on
+                # first real touch, so metadata-only touches (memory
+                # accounting, CFG shape) skip per-instruction decode.
                 pool.expanded = uncompact_routine(
-                    pool.compact_bytes, self.symtab
+                    pool.compact_bytes, self.symtab,
+                    intern=intern, lazy=True,
                 )
             else:
                 pool.expanded = uncompact_symtab(
-                    pool.compact_bytes, self.symtab
+                    pool.compact_bytes, self.symtab, intern=intern
                 )
             self.stats.uncompactions += 1
             pool.compact_bytes = None
@@ -306,11 +311,15 @@ class Loader:
         """Pipeline decode hook: compact bytes -> expanded object.
 
         Runs on the background thread; only reads the (frozen during
-        phase 5) program symbol table.
+        phase 5) program symbol table.  Decode stays *eager* here --
+        the point of the pipeline is paying the per-instruction work
+        off-thread, so a lazily staged pool would just defer it back
+        onto the consumer.
         """
+        intern = getattr(self.repository, "intern", None)
         if kind == KIND_IR:
-            return uncompact_routine(data, self.symtab)
-        return uncompact_symtab(data, self.symtab)
+            return uncompact_routine(data, self.symtab, intern=intern)
+        return uncompact_symtab(data, self.symtab, intern=intern)
 
     def prefetch_wait(self, timeout: Optional[float] = None) -> bool:
         """Block until every queued prefetch is staged (tests, barriers)."""

@@ -112,6 +112,21 @@ def decode_payload(stored, flags: int) -> bytes:
     return bytes(stored)
 
 
+def decode_payload_view(stored, flags: int):
+    """Zero-copy variant of :func:`decode_payload`.
+
+    Uncompressed entries come back *as stored* -- for a sealed segment
+    that is a ``memoryview`` slice over the segment mmap, with no byte
+    copy.  The view pins the mapping: segment retirement keeps retired
+    mmaps alive until every exported view is released (see
+    ``Repository.release_retired``), so a live view never dangles.
+    Compressed entries decompress into fresh ``bytes`` as before.
+    """
+    if flags & FLAG_COMPRESSED:
+        return zlib.decompress(stored)
+    return stored
+
+
 def encode_entry(kind: str, name: str, stored: bytes, raw_len: int,
                  flags: int) -> bytes:
     """The full on-disk frame for one entry."""

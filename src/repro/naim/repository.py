@@ -36,6 +36,7 @@ import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from . import packfile
+from .intern import InternPool
 from .packfile import (
     FLAG_COMPRESSED,
     PackEntry,
@@ -106,6 +107,27 @@ class _Segment:
                 pass
             self.handle = None
 
+    def try_close(self) -> bool:
+        """Close only if no exported memoryview pins the mapping.
+
+        Zero-copy fetches hand out views over ``mm``; closing under a
+        live view raises ``BufferError``.  Returns False in that case
+        so the caller keeps the segment retired for a later attempt.
+        """
+        if self.mm is not None:
+            try:
+                self.mm.close()
+            except (BufferError, ValueError):
+                return False
+            self.mm = None
+        if self.handle is not None:
+            try:
+                self.handle.close()
+            except OSError:
+                pass
+            self.handle = None
+        return True
+
 
 class Repository:
     """Disk-backed store of relocatable pool encodings.
@@ -144,8 +166,14 @@ class Repository:
         self._active: Optional[_Segment] = None
         self._next_segment_id = 0
         #: Segments replaced by compaction; their mmaps stay alive for
-        #: readers that resolved before the swap, closed at close().
+        #: readers (and zero-copy views) that resolved before the swap.
+        #: :meth:`release_retired` closes them once no view pins them;
+        #: anything still pinned is closed at :meth:`close`.
         self._retired: List[_Segment] = []
+        #: Per-repository string intern pool, shared by every decoder
+        #: that reads this repository's pools (loader, compaction, wire
+        #: context snapshots).
+        self.intern = InternPool()
         #: Messages from the last reindex()'s recovery scans.
         self.reindex_errors: List[str] = []
         # Partition workers fetch concurrently; the index and counters
@@ -171,6 +199,8 @@ class Repository:
         self.reclaimable_bytes = 0
         self.dead_entries = 0
         self._mapped_bytes = 0
+        #: Retired segment mappings actually closed (view-release).
+        self.retired_releases = 0
 
     @classmethod
     def from_config(cls, directory: Optional[str], config) -> "Repository":
@@ -373,7 +403,8 @@ class Repository:
         if plan is not None:
             segment, entry = plan
             span = segment.read_span(entry.payload_offset, entry.stored_len)
-            if bytes(span) == stored:
+            # memoryview == bytes compares contents without a copy.
+            if span == stored:
                 with self._lock:
                     if self._located.get(key) is plan:
                         self.stores += 1
@@ -407,7 +438,17 @@ class Repository:
         segment, entry = located
         return (segment, entry)
 
-    def fetch(self, kind: str, name: str) -> bytes:
+    def fetch(self, kind: str, name: str):
+        """Bytes-like payload of one pool.
+
+        For uncompressed entries in sealed pack segments this is a
+        zero-copy ``memoryview`` over the segment mmap (compressed or
+        legacy entries come back as ``bytes``).  A live view pins its
+        mapping across compaction -- retired segments are only closed
+        by :meth:`release_retired` once every view is gone -- so
+        callers may hold the view as long as they like, but should
+        drop it promptly to let retired segments actually release.
+        """
         key = (kind, name)
         plan = None
         with self._lock:
@@ -426,7 +467,7 @@ class Repository:
         if plan is not None:
             segment, entry = plan
             span = segment.read_span(entry.payload_offset, entry.stored_len)
-            return packfile.decode_payload(span, entry.flags)
+            return packfile.decode_payload_view(span, entry.flags)
         # Legacy .pool file (adopted by reindex, or files layout).
         with open(self._path(kind, name), "rb") as handle:
             data = handle.read()
@@ -438,6 +479,9 @@ class Repository:
         self, keys: Iterable[Tuple[str, str]]
     ) -> Dict[Tuple[str, str], bytes]:
         """Fetch a batch of pools in one pass.
+
+        Values are bytes-like (zero-copy ``memoryview`` for
+        uncompressed pack entries -- see :meth:`fetch`).
 
         Partition workers and the loader's prefetch pipeline warm
         offloaded pools with a single batch instead of one
@@ -482,7 +526,7 @@ class Repository:
                 segment, entry = plan
                 span = segment.read_span(entry.payload_offset,
                                          entry.stored_len)
-                out[key] = packfile.decode_payload(span, entry.flags)
+                out[key] = packfile.decode_payload_view(span, entry.flags)
             else:
                 with open(self._path(*key), "rb") as handle:
                     out[key] = handle.read()
@@ -642,6 +686,11 @@ class Repository:
         dead.
         """
         with self._lock:
+            # Every compaction opportunity is also a release
+            # opportunity: retired mmaps whose views have since been
+            # dropped are closed here, so view lifetime ends at the
+            # next maybe_compact() rather than at repository close.
+            self._release_retired_locked()
             if self.reclaimable_bytes < min_bytes:
                 return 0
             stored = sum(segment.size for segment in self._segments.values())
@@ -711,7 +760,36 @@ class Repository:
             self.compaction_bytes_written += copied
             self.reclaimable_bytes = 0
             self.dead_entries = 0
+            self._release_retired_locked()
             return max(0, before - after)
+
+    def release_retired(self) -> int:
+        """Close retired segment mappings no longer pinned by views.
+
+        Zero-copy fetches hand out ``memoryview`` slices over segment
+        mmaps; a compaction that races such a view keeps the old
+        mapping retired instead of closing it.  This sweeps the
+        retired list and closes every mapping whose views have been
+        released, returning how many segments were freed.  Segments
+        still pinned stay retired for the next sweep (or
+        :meth:`close`).
+        """
+        with self._lock:
+            return self._release_retired_locked()
+
+    def _release_retired_locked(self) -> int:
+        if not self._retired:
+            return 0
+        kept: List[_Segment] = []
+        released = 0
+        for segment in self._retired:
+            if segment.try_close():
+                released += 1
+            else:
+                kept.append(segment)
+        self._retired = kept
+        self.retired_releases += released
+        return released
 
     def flush(self) -> None:
         """Seal the active segment so its footer index reaches disk."""
@@ -773,6 +851,8 @@ class Repository:
                 "segments": len(self._segments),
                 "segment_compactions": self.segment_compactions,
                 "compaction_bytes_written": self.compaction_bytes_written,
+                "retired_segments": len(self._retired),
+                "retired_releases": self.retired_releases,
             }
 
     def __len__(self) -> int:
@@ -831,6 +911,14 @@ class OverlayRepository(Repository):
     def __init__(self, base: Repository) -> None:
         super().__init__(in_memory=True)
         self._base = base
+        # One intern pool per *link*, not per worker: partition
+        # workers decode the same shared-context strings, and the
+        # whole point is decoding each exactly once.  Dict get/set
+        # races under the GIL are benign (worst case a duplicate
+        # insert of an equal string).  Farm workers overlay adapter
+        # bases (CAS-backed) that carry no pool of their own; the
+        # overlay then keeps its private one.
+        self.intern = getattr(base, "intern", self.intern)
 
     def fetch(self, kind: str, name: str) -> bytes:
         with self._lock:

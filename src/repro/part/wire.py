@@ -30,6 +30,7 @@ the images the single-process build produces.
 from __future__ import annotations
 
 import json
+import sys
 from typing import Dict, List, Optional, Tuple
 
 from ..hlo.analysis.modref import ModRefAnalysis, ModRefInfo
@@ -78,15 +79,20 @@ def _symtab_payload(symtab: ProgramSymbolTable) -> Dict:
 
 
 def _decode_symtab(payload: Dict) -> ProgramSymbolTable:
+    # Names are canonicalized through sys.intern: pool decoders on
+    # this worker intern their strings too, so symbol-table lookups hit
+    # CPython's pointer-equality fast path instead of comparing bytes.
+    intern = sys.intern
     symtab = ProgramSymbolTable()
     for name, size, init, module, exported in payload["globals"]:
+        name = intern(name)
         symtab.globals[name] = GlobalVar(
             name, size, init, module, bool(exported)
         )
     for name, module in payload["routines"]:
-        symtab.routines[name] = module
+        symtab.routines[intern(name)] = module
     for name in payload["pid_order"]:
-        symtab.pid_of(name)
+        symtab.pid_of(intern(name))
     return symtab
 
 

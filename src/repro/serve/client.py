@@ -81,6 +81,7 @@ def build_options_from_args(args, sources: Dict[str, str]) -> Dict:
         "repo_compress": getattr(args, "repo_compress", 6),
         "repo_segment_mb": getattr(args, "repo_segment_mb", 8),
         "prefetch_depth": getattr(args, "prefetch_depth", 1),
+        "profile_hot": bool(getattr(args, "profile_hot", False)),
     }
     if args.partitions is not None:
         options["partitions"] = args.partitions

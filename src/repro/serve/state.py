@@ -257,7 +257,8 @@ class WarmState:
             progress("building", warm_builds=session.builds)
         try:
             result, report, stats = session.build(
-                sources, profile_db=profile_db
+                sources, profile_db=profile_db,
+                profile_hot=bool(options.get("profile_hot")),
             )
         except RequestError:
             raise

@@ -157,3 +157,107 @@ class TestSymtabRoundTrip:
         # Array has 3 trailing zeros: encoding stores only 3 values.
         # Rough check: compact form is small.
         assert len(data) < 200
+
+
+class TestStructuredErrors:
+    def test_truncated_names_offset_and_field(self):
+        prog = program()
+        data = compact_routine(prog.routine("widget"), prog.symtab)
+        with pytest.raises(CompactionError) as excinfo:
+            uncompact_routine(data[: len(data) - 3], prog.symtab)
+        assert excinfo.value.offset is not None
+        assert excinfo.value.field is not None
+        assert str(excinfo.value.offset) in str(excinfo.value)
+
+    def test_bad_label_index_is_structured(self):
+        from repro.ir.basic_block import BasicBlock
+        from repro.ir.instructions import Instr, Opcode
+        from repro.ir.routine import Routine
+        from repro.ir.symbols import ProgramSymbolTable
+        from repro.naim.compaction import uncompact_routine_reference
+
+        symtab = ProgramSymbolTable()
+        routine = Routine("jumper")
+        block = BasicBlock("entry")
+        block.instrs.append(Instr(Opcode.JMP, targets=("entry",)))
+        routine.blocks.append(block)
+        data = bytearray(compact_routine(routine, symtab))
+        # The final varints are the JMP's label index (0) followed by
+        # the annotation count; corrupt the label index.
+        assert data[-2] == 0
+        data[-2] = 0x7F
+        for decode in (uncompact_routine, uncompact_routine_reference):
+            with pytest.raises(CompactionError) as excinfo:
+                decode(bytes(data), symtab)
+            assert "label index" in str(excinfo.value)
+
+    def test_reader_underflow_is_structured(self):
+        with pytest.raises(CompactionError) as excinfo:
+            Reader(b"")
+        assert excinfo.value.field == "varint"
+        reader = Reader(compact_routine(program().routine("widget"),
+                                        program().symtab))
+        reader.pos = len(reader.data)
+        with pytest.raises(CompactionError):
+            reader.u()
+
+    def test_memoryview_input_accepted(self):
+        prog = program()
+        routine = prog.routine("widget")
+        data = compact_routine(routine, prog.symtab)
+        assert routines_equal(
+            uncompact_routine(memoryview(data), prog.symtab), routine
+        )
+        assert Reader(memoryview(data)).strings == Reader(data).strings
+
+
+class TestLazyMaterialization:
+    def _round_trip(self, lazy=True):
+        prog = program()
+        routine = prog.routine("widget")
+        routine.annotations["inline_cost"] = 17
+        routine.annotations["origin"] = "test"
+        data = compact_routine(routine, prog.symtab)
+        return routine, uncompact_routine(data, prog.symtab, lazy=lazy)
+
+    def test_len_does_not_force_decode(self):
+        original, lazy = self._round_trip()
+        # instr_count (the memory accountant's walk) answers from the
+        # encoded counts without materializing any block body.
+        assert lazy.instr_count() == original.instr_count()
+        assert all(not block.instrs.materialized()
+                   for block in lazy.blocks)
+        assert len(lazy.annotations) == 2
+        assert not lazy.annotations.materialized()
+
+    def test_access_forces_and_matches(self):
+        original, lazy = self._round_trip()
+        assert routines_equal(lazy, original)  # forces every block
+        assert all(block.instrs.materialized() for block in lazy.blocks)
+        assert lazy.annotations["inline_cost"] == 17
+        assert lazy.annotations.materialized()
+
+    def test_copy_preserves_lazy_annotations(self):
+        _, lazy = self._round_trip()
+        clone = lazy.copy()
+        assert dict(clone.annotations) == {
+            "inline_cost": 17, "origin": "test",
+        }
+
+    def test_lazy_recompacts_byte_identically(self):
+        prog = program()
+        routine = prog.routine("widget")
+        data = compact_routine(routine, prog.symtab)
+        lazy = uncompact_routine(data, prog.symtab, lazy=True)
+        assert compact_routine(lazy, prog.symtab) == data
+
+    def test_mutation_forces_then_applies(self):
+        from repro.ir.instructions import Instr, Opcode
+
+        _, lazy = self._round_trip()
+        block = lazy.blocks[0]
+        count = len(block.instrs)
+        block.instrs.append(Instr(Opcode.RET, a=None))
+        assert len(block.instrs) == count + 1
+        lazy.annotations["new"] = 1
+        assert lazy.annotations["new"] == 1
