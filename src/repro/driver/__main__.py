@@ -141,6 +141,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "(default: 4x --hlo-jobs)",
     )
     parser.add_argument(
+        "--hlo-backend", choices=("auto", "threads", "processes"),
+        default="auto", metavar="BACKEND",
+        help="partitioned-LTRANS executor: threads (GIL-bound), "
+             "processes (worker processes; real CPU parallelism) or "
+             "auto (processes when >1 effective worker; default). "
+             "Output is byte-identical either way.",
+    )
+    parser.add_argument(
         "--repo-compress", type=int, default=6, choices=range(0, 10),
         metavar="LEVEL",
         help="zlib level for NAIM pack-repository entries "
@@ -251,6 +259,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         checked=args.checked,
         hlo_jobs=args.hlo_jobs,
         hlo_partitions=args.partitions,
+        hlo_backend=args.hlo_backend,
         naim=_naim_config_from_args(args),
     )
     session = CompileSession(options, jobs=args.jobs,

@@ -94,6 +94,11 @@ class BuildResult:
         self.cmo_reused_modules: List[str] = []
         #: CMO modules re-optimized (scalar pipeline + LLO) this link.
         self.cmo_reoptimized_modules: List[str] = []
+        #: Partitioned-LTRANS execution facts (backend, effective
+        #: worker count, spawn cost, blob size) when the link ran the
+        #: partitioned backend; None otherwise.  Purely observational
+        #: -- image bytes are identical across backends.
+        self.ltrans_stats: Optional[Dict[str, object]] = None
 
     def run(self, inputs=None, cost_model=None,
             max_instructions: int = 200_000_000) -> MachineResult:
@@ -124,6 +129,11 @@ class Compiler:
         #: no workers, so a farm with zero workers still serves
         #: (locally executed) builds.
         self.partition_dispatcher = None
+        #: When set (by the daemon's warm state), the process LTRANS
+        #: backend runs its partition batches on this persistent
+        #: :class:`~repro.sched.procpool.ProcessWorkerPool` instead of
+        #: spawning an ephemeral pool per build.
+        self.process_pool = None
 
     # -- Frontend --------------------------------------------------------------
 
@@ -556,32 +566,93 @@ class Compiler:
             compiled: Dict[str, MachineRoutine] = {}
             if partitioned:
                 from ..part import PartitionRunner, partition_unit
+                from ..sched.procpool import cpu_count
 
                 n_partitions = options.hlo_partitions or max(
                     1, options.hlo_jobs * 4
                 )
+                partitions = partition_unit(hlo_result, n_partitions)
+                # Workers beyond the partition count (or the
+                # schedulable CPUs) only add dispatch overhead -- the
+                # old 4-jobs-on-4-partitions regression.  Clamp, and
+                # say so once per build in the event log.
+                requested_jobs = options.hlo_jobs
+                cpus = cpu_count()
+                effective_jobs = max(
+                    1, min(requested_jobs, len(partitions) or 1, cpus)
+                )
+                if effective_jobs < requested_jobs and events is not None:
+                    events.instant(
+                        "hlo-jobs-clamped", category="ltrans",
+                        args={
+                            "requested": requested_jobs,
+                            "effective": effective_jobs,
+                            "partitions": len(partitions),
+                            "cpus": cpus,
+                        },
+                    )
                 dispatcher = self.partition_dispatcher
+                backend = options.hlo_backend
                 if dispatcher is not None and dispatcher.ready():
+                    backend = "farm"
+                    # Farm workers are remote: their count is the
+                    # coordinator's business, so ship the requested
+                    # jobs figure unclamped.
                     runner = dispatcher.runner(
                         hlo_result,
                         llo_options,
                         naim_config=options.naim,
-                        jobs=options.hlo_jobs,
+                        jobs=requested_jobs,
                         events=events,
                     )
                 else:
-                    runner = PartitionRunner(
-                        hlo_result,
-                        llo_options,
-                        naim_config=options.naim,
-                        jobs=options.hlo_jobs,
-                        events=events,
+                    from ..part.procexec import (
+                        ProcessPartitionRunner,
+                        processes_supported,
                     )
-                run_out = runner.run(
-                    partition_unit(hlo_result, n_partitions)
-                )
+
+                    supported = processes_supported()
+                    if backend == "auto":
+                        backend = (
+                            "processes"
+                            if effective_jobs > 1 and supported
+                            else "threads"
+                        )
+                    if backend == "processes" and supported:
+                        runner = ProcessPartitionRunner(
+                            hlo_result,
+                            llo_options,
+                            naim_config=options.naim,
+                            jobs=effective_jobs,
+                            events=events,
+                            pool=self.process_pool,
+                        )
+                    else:
+                        backend = "threads"
+                        runner = PartitionRunner(
+                            hlo_result,
+                            llo_options,
+                            naim_config=options.naim,
+                            jobs=effective_jobs,
+                            events=events,
+                        )
+                run_out = runner.run(partitions)
                 compiled = run_out.machines
                 result.llo_stats = run_out.llo_stats
+                result.ltrans_stats = {
+                    "backend": backend,
+                    "requested_jobs": requested_jobs,
+                    "effective_jobs": effective_jobs,
+                    "partitions": len(partitions),
+                }
+                if backend == "processes":
+                    result.ltrans_stats.update({
+                        "spawn_seconds": runner.spawn_seconds,
+                        "blob_bytes": runner.blob_bytes,
+                        "workers": runner.workers_used,
+                        "crashes": runner.crashes,
+                        "requeues": runner.requeues,
+                    })
             else:
                 llo = LowLevelOptimizer(llo_options, accountant)
 

@@ -20,6 +20,7 @@ from ..naim.config import NaimConfig
 from ..vm.cost import CostModel
 
 VALID_OPT_LEVELS = (0, 1, 2, 4)
+VALID_HLO_BACKENDS = ("auto", "threads", "processes")
 
 
 class CompilerOptions:
@@ -40,6 +41,7 @@ class CompilerOptions:
         multi_layer: bool = False,
         hlo_jobs: int = 1,
         hlo_partitions: Optional[int] = None,
+        hlo_backend: str = "auto",
     ) -> None:
         if opt_level not in VALID_OPT_LEVELS:
             raise ValueError(
@@ -77,6 +79,17 @@ class CompilerOptions:
         self.hlo_jobs = hlo_jobs
         #: Partition count override (None = derived from ``hlo_jobs``).
         self.hlo_partitions = hlo_partitions
+        if hlo_backend not in VALID_HLO_BACKENDS:
+            raise ValueError(
+                "hlo_backend must be one of %r" % (VALID_HLO_BACKENDS,)
+            )
+        #: Execution backend for LTRANS partitions: "threads" (the
+        #: GIL-bound in-process pool), "processes" (real CPU
+        #: parallelism via worker processes) or "auto" (processes
+        #: whenever more than one effective worker would run and the
+        #: platform supports it).  Like the two knobs above it never
+        #: affects output bytes, so it stays out of :meth:`describe`.
+        self.hlo_backend = hlo_backend
 
     @property
     def use_partitioned_hlo(self) -> bool:

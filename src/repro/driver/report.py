@@ -45,6 +45,11 @@ def build_summary(
         ),
         "interface_problems": list(build.interface_problems),
     }
+    if build.ltrans_stats is not None:
+        summary["hlo_backend"] = build.ltrans_stats.get("backend")
+        summary["hlo_effective_jobs"] = build.ltrans_stats.get(
+            "effective_jobs"
+        )
     if report is not None:
         summary["recompiled"] = len(report.recompiled)
         summary["reused"] = len(report.reused)
@@ -91,8 +96,11 @@ def render_build_summary(
         out.append("jobs: %d workers, %d tasks"
                    % (summary["jobs"], summary["n_spans"]))
     if summary.get("use_partitioned_hlo"):
-        out.append("hlo-jobs: %d workers, %d partitions"
-                   % (summary["hlo_jobs"], summary["n_ltrans_spans"]))
+        line = ("hlo-jobs: %d workers, %d partitions"
+                % (summary["hlo_jobs"], summary["n_ltrans_spans"]))
+        if summary.get("hlo_backend"):
+            line += " (%s backend)" % summary["hlo_backend"]
+        out.append(line)
     for problem in summary.get("interface_problems", []):
         err.append("warning: interface mismatch: %s" % problem)
     if "plan" in summary:

@@ -201,6 +201,14 @@ class Repository:
         self._mapped_bytes = 0
         #: Retired segment mappings actually closed (view-release).
         self.retired_releases = 0
+        #: Content-mutation counter: bumped on every store that writes
+        #: new bytes and every discard, *not* on identical re-store
+        #: skips or segment compaction (both content-preserving).  A
+        #: stable epoch therefore certifies "logical contents
+        #: unchanged", which is what the shared-context blob cache
+        #: (:func:`repro.part.wire.build_context_blob`) keys on.  It
+        #: is never reset by :meth:`reset_counters`.
+        self.epoch = 0
 
     @classmethod
     def from_config(cls, directory: Optional[str], config) -> "Repository":
@@ -376,12 +384,14 @@ class Repository:
                 self.bytes_written += len(data)
                 self._known[key] = len(data)
                 self._mem[key] = data
+                self.epoch += 1
             return
         if self.layout == LAYOUT_FILES:
             with self._lock:
                 self.stores += 1
                 self.bytes_written += len(data)
                 self._known[key] = len(data)
+                self.epoch += 1
             with open(self._path(kind, name), "wb") as handle:
                 handle.write(data)
             return
@@ -422,6 +432,7 @@ class Repository:
             self._known[key] = len(data)
             self.stores += 1
             self.bytes_written += entry.frame_len
+            self.epoch += 1
             self._maybe_roll()
 
     def _resolve(self, key: Tuple[str, str]):
@@ -547,6 +558,7 @@ class Repository:
                 return False
             del self._known[key]
             self._mem.pop(key, None)
+            self.epoch += 1
             if not self._in_memory and self.layout == LAYOUT_PACK:
                 if key in self._located:
                     self._kill_entry(key)

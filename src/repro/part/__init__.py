@@ -7,6 +7,12 @@ into profile-weight-balanced partitions, and :class:`PartitionRunner`
 executes the scalar pipeline + LLO codegen for each partition on a
 worker pool, splicing results back in canonical unit order so the
 final image is byte-identical to a serial build.
+
+Three executor backends share that contract: thread workers
+(:mod:`.runner`), local worker processes over one shared-memory
+context blob (:mod:`.procexec` + :mod:`.blob` -- real CPU
+parallelism past the GIL), and farm workers over TCP
+(:mod:`.remote` + :mod:`.wire`).
 """
 
 from .partition import Partition, partition_unit
@@ -19,6 +25,7 @@ __all__ = [
     "PartitionRunResult",
 ]
 
-# repro.part.remote / repro.part.wire (farm dispatch) are imported
-# directly by the farm package; keeping them out of this namespace
-# avoids pulling the serve transport into every local build.
+# repro.part.remote / repro.part.wire (farm dispatch) and
+# repro.part.procexec / repro.part.blob (process backend) are imported
+# directly by their users; keeping them out of this namespace avoids
+# pulling multiprocessing and the serve transport into every build.

@@ -1,0 +1,262 @@
+"""One-copy publication of partition inputs to local worker processes.
+
+The farm ships partition inputs through a socket-backed CAS; the
+local process backend has a cheaper option: write every section (the
+shared-context blob plus each routine's compact IR) into **one**
+shared-memory segment and let all N workers map the same physical
+pages.  Pickling the sections into each worker pipe would copy the
+bytes N times; this copies them once.
+
+Layout: ``u64le index_length | index JSON | payload`` where the index
+maps section key -> ``[offset, length]`` relative to the payload
+start.  Keys are content hashes (the runner's ``put_blob`` already
+names sections that way), so the blob is position-independent and a
+reader can verify sections if it cares to.
+
+Transport resolution:
+
+* **Primary**: ``multiprocessing.shared_memory.SharedMemory``.
+  Readers on Linux open ``/dev/shm/<name>`` directly as a file and
+  ``mmap`` it, side-stepping the ``resource_tracker`` registration
+  that attaching a ``SharedMemory`` object performs on Python < 3.13
+  (the tracker would unlink the segment when the *first* worker
+  exits, breaking its siblings; the ``track=False`` knob only exists
+  on 3.13+).  Non-Linux readers fall back to a real ``SharedMemory``
+  attach.
+* **Fallback**: a temp file + ``mmap`` when shared memory is
+  unavailable (or ``prefer_shm=False``); same layout, same API, the
+  page cache makes it nearly as cheap.
+
+The publisher owns the segment: :meth:`BlobPublication.close` unlinks
+it.  Readers copy sections out (``bytes``), so nothing outlives the
+mapping.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import tempfile
+from typing import Dict, Optional, Tuple
+
+_INDEX_HEADER = struct.Struct("<Q")
+
+
+class BlobError(Exception):
+    """A malformed or unreachable published blob."""
+
+
+def _pack_sections(sections: Dict[str, bytes]) -> bytes:
+    index: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    for key in sections:
+        data = sections[key]
+        index[key] = (offset, len(data))
+        offset += len(data)
+    index_bytes = json.dumps(
+        index, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    parts = [_INDEX_HEADER.pack(len(index_bytes)), index_bytes]
+    parts.extend(sections.values())
+    return b"".join(parts)
+
+
+class BlobPublication:
+    """A published section blob, owned by the build coordinator."""
+
+    def __init__(self, kind: str, size: int, shm=None,
+                 path: Optional[str] = None) -> None:
+        self.kind = kind  # "shm" | "file"
+        self.size = size
+        self._shm = shm
+        self._path = path
+        self._closed = False
+
+    def ref(self) -> Dict[str, object]:
+        """The JSON-safe handle workers attach with."""
+        if self.kind == "shm":
+            return {"kind": "shm", "name": self._shm.name,
+                    "size": self.size}
+        return {"kind": "file", "path": self._path, "size": self.size}
+
+    def close(self) -> None:
+        """Release and unlink the backing segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+        elif self._path is not None:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "BlobPublication":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<BlobPublication %s %d bytes>" % (self.kind, self.size)
+
+
+def publish_sections(sections: Dict[str, bytes],
+                     prefer_shm: bool = True) -> BlobPublication:
+    """Pack ``{key: bytes}`` into one shared segment; see module doc."""
+    packed = _pack_sections(sections)
+    if prefer_shm:
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=len(packed))
+            shm.buf[:len(packed)] = packed
+            return BlobPublication("shm", len(packed), shm=shm)
+        except (ImportError, OSError, ValueError):
+            pass  # no shared memory here; fall through to the tempfile
+    handle = tempfile.NamedTemporaryFile(
+        prefix="repro-blob-", suffix=".bin", delete=False
+    )
+    try:
+        handle.write(packed)
+    finally:
+        handle.close()
+    return BlobPublication("file", len(packed), path=handle.name)
+
+
+class AttachedBlob:
+    """A reader's view of a published blob (one per process per blob)."""
+
+    def __init__(self, ref: Dict[str, object]) -> None:
+        self.ref_key = _ref_key(ref)
+        self._mmap = None
+        self._file = None
+        self._shm = None
+        size = int(ref.get("size", 0))
+        if ref.get("kind") == "shm":
+            name = str(ref["name"])
+            view = self._attach_shm(name, size)
+        elif ref.get("kind") == "file":
+            path = str(ref["path"])
+            try:
+                self._file = open(path, "rb")
+                self._mmap = mmap.mmap(self._file.fileno(), size,
+                                       access=mmap.ACCESS_READ)
+            except (OSError, ValueError) as exc:
+                self.close()
+                raise BlobError("cannot map blob file %r: %s" % (path, exc))
+            view = memoryview(self._mmap)
+        else:
+            raise BlobError("unknown blob ref %r" % (ref,))
+        try:
+            if size < _INDEX_HEADER.size:
+                raise BlobError("blob too small for its header")
+            (index_len,) = _INDEX_HEADER.unpack(
+                bytes(view[:_INDEX_HEADER.size])
+            )
+            index_end = _INDEX_HEADER.size + index_len
+            if index_end > size:
+                raise BlobError("blob index overruns the segment")
+            index = json.loads(
+                bytes(view[_INDEX_HEADER.size:index_end]).decode("utf-8")
+            )
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.close()
+            raise BlobError("undecodable blob index: %s" % exc)
+        except BlobError:
+            self.close()
+            raise
+        self._view = view
+        self._payload_start = index_end
+        self._index = {
+            key: (int(offset), int(length))
+            for key, (offset, length) in index.items()
+        }
+
+    def _attach_shm(self, name: str, size: int):
+        # Linux: the segment is a file under /dev/shm; opening it
+        # directly avoids registering with the resource tracker (which
+        # on Python < 3.13 would unlink the segment when this process
+        # exits, breaking sibling workers and the publisher).
+        shm_path = "/dev/shm/" + name.lstrip("/")
+        if os.path.exists(shm_path):
+            try:
+                self._file = open(shm_path, "rb")
+                self._mmap = mmap.mmap(self._file.fileno(), size,
+                                       access=mmap.ACCESS_READ)
+                return memoryview(self._mmap)
+            except (OSError, ValueError):
+                self.close()
+        try:
+            from multiprocessing import shared_memory
+
+            self._shm = shared_memory.SharedMemory(name=name)
+            return memoryview(self._shm.buf)
+        except (ImportError, OSError, ValueError) as exc:
+            self.close()
+            raise BlobError("cannot attach shm %r: %s" % (name, exc))
+
+    def keys(self):
+        return self._index.keys()
+
+    def get(self, key: str) -> bytes:
+        """Copy one section out of the mapping."""
+        entry = self._index.get(key)
+        if entry is None:
+            raise KeyError("no blob section %r" % key)
+        offset, length = entry
+        start = self._payload_start + offset
+        return bytes(self._view[start:start + length])
+
+    def close(self) -> None:
+        view = getattr(self, "_view", None)
+        if view is not None:
+            try:
+                view.release()
+            except (AttributeError, BufferError):
+                pass
+            self._view = None
+        if self._shm is not None:
+            try:
+                self._shm.close()  # close only; the publisher unlinks
+            except (OSError, BufferError):
+                pass
+            self._shm = None
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except (OSError, BufferError):
+                pass
+            self._mmap = None
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    def __repr__(self) -> str:
+        return "<AttachedBlob %s %d sections>" % (
+            self.ref_key, len(self._index),
+        )
+
+
+def _ref_key(ref: Dict[str, object]) -> str:
+    if ref.get("kind") == "shm":
+        return "shm:%s" % ref.get("name")
+    return "file:%s" % ref.get("path")
+
+
+def attach_blob(ref: Dict[str, object]) -> AttachedBlob:
+    """Attach to a published blob from its :meth:`ref` handle."""
+    return AttachedBlob(ref)

@@ -1,0 +1,227 @@
+"""Process-parallel LTRANS: partitions executed by local child processes.
+
+The thread-backed :class:`~repro.part.runner.PartitionRunner` cannot
+scale the pure-Python scalar+LLO phase past the GIL; this backend
+runs each partition in a worker *process* instead -- the WHOPR model
+(one LTRANS process per partition) executed locally.
+
+:class:`ProcessPartitionRunner` subclasses the farm's
+:class:`~repro.part.remote.RemotePartitionRunner` and keeps its whole
+contract: ``_extract`` empties the link loader first, routines travel
+as compact NAIM bytes, the canonical shared-context blob is encoded
+*after* compaction (the PID-interning invariant), outcomes are folded
+with ``decode_outcome`` in partition index order.  Only the transport
+changes:
+
+* ``put_blob`` collects sections in memory instead of a socket CAS;
+* ``dispatch`` publishes them once via :mod:`repro.part.blob` (shared
+  memory, tempfile+mmap fallback) and runs the jobs on a
+  :class:`~repro.sched.procpool.ProcessWorkerPool` -- either an
+  ephemeral pool (cold CLI) or a persistent one injected by the
+  daemon's warm state.
+
+:func:`run_partition_job` is the worker-process body: attach the
+blob (cached per process per blob), decode the shared context (cached
+per process by content hash, so a warm daemon pool skips symtab
+reconstruction exactly like a farm worker), then call the same
+:func:`~repro.part.wire.execute_partition_job` the farm runs --
+inheriting its byte-identical-output property.
+
+Because the farm already proved the wire round-trip byte-identical,
+the only new trust surface here is the transport; the property suite
+pins serial == threads == processes anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..hlo.driver import HloResult
+from ..llo.driver import LloOptions
+from ..naim.config import NaimConfig
+from ..naim.pools import KIND_IR
+from ..naim.remote import CasBackedRepository
+from ..sched.events import EventLog
+from ..sched.procpool import ProcessWorkerPool, processes_available
+from .blob import AttachedBlob, attach_blob, publish_sections
+from .remote import RemotePartitionRunner
+from .wire import SharedJobContext, decode_shared_context, \
+    execute_partition_job
+
+#: Test hook: when this environment variable names an existing file,
+#: the first worker process to claim it (atomically, via unlink)
+#: SIGKILLs itself mid-batch -- exercising the crash re-queue path in
+#: end-to-end builds.  Unset in normal operation.
+KILL_MARKER_ENV = "REPRO_TEST_LTRANS_KILL"
+
+#: Decoded shared contexts kept per worker process (mirrors the farm
+#: worker's cache): a persistent daemon pool decodes each program
+#: state once, however many partitions and builds it serves.
+CONTEXT_CACHE_ENTRIES = 4
+
+
+def processes_supported() -> bool:
+    """Whether the local process backend can run on this platform."""
+    return processes_available()
+
+
+class ProcessPartitionRunner(RemotePartitionRunner):
+    """Partitioned LTRANS over local worker processes."""
+
+    DISPATCH_SPAN = "proc-dispatch"
+    # The per-partition spans come from the pool (category "ltrans",
+    # one per job); keep the dispatch envelope out of that category so
+    # span counts match the thread backend partition for partition.
+    DISPATCH_CATEGORY = "dispatch"
+
+    def __init__(
+        self,
+        hlo_result: HloResult,
+        llo_options: LloOptions,
+        naim_config: Optional[NaimConfig] = None,
+        jobs: int = 1,
+        events: Optional[EventLog] = None,
+        pool: Optional[ProcessWorkerPool] = None,
+        retry_limit: int = 2,
+    ) -> None:
+        super().__init__(
+            hlo_result, llo_options, naim_config, jobs=jobs, events=events,
+            dispatch=self._dispatch_local, put_blob=self._collect_blob,
+        )
+        self._sections: "OrderedDict[str, bytes]" = OrderedDict()
+        self._pool = pool
+        self._owns_pool = pool is None
+        self.retry_limit = retry_limit
+        #: Filled by :meth:`_dispatch_local` for bench/report use.
+        self.blob_bytes = 0
+        self.spawn_seconds = 0.0
+        self.workers_used = 0
+        self.crashes = 0
+        self.requeues = 0
+
+    # -- Transport ---------------------------------------------------------------
+
+    def _collect_blob(self, data: bytes) -> str:
+        key = hashlib.sha256(data).hexdigest()
+        if key not in self._sections:
+            self._sections[key] = data
+        return key
+
+    def _dispatch_local(self, jobs: List[Dict]) -> List[Dict]:
+        publication = publish_sections(self._sections)
+        self.blob_bytes = publication.size
+        pool = self._pool
+        if pool is None:
+            pool = ProcessWorkerPool(run_partition_job,
+                                     retry_limit=self.retry_limit)
+        kill_marker = os.environ.get(KILL_MARKER_ENV)
+        ref = publication.ref()
+        tasks = []
+        for job in jobs:
+            payload = {"blob": ref, "job": job}
+            if kill_marker:
+                payload["kill_marker"] = kill_marker
+            tasks.append((
+                "ltrans:p%d" % job["index"], payload,
+                int(job.get("weight", 1)),
+            ))
+        spawn_before = pool.spawn_seconds
+        crashes_before = pool.crashes
+        requeues_before = pool.requeues
+        try:
+            results = pool.run_batch(
+                tasks, jobs=self.jobs, events=self.events,
+                category="ltrans",
+            )
+        finally:
+            self.spawn_seconds = pool.spawn_seconds - spawn_before
+            self.crashes = pool.crashes - crashes_before
+            self.requeues = pool.requeues - requeues_before
+            self.workers_used = min(self.jobs, len(tasks))
+            publication.close()
+            self._sections.clear()
+            if self._owns_pool:
+                pool.close()
+        return [results["ltrans:p%d" % job["index"]] for job in jobs]
+
+
+# -- Worker-process side -----------------------------------------------------------
+
+#: One attached blob per process: each build publishes a fresh
+#: segment, so a cache depth of one is exactly "the current build".
+_blob_cache: Optional[AttachedBlob] = None
+
+_ctx_cache: "OrderedDict[str, SharedJobContext]" = OrderedDict()
+
+
+class _BlobStore:
+    """The ``get_blob``/``get_blobs`` surface
+    :class:`~repro.naim.remote.CasBackedRepository` wants, served from
+    one attached blob."""
+
+    def __init__(self, blob: AttachedBlob) -> None:
+        self._blob = blob
+
+    def get_blob(self, key: str) -> bytes:
+        return self._blob.get(key)
+
+    def get_blobs(self, keys) -> Dict[str, bytes]:
+        return {key: self._blob.get(key) for key in keys}
+
+
+def _attached(ref: Dict) -> AttachedBlob:
+    global _blob_cache
+    cached = _blob_cache
+    if cached is not None and cached.ref_key == _ref_key(ref):
+        return cached
+    if cached is not None:
+        cached.close()
+    _blob_cache = attach_blob(ref)
+    return _blob_cache
+
+
+def _ref_key(ref: Dict) -> str:
+    from .blob import _ref_key as key_fn
+
+    return key_fn(ref)
+
+
+def _shared_context(key: str, store: _BlobStore) -> SharedJobContext:
+    cached = _ctx_cache.get(key)
+    if cached is not None:
+        _ctx_cache.move_to_end(key)
+        return cached
+    shared = decode_shared_context(store.get_blob(key))
+    _ctx_cache[key] = shared
+    while len(_ctx_cache) > CONTEXT_CACHE_ENTRIES:
+        _ctx_cache.popitem(last=False)
+    return shared
+
+
+def _maybe_die_for_test(payload: Dict) -> None:
+    marker = payload.get("kill_marker")
+    if not marker:
+        return
+    try:
+        os.unlink(marker)
+    except OSError:
+        return  # another worker claimed it (or it never existed)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_partition_job(payload: Dict) -> Dict:
+    """Worker-process task body (module-level: spawn-picklable)."""
+    _maybe_die_for_test(payload)
+    blob = _attached(payload["blob"])
+    store = _BlobStore(blob)
+    job = payload["job"]
+    shared = _shared_context(str(job["ctx"]), store)
+    repository = CasBackedRepository(store, {
+        (KIND_IR, entry["name"]): entry["pool"]
+        for entry in job["routines"]
+    })
+    return execute_partition_job(shared, job, repository)

@@ -33,7 +33,7 @@ from ..naim.pools import KIND_IR
 from ..sched.events import EventLog
 from .partition import Partition
 from .runner import PartitionRunner, PartitionRunResult
-from .wire import decode_outcome, encode_shared_context
+from .wire import build_context_blob, decode_outcome
 
 
 class RemoteDispatchError(Exception):
@@ -42,6 +42,12 @@ class RemoteDispatchError(Exception):
 
 class RemotePartitionRunner(PartitionRunner):
     """Partitioned LTRANS over farm workers (see module docstring)."""
+
+    #: Name/category of the span wrapping the whole dispatch; the
+    #: local process backend overrides these (its per-partition spans
+    #: come from the worker pool instead of farm workers).
+    DISPATCH_SPAN = "farm-dispatch"
+    DISPATCH_CATEGORY = "ltrans"
 
     def __init__(
         self,
@@ -98,15 +104,19 @@ class RemotePartitionRunner(PartitionRunner):
         # compacted: compaction interns symbols on demand, and the
         # workers rebuild the symtab from the shipped PID order, so the
         # snapshot must come last to cover every reference in the
-        # compact IR.
-        context_key = self.put_blob(encode_shared_context(
+        # compact IR.  build_context_blob caches the canonical bytes on
+        # the link repository (keyed by mutation epoch + structural
+        # fingerprint), so warm rebuilds of an unchanged program skip
+        # the re-encode on the farm and local process paths alike.
+        context_key = self.put_blob(build_context_blob(
             self.hlo_result, self.llo_options, self.naim_config,
             self.scalar_set,
         ))
         for job in jobs:
             job["ctx"] = context_key
 
-        span = (self.events.span("farm-dispatch", category="ltrans")
+        span = (self.events.span(self.DISPATCH_SPAN,
+                                 category=self.DISPATCH_CATEGORY)
                 if self.events is not None else None)
         if span is not None:
             with span:

@@ -76,6 +76,7 @@ def build_options_from_args(args, sources: Dict[str, str]) -> Dict:
         "opt_level": args.opt_level,
         "jobs": args.jobs,
         "hlo_jobs": args.hlo_jobs,
+        "hlo_backend": getattr(args, "hlo_backend", "auto"),
         "checked": bool(args.checked),
         "incremental": bool(getattr(args, "incremental", False)),
         "repo_compress": getattr(args, "repo_compress", 6),

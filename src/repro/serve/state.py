@@ -95,6 +95,13 @@ class WarmState:
         )
         self._sessions: Dict[Tuple, CompileSession] = {}
         self._lock = threading.Lock()
+        #: One persistent LTRANS process pool shared by every session:
+        #: warm builds reuse the worker processes (and their decoded
+        #: shared-context caches) instead of re-spawning per build.
+        #: Created lazily on first session; idle workers are reaped
+        #: between requests and :meth:`close` drains the pool.
+        self._process_pool = None
+        self._pool_lock = threading.Lock()
         self.started_at = time.time()
         self.sessions_created = 0
         self.session_reuses = 0
@@ -121,6 +128,11 @@ class WarmState:
         jobs = options.get("jobs", 1)
         hlo_jobs = options.get("hlo_jobs", 1)
         partitions = options.get("partitions")
+        hlo_backend = options.get("hlo_backend", "auto")
+        if not isinstance(hlo_backend, str):
+            raise RequestError(
+                ERR_BAD_REQUEST, "'hlo_backend' must be a string"
+            )
         for name, value in (("jobs", jobs), ("hlo_jobs", hlo_jobs)):
             if not isinstance(value, int) or value < 1:
                 raise RequestError(
@@ -162,6 +174,7 @@ class WarmState:
                 checked=bool(options.get("checked")),
                 hlo_jobs=hlo_jobs,
                 hlo_partitions=partitions,
+                hlo_backend=hlo_backend,
                 naim=NaimConfig(
                     repo_compress_level=repo_compress,
                     repo_segment_bytes=repo_segment_mb * 1024 * 1024,
@@ -190,6 +203,7 @@ class WarmState:
             compiler_options.checked,
             compiler_options.hlo_jobs,
             compiler_options.hlo_partitions,
+            compiler_options.hlo_backend,
             compiler_options.naim.repo_compress_level,
             compiler_options.naim.repo_segment_bytes,
             compiler_options.naim.repo_prefetch_depth,
@@ -209,12 +223,29 @@ class WarmState:
             self.sessions_created += 1
             return session
 
+    def process_pool(self):
+        """The shared LTRANS worker-process pool (lazily created;
+        None where the platform cannot run worker processes)."""
+        with self._pool_lock:
+            if self._process_pool is None:
+                from ..part.procexec import (
+                    processes_supported,
+                    run_partition_job,
+                )
+
+                if not processes_supported():
+                    return None
+                from ..sched.procpool import ProcessWorkerPool
+
+                self._process_pool = ProcessWorkerPool(run_partition_job)
+            return self._process_pool
+
     def _make_session(self, compiler_options, jobs: int,
                       incremental: bool,
                       state_dir: Optional[str]) -> CompileSession:
         """Hook: subclasses decorate freshly created sessions (the
         farm coordinator attaches its partition dispatcher here)."""
-        return CompileSession(
+        session = CompileSession(
             compiler_options,
             jobs=jobs,
             incremental=incremental,
@@ -222,6 +253,11 @@ class WarmState:
             artifact_cache=self.artifact_cache,
             warm=True,
         )
+        if compiler_options.use_partitioned_hlo and (
+            compiler_options.hlo_backend in ("auto", "processes")
+        ):
+            session.compiler.process_pool = self.process_pool()
+        return session
 
     # -- Request execution ---------------------------------------------------------
 
@@ -274,6 +310,12 @@ class WarmState:
         reclaimed = session.compact_repositories()
         if reclaimed:
             self.repo_bytes_reclaimed += reclaimed
+        # Same idea for LTRANS worker processes: a parallel-build burst
+        # spawns them, a quiet daemon shouldn't pin them forever.
+        with self._pool_lock:
+            pool = self._process_pool
+        if pool is not None:
+            pool.reap_idle()
         summary = build_summary(
             session.options, len(sources), result, report=report,
             events=session.events, jobs=session.jobs,
@@ -339,7 +381,10 @@ class WarmState:
                 for session in self._sessions.values()
             ]
         cache_stats = self.artifact_cache.stats_snapshot()
+        with self._pool_lock:
+            pool = self._process_pool
         return {
+            "process_pool": pool.stats() if pool is not None else None,
             "root": self.root,
             "uptime_seconds": time.time() - self.started_at,
             "recovered": self.recovered,
@@ -364,6 +409,11 @@ class WarmState:
             self._sessions.clear()
         for session in sessions:
             session.close()
+        with self._pool_lock:
+            pool = self._process_pool
+            self._process_pool = None
+        if pool is not None:
+            pool.close()
         try:
             os.unlink(self._marker_path())
         except OSError:

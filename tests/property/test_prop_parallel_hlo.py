@@ -2,7 +2,8 @@
 
 The invariant: for ANY synthetic program, a +O4 build with
 ``hlo_jobs`` in {1, 2, 4} produces an image byte-identical to the
-serial build -- with and without summary-based incremental CMO.
+serial build -- on BOTH executor backends (threads and worker
+processes), with and without summary-based incremental CMO.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro.linker.objects import encode_executable
 from repro.synth import WorkloadConfig, generate
 
 JOBS = (1, 2, 4)
+BACKENDS = ("threads", "processes")
 
 
 def small_app(seed, n_modules=5):
@@ -42,13 +44,15 @@ def test_parallel_image_matches_serial(seed, n_modules):
     sources = small_app(seed, n_modules).sources
     serial = Compiler(CompilerOptions(opt_level=4)).build(sources)
     reference = encode_executable(serial.executable)
-    for jobs in JOBS:
-        build = Compiler(
-            CompilerOptions(opt_level=4, hlo_jobs=jobs)
-        ).build(sources)
-        assert encode_executable(build.executable) == reference, (
-            "hlo_jobs=%d diverged from serial" % jobs
-        )
+    for backend in BACKENDS:
+        for jobs in JOBS:
+            build = Compiler(
+                CompilerOptions(opt_level=4, hlo_jobs=jobs,
+                                hlo_backend=backend)
+            ).build(sources)
+            assert encode_executable(build.executable) == reference, (
+                "hlo_jobs=%d (%s) diverged from serial" % (jobs, backend)
+            )
 
 
 @given(seed=st.integers(min_value=0, max_value=10**6))
@@ -61,17 +65,20 @@ def test_parallel_composes_with_incremental(seed):
     serial, serial_report = serial_engine.build(app.sources)
     reference = encode_executable(serial.executable)
 
-    for jobs in JOBS[1:]:
-        engine = BuildEngine(
-            CompilerOptions(opt_level=4, hlo_jobs=jobs), incremental=True
-        )
-        build, report = engine.build(app.sources)
-        assert encode_executable(build.executable) == reference
-        # The knob must not leak into reuse decisions either.
-        assert report.cmo_reused == serial_report.cmo_reused
-        assert report.cmo_reoptimized == serial_report.cmo_reoptimized
+    for backend in BACKENDS:
+        for jobs in JOBS[1:]:
+            engine = BuildEngine(
+                CompilerOptions(opt_level=4, hlo_jobs=jobs,
+                                hlo_backend=backend),
+                incremental=True,
+            )
+            build, report = engine.build(app.sources)
+            assert encode_executable(build.executable) == reference
+            # The knob must not leak into reuse decisions either.
+            assert report.cmo_reused == serial_report.cmo_reused
+            assert report.cmo_reoptimized == serial_report.cmo_reoptimized
 
-        # A no-op parallel rebuild still reuses everything.
-        again, report2 = engine.build(app.sources)
-        assert report2.cmo_reoptimized == []
-        assert encode_executable(again.executable) == reference
+            # A no-op parallel rebuild still reuses everything.
+            again, report2 = engine.build(app.sources)
+            assert report2.cmo_reoptimized == []
+            assert encode_executable(again.executable) == reference

@@ -261,6 +261,55 @@ class TestControlPlane:
             conn.close()
 
 
+class TestProcessPool:
+    """The daemon keeps ONE LTRANS worker-process pool across builds:
+    warm parallel builds skip process spawn, stay byte-identical to
+    the cold path, and the drain path tears the pool down."""
+
+    def _options(self, sources):
+        return {"sources": sources, "opt_level": 4, "hlo_jobs": 2,
+                "partitions": 4, "hlo_backend": "processes"}
+
+    def test_warm_builds_share_one_pool(self, tmp_path, calc_sources):
+        with running_daemon(tmp_path) as (daemon, client):
+            first = client.build(self._options(calc_sources))
+            assert first["summary"]["hlo_backend"] == "processes"
+            stats = client.status()["process_pool"]
+            assert stats is not None and stats["tasks_done"] >= 1
+
+            second = client.build(self._options(calc_sources))
+            assert second["image"] == first["image"]
+            warm = client.status()["process_pool"]
+            # Same partitions again, zero fresh spawns.
+            assert warm["tasks_done"] == 2 * stats["tasks_done"]
+            assert warm["spawned"] == stats["spawned"]
+            assert warm["crashes"] == 0
+
+    def test_warm_pool_build_matches_cold_cli(self, tmp_path,
+                                              calc_sources):
+        with running_daemon(tmp_path) as (_, client):
+            warm = client.build(self._options(calc_sources))
+        assert warm["image"] == cold_image(calc_sources)
+
+    def test_thread_backend_build_skips_the_pool(self, tmp_path,
+                                                 calc_sources):
+        with running_daemon(tmp_path) as (_, client):
+            options = self._options(calc_sources)
+            options["hlo_backend"] = "threads"
+            result = client.build(options)
+            assert result["summary"]["hlo_backend"] == "threads"
+            assert client.status()["process_pool"] is None
+
+    def test_drain_closes_the_pool(self, tmp_path, calc_sources):
+        with running_daemon(tmp_path) as (daemon, client):
+            client.build(self._options(calc_sources))
+            pool = daemon.state._process_pool
+            assert pool is not None
+        # running_daemon's exit drained the daemon.
+        assert pool.closed
+        assert pool.worker_pids() == []
+
+
 class TestLifecycle:
     def test_drain_rejects_new_sessions(self, tmp_path, calc_sources):
         with running_daemon(tmp_path) as (daemon, client):
