@@ -1,0 +1,54 @@
+"""Closed-loop profile service: converge on the live Fig. 6 knee.
+
+A simulated fleet streams profile batches into the warm daemon state
+while its workload shifts; the selectivity controller must find the
+knee online and the adaptive strategy must beat both a never-reoptimize
+build and the classical retrain-per-shift loop pinned at the offline
+rule-of-thumb 20%.
+
+Run: ``pytest benchmarks/bench_profile_loop.py --benchmark-only -s``
+"""
+
+from conftest import save_json, save_result
+
+from repro.bench.profile_loop import run_profile_loop
+
+
+def test_profile_loop(benchmark):
+    result = benchmark.pedantic(run_profile_loop, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    data = result.data
+    strategies = data["strategies"]
+    per_txn = {
+        name: stats["cycles"] / stats["transactions"]
+        for name, stats in strategies.items()
+    }
+    save_result("profile_loop", result.render())
+    save_json("profile_loop", {
+        "cycles_per_txn": per_txn,
+        "strategies": strategies,
+        "final_percent": data["final_percent"],
+        "oracle_percent": data["oracle_percent"],
+        "oracle_sweep": data["oracle_sweep"],
+        "history": data["history"],
+        "controller": data["controller"],
+        "epochs": data["epochs"],
+    })
+
+    # The live controller must land within 10% of the offline oracle
+    # knee without ever running the offline sweep.
+    oracle = data["oracle_percent"]
+    assert abs(data["final_percent"] - oracle) <= 0.1 * oracle
+    assert data["controller"]["settled"]
+
+    # Closing the loop must pay: adaptive serves cheaper transactions
+    # than never re-optimizing and than cold retrains pinned at the
+    # offline default selectivity.
+    assert per_txn["adaptive"] < per_txn["no_reopt"]
+    assert per_txn["adaptive"] < per_txn["full_retrain"]
+
+    # The adaptivity is incremental: a handful of warm rebuilds, not
+    # one per epoch.
+    assert strategies["adaptive"]["rebuilds"] < data["epochs"]

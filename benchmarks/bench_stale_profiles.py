@@ -4,7 +4,7 @@ unrepresentative data loses part -- but not all -- of its benefit.
 Run: ``pytest benchmarks/bench_stale_profiles.py --benchmark-only -s``
 """
 
-from conftest import save_result
+from conftest import save_json, save_result
 
 from repro.bench.figures import run_stale_profiles
 
@@ -16,6 +16,7 @@ def test_stale_profiles(benchmark):
     print()
     print(result.render())
     save_result("stale_profiles", result.render())
+    save_json("stale_profiles", {"series": result.data["series"]})
 
     series = {p["training"]: p["cycles"] for p in result.data["series"]}
     baseline = series["baseline"]

@@ -164,6 +164,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "prefetch pipeline (0 = synchronous fetches; default 1)",
     )
     parser.add_argument(
+        "--profile-feed", default=None, metavar="NAME",
+        help="join the daemon's named continuous-profile feed: the "
+             "build uses the feed's live decayed database and the "
+             "selectivity controller's current threshold, and "
+             "registers the project for ingest-triggered "
+             "re-optimization (needs --daemon or --farm)",
+    )
+    parser.add_argument(
         "--profile-hot", action="store_true",
         help="profile the compiler's own hot paths during the build "
              "(cProfile; slower, output unchanged) and print a flat "
@@ -248,6 +256,14 @@ def cmd_build(args: argparse.Namespace) -> int:
             except DaemonError as exc:
                 print("daemon: %s; building in-process" % exc,
                       file=sys.stderr)
+
+    if args.profile_feed:
+        # Feeds live in a daemon's warm state; a cold in-process build
+        # has no database or controller to join, so say so and build
+        # without one rather than failing the compile.
+        print("--profile-feed %s ignored: no daemon answered, feeds "
+              "need --daemon or --farm" % args.profile_feed,
+              file=sys.stderr)
 
     profile_db = None
     if args.profile:

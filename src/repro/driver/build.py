@@ -250,6 +250,7 @@ class BuildEngine:
         self,
         sources: Dict[str, str],
         profile_db: Optional[ProfileDatabase] = None,
+        selectivity_percent: Optional[float] = None,
     ) -> Tuple[BuildResult, RebuildReport]:
         """Recompile what changed, relink, return both artifacts.
 
@@ -284,7 +285,8 @@ class BuildEngine:
             objects = [inputs[task_id][0] for task_id in compile_ids]
             return self.compiler.link(objects, profile_db,
                                       incr_state=self.incr_state,
-                                      events=self.events)
+                                      events=self.events,
+                                      selectivity_percent=selectivity_percent)
 
         graph.add("link", link, deps=compile_ids, category="link")
         outcome = self.scheduler.run(graph)

@@ -226,6 +226,7 @@ class Compiler:
         jobs: int = 1,
         events: Optional[EventLog] = None,
         scheduler: Optional[Executor] = None,
+        selectivity_percent: Optional[float] = None,
     ) -> BuildResult:
         """Frontend + compile + link in one call.
 
@@ -319,7 +320,8 @@ class Compiler:
         result.objects = objects
         with executor.events.span("link", "link"):
             self.link_into(objects, profile_db, result,
-                           events=executor.events)
+                           events=executor.events,
+                           selectivity_percent=selectivity_percent)
         return result
 
     def link(
@@ -328,6 +330,7 @@ class Compiler:
         profile_db: Optional[ProfileDatabase] = None,
         incr_state=None,
         events: Optional[EventLog] = None,
+        selectivity_percent: Optional[float] = None,
     ) -> BuildResult:
         """Link previously compiled objects (the `ld` step).
 
@@ -341,7 +344,8 @@ class Compiler:
         result.objects = list(objects)
         result.source_lines = sum(o.source_lines for o in objects)
         self.link_into(objects, profile_db, result, incr_state=incr_state,
-                       events=events)
+                       events=events,
+                       selectivity_percent=selectivity_percent)
         return result
 
     # -- The link pipeline -------------------------------------------------------------
@@ -353,10 +357,16 @@ class Compiler:
         result: BuildResult,
         incr_state=None,
         events: Optional[EventLog] = None,
+        selectivity_percent: Optional[float] = None,
     ) -> None:
         options = self.options
         accountant = result.accountant
         use_db = profile_db if options.pbo else None
+        # Per-build override: the daemon's selectivity controller moves the
+        # threshold between builds of one warm session without perturbing
+        # the session's options (and hence its identity and caches).
+        if selectivity_percent is None:
+            selectivity_percent = options.selectivity_percent
 
         il_objects = [o for o in objects if o.kind == KIND_IL]
         code_objects = [o for o in objects if o.kind != KIND_IL]
@@ -383,7 +393,7 @@ class Compiler:
 
             with _Timer(result.timings, "selectivity"):
                 result.plan = plan_selectivity(
-                    options.selectivity_percent if use_db else None,
+                    selectivity_percent if use_db else None,
                     il_modules,
                     use_db,
                     multi_layer=options.multi_layer,
@@ -407,6 +417,7 @@ class Compiler:
                         result,
                         incr_state=incr_state,
                         events=events,
+                        selectivity_percent=selectivity_percent,
                     )
                 )
 
@@ -482,6 +493,7 @@ class Compiler:
         result: BuildResult,
         incr_state=None,
         events: Optional[EventLog] = None,
+        selectivity_percent: Optional[float] = None,
     ) -> List[MachineRoutine]:
         """Route the CMO module set through HLO, then LLO each routine.
 
@@ -545,7 +557,7 @@ class Compiler:
             )
             selected: Optional[Set[str]] = None
             if result.plan is not None and (
-                options.selectivity_percent is not None
+                selectivity_percent is not None
                 and profile_db is not None
             ):
                 selected = result.plan.selected_routines
@@ -871,7 +883,8 @@ class CompileSession:
 
     def build(self, sources: Dict[str, str],
               profile_db: Optional[ProfileDatabase] = None,
-              profile_hot: bool = False):
+              profile_hot: bool = False,
+              selectivity_percent: Optional[float] = None):
         """Run one build; returns ``(result, report, stats)``.
 
         ``report`` is a :class:`~repro.driver.build.RebuildReport` when
@@ -881,6 +894,11 @@ class CompileSession:
         flat report lands in ``stats.hot_profile`` (profiling overhead
         makes ``stats.seconds`` incomparable to unprofiled builds; the
         build output itself is unaffected).
+
+        ``selectivity_percent`` overrides the session options' threshold
+        for this build only — the daemon's selectivity controller uses it
+        to move the hotness cutoff between builds while keeping the warm
+        session (and its incremental state) intact.
         """
         with self._lock:
             stats = SessionBuildStats()
@@ -900,12 +918,14 @@ class CompileSession:
             try:
                 if self.engine is not None:
                     result, report = self.engine.build(
-                        sources, profile_db=profile_db
+                        sources, profile_db=profile_db,
+                        selectivity_percent=selectivity_percent,
                     )
                 else:
                     result = self.compiler.build(
                         sources, profile_db=profile_db, jobs=self.jobs,
                         events=self.events,
+                        selectivity_percent=selectivity_percent,
                     )
                     report = None
             finally:

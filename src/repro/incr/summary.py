@@ -90,7 +90,17 @@ def options_fingerprint(options) -> str:
     digest = hashlib.sha256()
     digest.update(PIPELINE_EPOCH.encode("utf-8"))
     digest.update(b"\x00")
-    digest.update(options.describe().encode("utf-8"))
+    # The selectivity percentage is deliberately left out: a threshold
+    # move changes which routines are *selected*, and that membership is
+    # already captured per module by the ``optimized`` flag and profile
+    # views in the reuse keys.  Hashing the raw percent would force a
+    # full first_build every time the daemon's controller nudges the
+    # knob, defeating incremental re-optimization.
+    described = " ".join(
+        part for part in options.describe().split()
+        if not part.startswith("sel=")
+    )
+    digest.update(described.encode("utf-8"))
     digest.update(b"\x00")
     for name in sorted(vars(options.hlo)):
         digest.update(

@@ -1,7 +1,12 @@
 """Profile-based optimization support: probes, databases, correlation."""
 
 from .correlate import checksum_routine, correlate
-from .database import ProfileDatabase, RoutineProfile
+from .database import (
+    DEFAULT_DECAY,
+    ProfileDatabase,
+    ProfileFormatError,
+    RoutineProfile,
+)
 from .probes import (
     EdgeSource,
     ProbeInfo,
@@ -13,7 +18,9 @@ from .probes import (
 __all__ = [
     "checksum_routine",
     "correlate",
+    "DEFAULT_DECAY",
     "ProfileDatabase",
+    "ProfileFormatError",
     "RoutineProfile",
     "EdgeSource",
     "ProbeInfo",

@@ -1,0 +1,34 @@
+"""Continuous profile service: streaming PBO with closed-loop selectivity.
+
+The paper's profile database is a one-shot offline artifact: train once,
+build once (§3, §5).  This package turns it into a *stream*.  Simulated
+fleets of deployed binaries (:class:`FleetSimulator`) sample probe-count
+deltas and ship them in :class:`ProfileBatch` envelopes; a
+:class:`ProfileService` merges them into a live, exponentially-decayed
+:class:`~repro.profiles.ProfileDatabase`; and a
+:class:`SelectivityController` re-derives the Fig. 6 hotness threshold
+from the live data, triggering incremental re-optimization of exactly
+the modules that crossed it.  The build daemon (:mod:`repro.serve`)
+exposes the whole loop as a ``profile-ingest`` protocol request.
+"""
+
+from .batch import IngestError, ProfileBatch
+from .controller import (
+    DEFAULT_GRID,
+    ControllerDecision,
+    SelectivityController,
+)
+from .fleet import FleetSimulator
+from .service import FeedState, ProfileService, RegisteredProject
+
+__all__ = [
+    "IngestError",
+    "ProfileBatch",
+    "DEFAULT_GRID",
+    "ControllerDecision",
+    "SelectivityController",
+    "FleetSimulator",
+    "FeedState",
+    "ProfileService",
+    "RegisteredProject",
+]

@@ -1,0 +1,153 @@
+"""CLI for the continuous profile service.
+
+``simulate`` generates synthetic fleet batches for a generated
+application and writes them as a JSON list — the file format the
+``profile-ingest`` daemon request (and ``python -m repro.serve
+ingest``) consumes.  CI's profile-loop smoke job uses it to feed the
+daemon reproducible traffic without a Python test harness.
+
+``inspect`` summarizes a profile database file, surfacing the format
+version and staleness picture (and demonstrating the structured
+:class:`~repro.profiles.ProfileFormatError` on bad files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..linker.objects import decode_executable
+from ..profiles.database import ProfileDatabase, ProfileFormatError
+from ..synth.config import full_suite, tiny_config
+from ..synth.generator import generate
+from .fleet import FleetSimulator
+
+
+def _resolve_config(name: str, scale: float, seed: Optional[int]):
+    if name == "tiny":
+        return tiny_config() if seed is None else tiny_config(seed=seed)
+    suite = full_suite()
+    if name in suite:
+        config = suite[name]
+        if scale != 1.0:
+            config = config.scaled(scale)
+        return config
+    raise SystemExit(
+        "unknown config %r (try: tiny, %s)" % (name, ", ".join(sorted(suite)))
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = _resolve_config(args.config, args.scale, args.seed)
+    app = generate(config)
+    if args.emit_sources:
+        os.makedirs(args.emit_sources, exist_ok=True)
+        for name, text in app.sources.items():
+            path = os.path.join(args.emit_sources, "%s.mll" % name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        print("wrote %d source modules to %s"
+              % (len(app.sources), args.emit_sources))
+    fleet = FleetSimulator(app, seed=args.fleet_seed)
+    fleet.epoch = args.epoch_start - 1
+    deployed = None
+    if args.deployed:
+        with open(args.deployed, "rb") as handle:
+            deployed = decode_executable(handle.read())
+    batches: List[dict] = []
+    for _ in range(args.epochs):
+        batch = fleet.sample(
+            deployed=deployed,
+            users=args.users,
+            shift=args.shift,
+            uniform=args.uniform,
+            length=args.length,
+        )
+        batches.append(batch.to_wire())
+    text = json.dumps(batches, indent=1, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        total = sum(b["samples"] for b in batches)
+        print(
+            "wrote %d batches (epochs %d..%d, %d sampled sessions) to %s"
+            % (len(batches), args.epoch_start, fleet.epoch, total, args.out)
+        )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        database = ProfileDatabase.load(args.database)
+    except ProfileFormatError as exc:
+        print(
+            "profile-format error: %s (found version %r, expected %d)"
+            % (exc, exc.found, exc.expected),
+            file=sys.stderr,
+        )
+        return 1
+    stale = database.stale_routines()
+    print(
+        "%s: %d routines, %d runs, epoch %d, decay %g, %d stale"
+        % (args.database, len(database.routines), database.run_count,
+           database.epoch, database.decay, len(stale))
+    )
+    for name, weight in database.hottest_routines(args.top):
+        print("  %-30s %12g" % (name, weight))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profserve",
+        description="Fleet simulation and profile-database tooling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="generate fleet profile batches as JSON"
+    )
+    simulate.add_argument("--config", default="tiny",
+                          help="synthetic workload config (default: tiny)")
+    simulate.add_argument("--scale", type=float, default=1.0)
+    simulate.add_argument("--seed", type=int, default=None,
+                          help="workload config seed override")
+    simulate.add_argument("--fleet-seed", type=int, default=0)
+    simulate.add_argument("--users", type=int, default=4,
+                          help="sampled user sessions per epoch")
+    simulate.add_argument("--epochs", type=int, default=1,
+                          help="sampling windows to generate")
+    simulate.add_argument("--epoch-start", type=int, default=1,
+                          help="first ingest epoch (continue a stream)")
+    simulate.add_argument("--shift", type=int, default=0,
+                          help="rotate the Zipf hot set by N features")
+    simulate.add_argument("--uniform", action="store_true",
+                          help="flat (adversarial) traffic")
+    simulate.add_argument("--length", type=int, default=None,
+                          help="transactions per user session")
+    simulate.add_argument("--deployed", default=None,
+                          help="deployed image file for cycle telemetry")
+    simulate.add_argument("--emit-sources", default=None,
+                          help="also write the app's .mll sources here")
+    simulate.add_argument("-o", "--out", default="-",
+                          help="output file (default: stdout)")
+    simulate.set_defaults(func=cmd_simulate)
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize a profile database file"
+    )
+    inspect.add_argument("database")
+    inspect.add_argument("--top", type=int, default=5)
+    inspect.set_defaults(func=cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Profile batches: the wire unit of the streaming profile pipeline.
+
+A batch carries two things a fleet can observe about a deployed binary:
+
+* **profile deltas** — per-routine block/edge/call counts from the
+  sampled (instrumented) subset of the fleet, checksum-tagged exactly
+  like offline training data so the merge can detect drifted routines;
+* **telemetry** — transactions served and cycles burned by the
+  *optimized* production binary, which is what the selectivity
+  controller actually optimizes for.
+
+Batches are content-addressed: ``batch_id`` is a digest of the
+canonical payload, computed server-side, so retransmitted batches
+deduplicate instead of double-counting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+from ..profiles.database import ProfileDatabase, RoutineProfile
+
+
+class IngestError(ValueError):
+    """A profile batch is malformed or inconsistent."""
+
+
+class ProfileBatch:
+    """One fleet sampling window's worth of profile + telemetry data."""
+
+    __slots__ = ("epoch", "workload", "samples", "transactions", "cycles",
+                 "instructions", "routines")
+
+    def __init__(
+        self,
+        epoch: int,
+        workload: str = "",
+        samples: int = 0,
+        transactions: int = 0,
+        cycles: int = 0,
+        instructions: int = 0,
+    ) -> None:
+        if epoch < 1:
+            raise IngestError("batch epoch must be >= 1, got %r" % (epoch,))
+        self.epoch = epoch
+        #: Free-form label of the workload shape ("zipf", "shift:3", ...).
+        self.workload = workload
+        #: Sampled user sessions that contributed profile deltas.
+        self.samples = samples
+        #: Transactions served by the deployed binary in this window.
+        self.transactions = transactions
+        #: Cycles the deployed binary spent serving them (0 = unknown).
+        self.cycles = cycles
+        self.instructions = instructions
+        #: Per-routine count deltas, exactly like offline profiles.
+        self.routines: Dict[str, RoutineProfile] = {}
+
+    # -- Building ----------------------------------------------------------------
+
+    def add_routine(self, profile: RoutineProfile) -> None:
+        self.routines[profile.name] = profile
+
+    @staticmethod
+    def from_database(
+        epoch: int,
+        database: ProfileDatabase,
+        workload: str = "",
+        samples: int = 0,
+        transactions: int = 0,
+        cycles: int = 0,
+        instructions: int = 0,
+    ) -> "ProfileBatch":
+        """Wrap a freshly-collected delta database as a batch.
+
+        Routines with no executed blocks are dropped: a sampled delta is
+        sparse by nature, and shipping zeros would only bloat the wire
+        and create zero-weight residue in the live database.
+        """
+        batch = ProfileBatch(
+            epoch,
+            workload=workload,
+            samples=samples,
+            transactions=transactions,
+            cycles=cycles,
+            instructions=instructions,
+        )
+        for name in sorted(database.routines):
+            profile = database.routines[name]
+            if profile.total_block_weight() > 0:
+                batch.add_routine(profile)
+        return batch
+
+    # -- Wire format -------------------------------------------------------------
+
+    def payload(self) -> Dict[str, object]:
+        """The canonical (id-free) JSON payload."""
+        return {
+            "epoch": self.epoch,
+            "workload": self.workload,
+            "samples": self.samples,
+            "transactions": self.transactions,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "routines": {
+                name: {
+                    "checksum": profile.checksum,
+                    "entry_label": profile.entry_label,
+                    "blocks": profile.block_counts,
+                    "edges": [
+                        [f, t, count]
+                        for (f, t), count in sorted(
+                            profile.edge_counts.items()
+                        )
+                    ],
+                    "calls": [
+                        [block, index, callee, count]
+                        for (block, index, callee), count in sorted(
+                            profile.call_counts.items()
+                        )
+                    ],
+                }
+                for name, profile in sorted(self.routines.items())
+            },
+        }
+
+    @property
+    def batch_id(self) -> str:
+        digest = hashlib.sha256(
+            json.dumps(
+                self.payload(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def to_wire(self) -> Dict[str, object]:
+        wire = self.payload()
+        wire["batch_id"] = self.batch_id
+        return wire
+
+    @staticmethod
+    def from_wire(wire: object) -> "ProfileBatch":
+        """Decode and validate one wire batch.
+
+        The content digest is always recomputed; a ``batch_id`` claimed
+        by the sender must match it (a mismatch means the payload was
+        corrupted or tampered with in transit).
+        """
+        if not isinstance(wire, dict):
+            raise IngestError(
+                "batch must be an object, got %s" % type(wire).__name__
+            )
+        epoch = wire.get("epoch")
+        if not isinstance(epoch, int):
+            raise IngestError("batch epoch must be an integer")
+        batch = ProfileBatch(
+            epoch,
+            workload=_field(wire, "workload", str, ""),
+            samples=_field(wire, "samples", int, 0),
+            transactions=_field(wire, "transactions", int, 0),
+            cycles=_field(wire, "cycles", int, 0),
+            instructions=_field(wire, "instructions", int, 0),
+        )
+        routines = wire.get("routines", {})
+        if not isinstance(routines, dict):
+            raise IngestError("batch routines must be an object")
+        for name, entry in routines.items():
+            if not isinstance(entry, dict):
+                raise IngestError("routine %r entry must be an object" % name)
+            try:
+                profile = RoutineProfile(
+                    name, entry["checksum"], entry.get("entry_label", "")
+                )
+                profile.block_counts = dict(entry.get("blocks", {}))
+                profile.edge_counts = {
+                    (f, t): count
+                    for f, t, count in entry.get("edges", [])
+                }
+                profile.call_counts = {
+                    (block, index, callee): count
+                    for block, index, callee, count in entry.get("calls", [])
+                }
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IngestError(
+                    "routine %r is malformed: %s" % (name, exc)
+                )
+            batch.add_routine(profile)
+        claimed = wire.get("batch_id")
+        if claimed is not None and claimed != batch.batch_id:
+            raise IngestError(
+                "batch_id mismatch: claimed %r, content is %s"
+                % (claimed, batch.batch_id)
+            )
+        return batch
+
+    def __repr__(self) -> str:
+        return "<ProfileBatch epoch=%d %s: %d routines, %d samples>" % (
+            self.epoch, self.workload or "?", len(self.routines),
+            self.samples,
+        )
+
+
+def _field(wire: Dict[str, object], key: str, kind: type, default):
+    value = wire.get(key, default)
+    if kind is int and isinstance(value, bool):
+        raise IngestError("batch %s must be %s" % (key, kind.__name__))
+    if not isinstance(value, kind):
+        raise IngestError("batch %s must be %s" % (key, kind.__name__))
+    return value
+
+
+def decode_batches(payload: object) -> List[ProfileBatch]:
+    """Decode a wire list of batches (the ``batches`` request field)."""
+    if not isinstance(payload, list):
+        raise IngestError(
+            "batches must be a list, got %s" % type(payload).__name__
+        )
+    return [ProfileBatch.from_wire(item) for item in payload]

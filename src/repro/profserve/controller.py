@@ -1,0 +1,256 @@
+"""Closed-loop selectivity control (the Fig. 6 sweet spot, online).
+
+The paper's Figure 6 shows run time saturating once roughly 20% of the
+program is compiled with CMO+PBO: optimizing more code buys nothing,
+optimizing less gives up performance.  Offline, the user finds that
+knee by sweeping ``--selectivity``.  The controller finds it *live*:
+
+* every ingest window attributes the fleet's observed cycles-per-
+  transaction to the selectivity the deployed binary was built with;
+* a small hill-climb walks the candidate grid outward from the current
+  setting — downward while cheaper thresholds stay within tolerance of
+  the best observed cost, upward while more optimization keeps paying —
+  and then settles on the *knee*: the smallest percentage whose cost is
+  within tolerance of the best;
+* when the live database's hot set drifts (modules cross the current
+  threshold), the old measurements describe a workload that no longer
+  exists, so they are discarded and the climb restarts.
+
+Every decision also names exactly which modules crossed the threshold,
+which is what lets the daemon re-optimize just those modules through
+the PR-2 incremental machinery instead of rebuilding the world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..driver.selectivity import cmo_module_set
+from ..profiles.database import ProfileDatabase
+
+#: Candidate thresholds, mirroring the offline Fig. 6 sweep.
+DEFAULT_GRID = (2.0, 5.0, 10.0, 20.0, 40.0, 70.0, 100.0)
+
+
+class ControllerDecision:
+    """One controller verdict: what to build next, and why."""
+
+    __slots__ = ("epoch", "percent", "previous_percent", "mode", "reason",
+                 "reoptimize", "newly_hot", "newly_cold", "evaluations")
+
+    def __init__(
+        self,
+        epoch: int,
+        percent: float,
+        previous_percent: Optional[float],
+        mode: str,
+        reason: str,
+        reoptimize: bool,
+        newly_hot: List[str],
+        newly_cold: List[str],
+        evaluations: Dict[float, float],
+    ) -> None:
+        self.epoch = epoch
+        self.percent = percent
+        self.previous_percent = previous_percent
+        #: "warmup" | "explore" | "settled" | "steady".
+        self.mode = mode
+        self.reason = reason
+        self.reoptimize = reoptimize
+        self.newly_hot = newly_hot
+        self.newly_cold = newly_cold
+        #: percent -> observed cycles/transaction at decision time.
+        self.evaluations = evaluations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "percent": self.percent,
+            "previous_percent": self.previous_percent,
+            "mode": self.mode,
+            "reason": self.reason,
+            "reoptimize": self.reoptimize,
+            "newly_hot": self.newly_hot,
+            "newly_cold": self.newly_cold,
+            "evaluations": {
+                "%g" % percent: cost
+                for percent, cost in sorted(self.evaluations.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return "<ControllerDecision epoch=%d %s sel=%g%%%s>" % (
+            self.epoch, self.mode, self.percent,
+            " reopt" if self.reoptimize else "",
+        )
+
+
+class SelectivityController:
+    """Hill-climb the selectivity grid toward the live Fig. 6 knee."""
+
+    def __init__(
+        self,
+        grid: Tuple[float, ...] = DEFAULT_GRID,
+        initial_percent: float = 20.0,
+        tolerance: float = 0.03,
+    ) -> None:
+        if not grid:
+            raise ValueError("selectivity grid must not be empty")
+        self.grid: List[float] = sorted(set(float(p) for p in grid))
+        for percent in self.grid:
+            if not 0.0 <= percent <= 100.0:
+                raise ValueError("grid percent out of range: %r" % percent)
+        #: Relative cost slack treated as "the same performance".
+        self.tolerance = tolerance
+        self.current = self.snap(initial_percent)
+        #: percent -> latest observed cycles per transaction.
+        self.evaluations: Dict[float, float] = {}
+        self.settled = False
+        #: Counters surfaced through daemon status.
+        self.observations = 0
+        self.shifts_detected = 0
+
+    # -- Observations ------------------------------------------------------------
+
+    def snap(self, percent: float) -> float:
+        """Nearest grid candidate (ties resolve to the cheaper one)."""
+        return min(self.grid, key=lambda p: (abs(p - percent), p))
+
+    def observe(self, percent: float, cycles: float,
+                transactions: float) -> None:
+        """Attribute fleet telemetry to the deployed threshold."""
+        if transactions <= 0 or cycles <= 0:
+            return
+        self.evaluations[self.snap(percent)] = cycles / transactions
+        self.observations += 1
+
+    def note_shift(self) -> None:
+        """The hot set moved: all measurements describe a dead workload."""
+        self.evaluations.clear()
+        self.settled = False
+        self.shifts_detected += 1
+
+    # -- The climb ---------------------------------------------------------------
+
+    def best_cost(self) -> Optional[float]:
+        if not self.evaluations:
+            return None
+        return min(self.evaluations.values())
+
+    def knee(self) -> float:
+        """Smallest evaluated percent within tolerance of the best."""
+        best = self.best_cost()
+        if best is None:
+            return self.current
+        limit = best * (1.0 + self.tolerance)
+        return min(p for p, c in self.evaluations.items() if c <= limit)
+
+    def propose(self) -> Tuple[float, str, str]:
+        """Pick the next threshold: ``(percent, mode, reason)``."""
+        if self.current not in self.evaluations:
+            return (
+                self.current, "warmup",
+                "no telemetry yet for %g%%" % self.current,
+            )
+        best = self.best_cost()
+        assert best is not None
+        limit = best * (1.0 + self.tolerance)
+        explored = sorted(self.evaluations)
+        lo, hi = explored[0], explored[-1]
+        # Downward: as long as the cheapest explored point still performs,
+        # an even cheaper one might too.
+        if self.evaluations[lo] <= limit:
+            below = [p for p in self.grid if p < lo]
+            if below:
+                return (
+                    below[-1], "explore",
+                    "%g%% still at the knee; probing cheaper %g%%"
+                    % (lo, below[-1]),
+                )
+        # Upward: while the richest explored point is still within
+        # tolerance of the best, the curve has not turned up yet, so
+        # more optimization may still be buying cycles.  This is what
+        # carries the climb across a flat shelf (Fig. 6 curves are not
+        # always monotone: cost can plateau at 5-20% and drop again at
+        # 40%).  The walk is bounded by the grid and stops at the
+        # first clearly-worse point.
+        if self.evaluations[hi] <= limit:
+            above = [p for p in self.grid if p > hi]
+            if above:
+                return (
+                    above[0], "explore",
+                    "%g%% still competitive; probing richer %g%%"
+                    % (hi, above[0]),
+                )
+        knee = self.knee()
+        if not self.settled:
+            return (
+                knee, "settled",
+                "knee at %g%% (best %.4f cycles/txn)" % (knee, best),
+            )
+        return (knee, "steady", "holding the knee at %g%%" % knee)
+
+    # -- Decisions ---------------------------------------------------------------
+
+    def decide(
+        self,
+        epoch: int,
+        snapshot: Optional[ProfileDatabase],
+        routine_module: Mapping[str, str],
+        deployed_modules: Set[str],
+        deployed_percent: Optional[float],
+    ) -> ControllerDecision:
+        """Choose the next threshold and the modules it re-optimizes.
+
+        ``snapshot`` must be the same database the triggered build would
+        consume, so the predicted module set matches the build's plan
+        exactly.  ``deployed_modules``/``deployed_percent`` describe the
+        image currently serving the fleet.
+        """
+        # Drift check at the *deployed* threshold: if the module set the
+        # fleet's own traffic implies no longer matches what is deployed,
+        # the workload moved and past measurements are void.
+        if deployed_percent is not None and snapshot is not None:
+            implied = cmo_module_set(
+                snapshot, deployed_percent, routine_module
+            )
+            if implied != deployed_modules and self.evaluations:
+                self.note_shift()
+        percent, mode, reason = self.propose()
+        self.current = percent
+        if mode == "settled":
+            self.settled = True
+        target = cmo_module_set(snapshot, percent, routine_module)
+        newly_hot = sorted(target - deployed_modules)
+        newly_cold = sorted(deployed_modules - target)
+        reoptimize = bool(
+            newly_hot or newly_cold or percent != deployed_percent
+        )
+        return ControllerDecision(
+            epoch=epoch,
+            percent=percent,
+            previous_percent=deployed_percent,
+            mode=mode,
+            reason=reason,
+            reoptimize=reoptimize,
+            newly_hot=newly_hot,
+            newly_cold=newly_cold,
+            evaluations=dict(self.evaluations),
+        )
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "current_percent": self.current,
+            "settled": self.settled,
+            "observations": self.observations,
+            "shifts_detected": self.shifts_detected,
+            "evaluations": {
+                "%g" % percent: cost
+                for percent, cost in sorted(self.evaluations.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return "<SelectivityController sel=%g%% %s>" % (
+            self.current, "settled" if self.settled else "exploring",
+        )

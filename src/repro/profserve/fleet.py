@@ -1,0 +1,195 @@
+"""Fleet simulation: synthetic "users" running built executables.
+
+A :class:`FleetSimulator` models a deployed population of one
+application.  A small *sampled* slice of the fleet runs the
+instrumented build (+I at +O2, the paper's training configuration) and
+contributes probe-count deltas; the rest runs the deployed optimized
+image and contributes only telemetry (transactions, cycles).  Each
+sampling window advances an *epoch* — the timestamp the decay-merge in
+:class:`~repro.profiles.ProfileDatabase` keys on.
+
+Workload shapes:
+
+* ``shift=0`` — the app's native Zipf feature skew (training-like);
+* ``shift=k`` — the same skew rotated by ``k`` features, modeling a hot
+  set that drifted away from what the deployed binary was tuned for;
+* ``uniform=True`` — no skew at all (adversarial flat traffic).
+
+Everything is deterministically seeded: the same simulator replays the
+same fleet history, which is what lets the closed-loop bench make exact
+assertions about convergence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..driver.compiler import Compiler
+from ..driver.options import CompilerOptions
+from ..profiles.database import ProfileDatabase
+from ..vm.machine import run_image
+from .batch import ProfileBatch
+
+
+class FleetSimulator:
+    """Replay synthetic user traffic against built executables."""
+
+    def __init__(self, app, opt_level: int = 2, seed: int = 0) -> None:
+        self.app = app
+        self.seed = seed
+        #: Current ingest epoch; each :meth:`sample` window advances it.
+        self.epoch = 0
+        compiler = Compiler(
+            CompilerOptions(opt_level=opt_level, instrument=True)
+        )
+        build = compiler.build(app.sources)
+        assert build.executable is not None and build.probe_table is not None
+        #: The instrumented build the sampled slice of the fleet runs.
+        self.instrumented = build.executable
+        self.probe_table = build.probe_table
+        self._routine_module: Dict[str, str] = {}
+        for name, text in app.sources.items():
+            module = compiler.frontend(name, text)
+            for routine_name in module.routines:
+                self._routine_module[routine_name] = module.name
+
+    # -- Workload shaping --------------------------------------------------------
+
+    def weights(self, shift: int = 0) -> List[float]:
+        """The app's Zipf feature weights rotated by ``shift`` features."""
+        base = self.app.feature_weights
+        n = len(base)
+        if n == 0 or shift % n == 0:
+            return list(base)
+        return [base[(i - shift) % n] for i in range(n)]
+
+    def user_input(
+        self,
+        user: int,
+        shift: int = 0,
+        uniform: bool = False,
+        length: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ) -> Dict[str, List[int]]:
+        """One user session's program input, deterministically seeded."""
+        if epoch is None:
+            epoch = self.epoch
+        rng = random.Random(
+            self.seed * 1_000_003 + epoch * 8_191 + user * 131
+            + shift * 7 + (1 if uniform else 0)
+        )
+        size = (
+            length if length is not None else self.app.config.input_size
+        )
+        n_features = len(self.app.feature_roots)
+        if uniform:
+            values = [rng.randrange(n_features) for _ in range(size)]
+        else:
+            values = rng.choices(
+                range(n_features), weights=self.weights(shift), k=size
+            )
+        return {"input_data": values}
+
+    # -- Sampling windows --------------------------------------------------------
+
+    def sample(
+        self,
+        deployed=None,
+        users: int = 4,
+        shift: int = 0,
+        uniform: bool = False,
+        length: Optional[int] = None,
+        workload: Optional[str] = None,
+        input_epoch: Optional[int] = None,
+    ) -> ProfileBatch:
+        """Run one sampling window and package it as a batch.
+
+        ``users`` sessions run the instrumented image (profile deltas);
+        the same sessions replay on ``deployed`` (the production
+        optimized image) for cycle telemetry.  Without a deployed image
+        the batch carries profile data only.
+
+        ``input_epoch`` pins the traffic seed to a fixed epoch while
+        the batch itself still advances the stream: a *stationary*
+        workload whose sessions repeat window over window, which makes
+        cycles-per-transaction exactly comparable across the window
+        (the closed-loop bench's controller evaluations rely on this).
+        """
+        self.epoch += 1
+        totals: List[int] = []
+        transactions = 0
+        cycles = 0
+        instructions = 0
+        for user in range(users):
+            inputs = self.user_input(
+                user, shift=shift, uniform=uniform, length=length,
+                epoch=input_epoch,
+            )
+            transactions += len(inputs["input_data"])
+            outcome = run_image(self.instrumented, inputs)
+            counts = outcome.probe_counts
+            if len(totals) < len(counts):
+                totals.extend([0] * (len(counts) - len(totals)))
+            for index, count in enumerate(counts):
+                totals[index] += count
+            if deployed is not None:
+                served = run_image(deployed, inputs)
+                cycles += served.cycles
+                instructions += served.instructions
+        delta = ProfileDatabase.from_probe_list(self.probe_table, totals)
+        if workload is None:
+            workload = (
+                "uniform" if uniform
+                else ("zipf" if shift == 0 else "shift:%d" % shift)
+            )
+        return ProfileBatch.from_database(
+            self.epoch,
+            delta,
+            workload=workload,
+            samples=users,
+            transactions=transactions,
+            cycles=cycles,
+            instructions=instructions,
+        )
+
+    def serve(
+        self,
+        deployed,
+        users: int = 4,
+        shift: int = 0,
+        uniform: bool = False,
+        length: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Telemetry-only replay (no instrumented sampling, no epoch).
+
+        Used by benchmarks to measure a static image against the same
+        deterministic traffic a :meth:`sample` window would generate.
+        """
+        transactions = 0
+        cycles = 0
+        instructions = 0
+        for user in range(users):
+            inputs = self.user_input(
+                user, shift=shift, uniform=uniform, length=length,
+                epoch=epoch,
+            )
+            transactions += len(inputs["input_data"])
+            outcome = run_image(deployed, inputs)
+            cycles += outcome.cycles
+            instructions += outcome.instructions
+        return {
+            "transactions": transactions,
+            "cycles": cycles,
+            "instructions": instructions,
+        }
+
+    def routine_module(self) -> Dict[str, str]:
+        """routine name -> owning module, from the parsed sources."""
+        return dict(self._routine_module)
+
+    def __repr__(self) -> str:
+        return "<FleetSimulator %s epoch=%d>" % (
+            self.app.config.name, self.epoch,
+        )

@@ -1,0 +1,247 @@
+"""Feed state and the profile service (daemon-side bookkeeping).
+
+A *feed* is one application's profile stream: its live decayed
+database, its selectivity controller, its dedup ledger, and — once the
+daemon has built the project at least once — a registration describing
+how to rebuild it.  The :class:`ProfileService` owns all feeds for one
+warm state (daemon or farm coordinator) and stays transport-agnostic:
+it merges batches, runs the controller, and reports counters, while the
+daemon decides when to actually trigger the rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Set
+
+from ..profiles.database import DEFAULT_DECAY, ProfileDatabase
+from .batch import IngestError, ProfileBatch, decode_batches
+from .controller import ControllerDecision, SelectivityController
+
+
+class RegisteredProject:
+    """How to rebuild one feed's application inside the daemon."""
+
+    __slots__ = ("sources", "session", "routine_module", "cmo_modules",
+                 "deployed_percent", "options")
+
+    def __init__(
+        self,
+        sources: Dict[str, str],
+        session,
+        routine_module: Dict[str, str],
+        cmo_modules: Set[str],
+        deployed_percent: Optional[float],
+        options: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.sources = sources
+        #: The warm CompileSession the project was last built on.
+        self.session = session
+        #: routine name -> owning module, from the last build's objects.
+        self.routine_module = routine_module
+        #: CMO module set of the deployed image.
+        self.cmo_modules = cmo_modules
+        #: Selectivity the deployed image was built with (None = no
+        #: profile data yet: everything optimized, nothing to attribute
+        #: telemetry to).
+        self.deployed_percent = deployed_percent
+        #: Wire options of the registering build (for status reporting).
+        self.options = options or {}
+
+
+class FeedState:
+    """One application's live profile stream."""
+
+    def __init__(
+        self,
+        name: str,
+        decay: float = DEFAULT_DECAY,
+        controller: Optional[SelectivityController] = None,
+    ) -> None:
+        self.name = name
+        self.database = ProfileDatabase(decay=decay)
+        self.controller = controller or SelectivityController()
+        self.lock = threading.RLock()
+        self.project: Optional[RegisteredProject] = None
+        self.created_at = time.time()
+        #: batch_ids already merged (content-addressed dedup).
+        self.seen_batches: Set[str] = set()
+        # Counters (surfaced through daemon status).
+        self.batches = 0
+        self.duplicates = 0
+        self.samples = 0
+        self.transactions = 0
+        self.routines_merged = 0
+        self.routines_created = 0
+        self.routines_stale = 0
+        self.routines_decayed = 0
+        self.reoptimizations = 0
+        self.last_decision: Optional[Dict[str, object]] = None
+
+    # -- Ingestion ---------------------------------------------------------------
+
+    def ingest(self, batches: List[ProfileBatch]) -> Dict[str, object]:
+        """Merge a window of batches; returns per-call ingest stats.
+
+        Batches are aged/merged strictly by their own epochs, so feeding
+        the same set in any order converges to the same database;
+        re-feeding an already-seen batch is counted and skipped.
+        Telemetry is attributed to the threshold of the currently
+        deployed image (when one exists) before any decision is made.
+        """
+        accepted = 0
+        duplicates = 0
+        stats = {"merged": 0, "created": 0, "stale": 0}
+        with self.lock:
+            for batch in batches:
+                if batch.batch_id in self.seen_batches:
+                    duplicates += 1
+                    self.duplicates += 1
+                    continue
+                self.seen_batches.add(batch.batch_id)
+                accepted += 1
+                self.batches += 1
+                self.samples += batch.samples
+                self.transactions += batch.transactions
+                self.routines_decayed += self.database.age_to(batch.epoch)
+                for name in sorted(batch.routines):
+                    outcome = self.database.merge_delta(
+                        batch.routines[name], batch.epoch
+                    )
+                    stats[outcome] += 1
+                project = self.project
+                if project is not None and (
+                    project.deployed_percent is not None
+                ):
+                    self.controller.observe(
+                        project.deployed_percent,
+                        batch.cycles,
+                        batch.transactions,
+                    )
+            self.routines_merged += stats["merged"]
+            self.routines_created += stats["created"]
+            self.routines_stale += stats["stale"]
+            return {
+                "accepted": accepted,
+                "duplicates": duplicates,
+                "merged": stats["merged"],
+                "created": stats["created"],
+                "stale": stats["stale"],
+                "epoch": self.database.epoch,
+                "routines": len(self.database.routines),
+            }
+
+    # -- Builds ------------------------------------------------------------------
+
+    def snapshot(self) -> Optional[ProfileDatabase]:
+        """Build-ready snapshot, or None while the feed is still empty."""
+        with self.lock:
+            if not self.database.routines:
+                return None
+            return self.database.normalized_snapshot()
+
+    def decide(self, snapshot: Optional[ProfileDatabase]) -> Optional[
+            ControllerDecision]:
+        """Run the controller against the registered project, if any."""
+        with self.lock:
+            project = self.project
+            if project is None:
+                return None
+            decision = self.controller.decide(
+                epoch=self.database.epoch,
+                snapshot=snapshot,
+                routine_module=project.routine_module,
+                deployed_modules=project.cmo_modules,
+                deployed_percent=project.deployed_percent,
+            )
+            self.last_decision = decision.as_dict()
+            return decision
+
+    def register(self, project: RegisteredProject) -> None:
+        with self.lock:
+            self.project = project
+
+    def record_deploy(
+        self,
+        percent: Optional[float],
+        cmo_modules: Set[str],
+        reoptimized: bool,
+    ) -> None:
+        """Update the deployed-image picture after a (re)build."""
+        with self.lock:
+            if self.project is not None:
+                self.project.deployed_percent = percent
+                self.project.cmo_modules = cmo_modules
+            if reoptimized:
+                self.reoptimizations += 1
+
+    # -- Observability -----------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        with self.lock:
+            return {
+                "batches": self.batches,
+                "duplicates": self.duplicates,
+                "samples": self.samples,
+                "transactions": self.transactions,
+                "epoch": self.database.epoch,
+                "routines": len(self.database.routines),
+                "routines_merged": self.routines_merged,
+                "routines_created": self.routines_created,
+                "routines_stale": self.routines_stale,
+                "routines_decayed": self.routines_decayed,
+                "reoptimizations": self.reoptimizations,
+                "registered": self.project is not None,
+                "deployed_percent": (
+                    self.project.deployed_percent
+                    if self.project is not None else None
+                ),
+                "controller": self.controller.status(),
+                "last_decision": self.last_decision,
+            }
+
+
+class ProfileService:
+    """All profile feeds of one warm state."""
+
+    def __init__(self) -> None:
+        self._feeds: Dict[str, FeedState] = {}
+        self._lock = threading.Lock()
+
+    def feed(
+        self,
+        name: str,
+        decay: float = DEFAULT_DECAY,
+        controller: Optional[SelectivityController] = None,
+    ) -> FeedState:
+        """Get or lazily create the named feed.
+
+        Configuration arguments only apply on creation; an existing feed
+        keeps its database and controller (warm state survives clients).
+        """
+        if not name or not isinstance(name, str):
+            raise IngestError("profile feed name must be a non-empty string")
+        with self._lock:
+            state = self._feeds.get(name)
+            if state is None:
+                state = FeedState(name, decay=decay, controller=controller)
+                self._feeds[name] = state
+            return state
+
+    def ingest_wire(self, name: str, payload: object) -> Dict[str, object]:
+        """Decode and merge a wire batch list into the named feed."""
+        batches = decode_batches(payload)
+        return self.feed(name).ingest(batches)
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            feeds = dict(self._feeds)
+        return {
+            "feeds": {name: state.status() for name, state in feeds.items()},
+            "total_batches": sum(s.batches for s in feeds.values()),
+            "total_samples": sum(s.samples for s in feeds.values()),
+        }
+
+    def __len__(self) -> int:
+        return len(self._feeds)

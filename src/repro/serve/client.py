@@ -22,6 +22,7 @@ from .protocol import (
     OP_BUILD,
     OP_OBJDUMP,
     OP_PING,
+    OP_PROFILE_INGEST,
     OP_SHUTDOWN,
     OP_STATUS,
     OP_TRAIN,
@@ -92,6 +93,8 @@ def build_options_from_args(args, sources: Dict[str, str]) -> Dict:
         options["profile_path"] = os.path.abspath(args.profile)
     if getattr(args, "state_dir", None) is not None:
         options["state_dir"] = os.path.abspath(args.state_dir)
+    if getattr(args, "profile_feed", None):
+        options["profile_feed"] = args.profile_feed
     return options
 
 
@@ -199,6 +202,13 @@ class DaemonClient:
     def train(self, options: Dict,
               timeout: Optional[float] = None) -> Dict:
         return self.request(OP_TRAIN, options, timeout=timeout)
+
+    def profile_ingest(self, options: Dict,
+                       timeout: Optional[float] = None) -> Dict:
+        """Feed profile batches; returns ingest stats and, when the
+        selectivity controller triggered a re-optimization, the rebuilt
+        image (``image_b64``) plus the reused/reoptimized module lists."""
+        return self.request(OP_PROFILE_INGEST, options, timeout=timeout)
 
     def objdump(self, options: Dict,
                 timeout: Optional[float] = None) -> Dict:

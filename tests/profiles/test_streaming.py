@@ -1,0 +1,210 @@
+"""Streaming-merge semantics and format versioning of the database.
+
+The continuous profile service leans on three properties proved here:
+epoch-tagged decay merges are order-independent (byte-identical JSON
+however batches interleave), checksum drift marks a routine stale
+instead of poisoning its counts, and normalized snapshots do not move
+while a database merely ages -- which is what keeps controller-driven
+rebuilds byte-identical until fresh data actually changes the picture.
+"""
+
+import json
+
+import pytest
+
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.profiles import (
+    ProfileDatabase,
+    ProfileFormatError,
+    instrument_program,
+)
+
+SOURCES = {
+    "m": """
+func tick(n) {
+    var s = 0;
+    while (n > 0) { s = s + n; n = n - 1; }
+    return s;
+}
+func main() { return tick(5) + tick(3); }
+"""
+}
+
+
+def collect():
+    program = compile_sources(SOURCES)
+    table = instrument_program(program)
+    result = run_program(program)
+    return ProfileDatabase.from_probe_counts(table, result.probe_counts)
+
+
+def delta_for(name):
+    return collect().routines[name]
+
+
+class TestDecayMerge:
+    def test_age_to_decays_counts(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        before = database.routines["tick"].total_block_weight()
+        database.age_to(3)
+        after = database.routines["tick"].total_block_weight()
+        assert after == before * 0.25
+        assert database.epoch == 3
+
+    def test_age_to_is_monotonic(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=4)
+        snapshot = database.to_json()
+        assert database.age_to(2) == 0  # going backward is a no-op
+        assert database.to_json() == snapshot
+
+    def test_old_delta_merges_at_residual_weight(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=4)
+        fresh = database.routines["tick"].total_block_weight()
+        # A straggler sampled 2 epochs ago lands at decay**2 weight.
+        assert database.merge_delta(delta_for("tick"), epoch=2) == "merged"
+        assert database.routines["tick"].total_block_weight() == (
+            fresh + fresh * 0.25
+        )
+        # last_epoch tracks the freshest contribution, not the last call.
+        assert database.routines["tick"].last_epoch == 4
+
+    def test_interleaved_batches_commute_bit_for_bit(self):
+        deltas = [(epoch, delta_for("tick")) for epoch in (1, 2, 2, 3, 5)]
+        forward = ProfileDatabase()
+        for epoch, delta in deltas:
+            forward.merge_delta(delta, epoch)
+        shuffled = ProfileDatabase()
+        for epoch, delta in reversed(deltas):
+            shuffled.merge_delta(delta, epoch)
+        shuffled.age_to(forward.epoch)
+        assert forward.to_json() == shuffled.to_json()
+
+    def test_checksum_mismatch_marks_stale_not_merged(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        before = database.routines["tick"].total_block_weight()
+        drifted = delta_for("tick")
+        drifted.checksum = drifted.checksum + 1  # fleet runs edited code
+        assert database.merge_delta(drifted, epoch=2) == "stale"
+        profile = database.routines["tick"]
+        assert profile.stale
+        # The drifted counts were discarded, only aging happened.
+        assert profile.total_block_weight() == before * 0.5
+        assert database.stale_routines() == ["tick"]
+
+    def test_matching_delta_clears_staleness(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        drifted = delta_for("tick")
+        drifted.checksum ^= 1
+        database.merge_delta(drifted, epoch=2)
+        assert database.merge_delta(delta_for("tick"), epoch=3) == "merged"
+        assert not database.routines["tick"].stale
+        assert database.stale_routines() == []
+
+    def test_ancient_routines_pruned(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        database.merge_delta(delta_for("main"), epoch=1)
+        # ~90 half-lives pushes any count below the prune floor.
+        assert database.age_to(90) == 2
+        assert not database.routines
+
+
+class TestNormalizedSnapshot:
+    def test_invariant_under_uniform_decay(self):
+        database = ProfileDatabase()
+        for name in ("tick", "main"):
+            database.merge_delta(delta_for(name), epoch=1)
+        before = database.normalized_snapshot().to_json()
+        database.age_to(7)  # no new samples, just aging
+        assert database.normalized_snapshot().to_json() == before
+
+    def test_excludes_stale_routines(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        database.merge_delta(delta_for("main"), epoch=1)
+        drifted = delta_for("tick")
+        drifted.checksum ^= 1
+        database.merge_delta(drifted, epoch=2)
+        snapshot = database.normalized_snapshot()
+        assert "tick" not in snapshot.routines
+        assert "main" in snapshot.routines
+
+    def test_counts_are_bounded_integers(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        snapshot = database.normalized_snapshot()
+        for profile in snapshot.routines.values():
+            for count in profile.block_counts.values():
+                assert isinstance(count, int) and 0 <= count <= 4096
+            for count in profile.call_counts.values():
+                assert isinstance(count, int) and 0 <= count <= 4096
+
+    def test_nonzero_counts_never_vanish(self):
+        database = ProfileDatabase()
+        database.merge_delta(delta_for("tick"), epoch=1)
+        hot = database.routines["tick"]
+        cold_label = max(hot.block_counts)
+        hot.block_counts[cold_label] = 10 ** -6  # absurdly cold, alive
+        snapshot = database.normalized_snapshot()
+        assert snapshot.routines["tick"].block_counts[cold_label] == 1
+
+
+class TestFormatVersioning:
+    def test_round_trip_preserves_streaming_fields(self):
+        database = ProfileDatabase(decay=0.25)
+        database.merge_delta(delta_for("tick"), epoch=3)
+        drifted = delta_for("tick")
+        drifted.checksum ^= 1
+        database.merge_delta(drifted, epoch=4)
+        restored = ProfileDatabase.from_json(database.to_json())
+        assert restored.epoch == 4
+        assert restored.decay == 0.25
+        assert restored.routines["tick"].stale
+        assert restored.routines["tick"].last_epoch == 3
+
+    def test_version_1_files_migrate(self):
+        modern = json.loads(collect().to_json())
+        legacy = {
+            "version": 1,
+            "run_count": modern["run_count"],
+            "routines": {
+                name: {
+                    key: value
+                    for key, value in entry.items()
+                    if key not in ("last_epoch", "stale")
+                }
+                for name, entry in modern["routines"].items()
+            },
+        }
+        database = ProfileDatabase.from_json(json.dumps(legacy))
+        assert database.epoch == 0
+        assert database.stale_routines() == []
+        for profile in database.routines.values():
+            assert profile.last_epoch == 0
+        # Saving rewrites it as the current version.
+        assert json.loads(database.to_json())["version"] == 2
+
+    def test_unknown_version_raises_structured_error(self):
+        with pytest.raises(ProfileFormatError) as info:
+            ProfileDatabase.from_json(
+                json.dumps({"version": 99, "routines": {}})
+            )
+        assert info.value.found == 99
+        assert info.value.expected == 2
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ProfileFormatError) as info:
+            ProfileDatabase.from_json(json.dumps({"routines": {}}))
+        assert info.value.found is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProfileFormatError):
+            ProfileDatabase.from_json("{not json")
+        with pytest.raises(ProfileFormatError):
+            ProfileDatabase.from_json(json.dumps([1, 2, 3]))

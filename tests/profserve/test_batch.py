@@ -1,0 +1,110 @@
+"""Wire format and content addressing of profile batches."""
+
+import pytest
+
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.profiles import ProfileDatabase, instrument_program
+from repro.profserve import IngestError, ProfileBatch
+from repro.profserve.batch import decode_batches
+
+SOURCES = {
+    "m": """
+func tick(n) {
+    var s = 0;
+    while (n > 0) { s = s + n; n = n - 1; }
+    return s;
+}
+func idle() { return 0; }
+func main() { return tick(4); }
+"""
+}
+
+
+def collect():
+    program = compile_sources(SOURCES)
+    table = instrument_program(program)
+    result = run_program(program)
+    return ProfileDatabase.from_probe_counts(table, result.probe_counts)
+
+
+def make_batch(epoch=1, **kwargs):
+    kwargs.setdefault("workload", "zipf")
+    kwargs.setdefault("samples", 3)
+    kwargs.setdefault("transactions", 12)
+    kwargs.setdefault("cycles", 480)
+    return ProfileBatch.from_database(epoch, collect(), **kwargs)
+
+
+class TestConstruction:
+    def test_epoch_must_be_positive(self):
+        with pytest.raises(IngestError):
+            ProfileBatch(0)
+
+    def test_zero_weight_routines_dropped(self):
+        batch = make_batch()
+        assert "idle" not in batch.routines  # never executed
+        assert "tick" in batch.routines
+
+
+class TestContentAddressing:
+    def test_batch_id_is_deterministic(self):
+        assert make_batch().batch_id == make_batch().batch_id
+
+    def test_batch_id_covers_epoch_and_counts(self):
+        base = make_batch()
+        assert make_batch(epoch=2).batch_id != base.batch_id
+        assert make_batch(cycles=481).batch_id != base.batch_id
+
+    def test_round_trip_preserves_id_and_data(self):
+        batch = make_batch()
+        restored = ProfileBatch.from_wire(batch.to_wire())
+        assert restored.batch_id == batch.batch_id
+        assert restored.epoch == batch.epoch
+        assert restored.workload == batch.workload
+        for name, profile in batch.routines.items():
+            copy = restored.routines[name]
+            assert copy.block_counts == profile.block_counts
+            assert copy.edge_counts == profile.edge_counts
+            assert copy.call_counts == profile.call_counts
+
+    def test_claimed_id_mismatch_rejected(self):
+        wire = make_batch().to_wire()
+        wire["cycles"] = wire["cycles"] + 1  # tamper after signing
+        with pytest.raises(IngestError, match="batch_id mismatch"):
+            ProfileBatch.from_wire(wire)
+
+    def test_unclaimed_id_accepted(self):
+        wire = make_batch().to_wire()
+        del wire["batch_id"]
+        assert ProfileBatch.from_wire(wire).epoch == 1
+
+
+class TestValidation:
+    def test_non_object_rejected(self):
+        with pytest.raises(IngestError):
+            ProfileBatch.from_wire([1, 2])
+
+    def test_missing_epoch_rejected(self):
+        with pytest.raises(IngestError, match="epoch"):
+            ProfileBatch.from_wire({"routines": {}})
+
+    def test_bool_counts_rejected(self):
+        wire = make_batch().to_wire()
+        wire["samples"] = True
+        del wire["batch_id"]
+        with pytest.raises(IngestError, match="samples"):
+            ProfileBatch.from_wire(wire)
+
+    def test_malformed_routine_rejected(self):
+        wire = make_batch().to_wire()
+        del wire["batch_id"]
+        wire["routines"]["tick"] = {"blocks": {}}  # no checksum
+        with pytest.raises(IngestError, match="tick"):
+            ProfileBatch.from_wire(wire)
+
+    def test_decode_batches_wants_a_list(self):
+        with pytest.raises(IngestError, match="list"):
+            decode_batches({"epoch": 1})
+        batches = decode_batches([make_batch().to_wire()])
+        assert len(batches) == 1

@@ -1,0 +1,180 @@
+"""The selectivity controller's hill-climb toward the Fig. 6 knee."""
+
+import pytest
+
+from repro.profserve import DEFAULT_GRID, SelectivityController
+
+
+def fig6_cost(percent):
+    """A synthetic Fig. 6 curve: cost saturates at the 20% knee."""
+    return {
+        2.0: 150.0, 5.0: 120.0, 10.0: 106.0, 20.0: 100.0,
+        40.0: 99.5, 70.0: 99.2, 100.0: 99.0,
+    }[percent]
+
+
+def run_loop(controller, cost=fig6_cost, rounds=12):
+    """Closed loop against a fixed cost curve; returns visited percents."""
+    visited = []
+    for _ in range(rounds):
+        controller.observe(controller.current, cost(controller.current), 1.0)
+        percent, _mode, _reason = controller.propose()
+        controller.current = percent
+        if _mode == "settled":
+            controller.settled = True
+        visited.append(percent)
+    return visited
+
+
+class TestConstruction:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SelectivityController(grid=())
+
+    def test_out_of_range_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SelectivityController(grid=(10.0, 120.0))
+
+    def test_initial_percent_snaps_to_grid(self):
+        controller = SelectivityController(initial_percent=18.0)
+        assert controller.current == 20.0
+
+    def test_snap_ties_resolve_cheaper(self):
+        controller = SelectivityController(grid=(10.0, 20.0))
+        assert controller.snap(15.0) == 10.0
+
+
+class TestObservations:
+    def test_observe_attributes_cost_per_transaction(self):
+        controller = SelectivityController()
+        controller.observe(20.0, cycles=500.0, transactions=5.0)
+        assert controller.evaluations[20.0] == 100.0
+        assert controller.observations == 1
+
+    def test_degenerate_telemetry_ignored(self):
+        controller = SelectivityController()
+        controller.observe(20.0, cycles=0.0, transactions=5.0)
+        controller.observe(20.0, cycles=100.0, transactions=0.0)
+        assert not controller.evaluations
+
+    def test_note_shift_discards_history(self):
+        controller = SelectivityController()
+        controller.observe(20.0, 500.0, 5.0)
+        controller.settled = True
+        controller.note_shift()
+        assert not controller.evaluations
+        assert not controller.settled
+        assert controller.shifts_detected == 1
+
+
+class TestClimb:
+    def test_warmup_without_telemetry(self):
+        controller = SelectivityController()
+        percent, mode, _ = controller.propose()
+        assert mode == "warmup"
+        assert percent == 20.0
+
+    def test_converges_to_the_fig6_knee(self):
+        controller = SelectivityController(initial_percent=20.0)
+        visited = run_loop(controller)
+        assert visited[-1] == 20.0
+        assert controller.settled
+        percent, mode, _ = controller.propose()
+        assert (percent, mode) == (20.0, "steady")
+
+    def test_converges_from_above(self):
+        controller = SelectivityController(initial_percent=100.0)
+        visited = run_loop(controller, rounds=16)
+        assert visited[-1] == 20.0
+
+    def test_converges_from_below(self):
+        controller = SelectivityController(initial_percent=2.0)
+        visited = run_loop(controller, rounds=16)
+        assert visited[-1] == 20.0
+
+    def test_explores_down_before_settling(self):
+        controller = SelectivityController(initial_percent=20.0)
+        controller.observe(20.0, 100.0, 1.0)
+        percent, mode, _ = controller.propose()
+        assert mode == "explore"
+        assert percent == 10.0  # probe the cheaper neighbor first
+
+    def test_flat_curve_settles_on_the_cheapest_grid_point(self):
+        controller = SelectivityController(initial_percent=40.0)
+        visited = run_loop(controller, cost=lambda p: 100.0, rounds=16)
+        assert visited[-1] == DEFAULT_GRID[0]
+
+
+class TestDecisions:
+    ROUTINE_MODULE = {"hot_a": "m1", "hot_b": "m2", "cold": "m3"}
+
+    def make_snapshot(self):
+        from repro.profiles.database import ProfileDatabase, RoutineProfile
+
+        database = ProfileDatabase()
+        for index, name in enumerate(self.ROUTINE_MODULE):
+            profile = RoutineProfile(name, checksum=index, entry_label="b0")
+            profile.block_counts = {"b0": 100 - index}
+            profile.call_counts = {
+                ("b0", 0, "hot_b"): 50 if name == "hot_a" else 1
+            }
+            database.routines[name] = profile
+        return database
+
+    def test_first_decision_reoptimizes_from_unselected(self):
+        controller = SelectivityController()
+        decision = controller.decide(
+            epoch=1,
+            snapshot=self.make_snapshot(),
+            routine_module=self.ROUTINE_MODULE,
+            deployed_modules={"m1", "m2", "m3"},
+            deployed_percent=None,
+        )
+        assert decision.reoptimize
+        assert decision.previous_percent is None
+        assert decision.newly_cold  # selection shrinks the CMO set
+
+    def test_steady_state_does_not_rebuild(self):
+        controller = SelectivityController()
+        snapshot = self.make_snapshot()
+        first = controller.decide(
+            1, snapshot, self.ROUTINE_MODULE,
+            deployed_modules={"m1", "m2", "m3"}, deployed_percent=None,
+        )
+        deployed = cmo_modules(snapshot, first.percent,
+                               self.ROUTINE_MODULE)
+        second = controller.decide(
+            2, snapshot, self.ROUTINE_MODULE,
+            deployed_modules=deployed, deployed_percent=first.percent,
+        )
+        assert second.percent == first.percent
+        assert not second.newly_hot and not second.newly_cold
+        assert not second.reoptimize
+
+    def test_drift_discards_measurements(self):
+        controller = SelectivityController()
+        controller.observe(20.0, 100.0, 1.0)
+        snapshot = self.make_snapshot()
+        controller.decide(
+            1, snapshot, self.ROUTINE_MODULE,
+            deployed_modules={"m3"},  # not what the snapshot implies
+            deployed_percent=20.0,
+        )
+        assert controller.shifts_detected == 1
+
+    def test_as_dict_is_json_shaped(self):
+        controller = SelectivityController()
+        decision = controller.decide(
+            1, self.make_snapshot(), self.ROUTINE_MODULE,
+            deployed_modules=set(), deployed_percent=None,
+        )
+        payload = decision.as_dict()
+        assert payload["mode"] == "warmup"
+        assert isinstance(payload["newly_hot"], list)
+        assert isinstance(payload["evaluations"], dict)
+
+
+def cmo_modules(snapshot, percent, routine_module):
+    from repro.driver.selectivity import cmo_module_set
+
+    return cmo_module_set(snapshot, percent, routine_module)

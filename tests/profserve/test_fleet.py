@@ -1,0 +1,112 @@
+"""Fleet simulator determinism and workload shaping."""
+
+import pytest
+
+from repro.driver.compiler import Compiler
+from repro.driver.options import CompilerOptions
+from repro.profserve import FleetSimulator
+from repro.synth.config import tiny_config
+from repro.synth.generator import generate
+
+
+@pytest.fixture(scope="module")
+def app():
+    return generate(tiny_config())
+
+
+@pytest.fixture(scope="module")
+def deployed(app):
+    build = Compiler(CompilerOptions(opt_level=4)).build(app.sources)
+    return build.executable
+
+
+class TestDeterminism:
+    def test_same_seed_replays_the_same_fleet(self, app, deployed):
+        a = FleetSimulator(app, seed=5)
+        b = FleetSimulator(app, seed=5)
+        batch_a = a.sample(deployed, users=2)
+        batch_b = b.sample(deployed, users=2)
+        assert batch_a.batch_id == batch_b.batch_id
+        assert batch_a.cycles == batch_b.cycles
+
+    def test_seed_and_epoch_vary_the_traffic(self, app):
+        base = FleetSimulator(app, seed=5)
+        other = FleetSimulator(app, seed=6)
+        assert base.sample(users=2).batch_id != other.sample(
+            users=2
+        ).batch_id
+        # Epochs advance and produce distinct windows.
+        again = base.sample(users=2)
+        assert again.epoch == 2
+        assert again.batch_id != FleetSimulator(app, seed=5).sample(
+            users=2
+        ).batch_id
+
+
+class TestWorkloads:
+    def test_shift_rotates_the_hot_set(self, app):
+        fleet = FleetSimulator(app)
+        base = fleet.weights(0)
+        shifted = fleet.weights(3)
+        assert sorted(base) == sorted(shifted)
+        assert base != shifted
+        assert fleet.weights(len(base)) == base  # full rotation
+
+    def test_workload_labels(self, app):
+        fleet = FleetSimulator(app)
+        assert fleet.sample(users=1).workload == "zipf"
+        assert fleet.sample(users=1, shift=2).workload == "shift:2"
+        assert fleet.sample(users=1, uniform=True).workload == "uniform"
+
+    def test_shifted_traffic_changes_the_profile(self, app):
+        fleet = FleetSimulator(app, seed=1)
+        native = fleet.sample(users=3)
+        shifted = fleet.sample(users=3, shift=4)
+
+        def hottest(batch):
+            return max(
+                batch.routines.items(),
+                key=lambda item: item[1].total_block_weight(),
+            )[0]
+
+        ranked_native = sorted(
+            batch_weights(native), key=lambda kv: -kv[1]
+        )
+        ranked_shifted = sorted(
+            batch_weights(shifted), key=lambda kv: -kv[1]
+        )
+        assert [n for n, _ in ranked_native[:3]] != [
+            n for n, _ in ranked_shifted[:3]
+        ] or hottest(native) != hottest(shifted)
+
+
+def batch_weights(batch):
+    return [
+        (name, profile.total_block_weight())
+        for name, profile in batch.routines.items()
+    ]
+
+
+class TestTelemetry:
+    def test_sample_carries_deployed_cycles(self, app, deployed):
+        fleet = FleetSimulator(app, seed=2)
+        batch = fleet.sample(deployed, users=2)
+        assert batch.cycles > 0
+        assert batch.transactions > 0
+        assert batch.samples == 2
+
+    def test_serve_matches_sample_telemetry(self, app, deployed):
+        sampler = FleetSimulator(app, seed=2)
+        batch = sampler.sample(deployed, users=2)
+        server = FleetSimulator(app, seed=2)
+        served = server.serve(deployed, users=2, epoch=1)
+        assert served["cycles"] == batch.cycles
+        assert served["transactions"] == batch.transactions
+        assert server.epoch == 0  # serve never advances the stream
+
+    def test_routine_module_covers_the_app(self, app):
+        fleet = FleetSimulator(app)
+        mapping = fleet.routine_module()
+        assert set(mapping.values()) <= set(app.sources)
+        batch = fleet.sample(users=1)
+        assert set(batch.routines) <= set(mapping)

@@ -1,0 +1,157 @@
+"""Feed state: dedup, telemetry attribution, snapshots, counters."""
+
+import pytest
+
+from repro.frontend import compile_sources
+from repro.interp import run_program
+from repro.profiles import ProfileDatabase, instrument_program
+from repro.profserve import (
+    FeedState,
+    IngestError,
+    ProfileBatch,
+    ProfileService,
+    RegisteredProject,
+)
+
+SOURCES = {
+    "m": """
+func tick(n) {
+    var s = 0;
+    while (n > 0) { s = s + n; n = n - 1; }
+    return s;
+}
+func main() { return tick(6); }
+"""
+}
+
+
+def collect():
+    program = compile_sources(SOURCES)
+    table = instrument_program(program)
+    result = run_program(program)
+    return ProfileDatabase.from_probe_counts(table, result.probe_counts)
+
+
+def make_batch(epoch, cycles=400, transactions=10):
+    return ProfileBatch.from_database(
+        epoch, collect(), workload="zipf", samples=2,
+        transactions=transactions, cycles=cycles,
+    )
+
+
+def register(feed, percent=None):
+    project = RegisteredProject(
+        sources=dict(SOURCES), session=None,
+        routine_module={"tick": "m", "main": "m"},
+        cmo_modules={"m"}, deployed_percent=percent,
+    )
+    feed.register(project)
+    return project
+
+
+class TestIngest:
+    def test_double_ingest_is_idempotent(self):
+        feed = FeedState("app")
+        batch = make_batch(1)
+        first = feed.ingest([batch])
+        frozen = feed.database.to_json()
+        second = feed.ingest([batch])
+        assert first["accepted"] == 1 and second["accepted"] == 0
+        assert second["duplicates"] == 1
+        assert feed.database.to_json() == frozen
+        assert feed.duplicates == 1
+
+    def test_batches_merge_by_their_own_epochs(self):
+        in_order = FeedState("a")
+        in_order.ingest([make_batch(1), make_batch(2)])
+        reversed_feed = FeedState("b")
+        reversed_feed.ingest([make_batch(2), make_batch(1)])
+        assert (in_order.database.to_json()
+                == reversed_feed.database.to_json())
+
+    def test_counters_accumulate(self):
+        feed = FeedState("app")
+        stats = feed.ingest([make_batch(1), make_batch(2)])
+        assert stats["accepted"] == 2
+        assert stats["epoch"] == 2
+        assert feed.samples == 4
+        assert feed.transactions == 20
+        assert feed.routines_created == 2  # tick + main, first batch
+        assert feed.routines_merged >= 2
+
+    def test_telemetry_needs_a_measured_deployment(self):
+        feed = FeedState("app")
+        register(feed, percent=None)  # first build: unselected
+        feed.ingest([make_batch(1)])
+        assert not feed.controller.evaluations
+        feed.project.deployed_percent = 20.0
+        feed.ingest([make_batch(2)])
+        assert 20.0 in feed.controller.evaluations
+
+
+class TestSnapshotsAndDecisions:
+    def test_empty_feed_has_no_snapshot(self):
+        assert FeedState("app").snapshot() is None
+
+    def test_snapshot_is_normalized(self):
+        feed = FeedState("app")
+        feed.ingest([make_batch(1)])
+        snapshot = feed.snapshot()
+        counts = [
+            count
+            for profile in snapshot.routines.values()
+            for count in profile.block_counts.values()
+        ]
+        assert counts and all(isinstance(c, int) for c in counts)
+
+    def test_decide_needs_a_registered_project(self):
+        feed = FeedState("app")
+        feed.ingest([make_batch(1)])
+        assert feed.decide(feed.snapshot()) is None
+        register(feed)
+        decision = feed.decide(feed.snapshot())
+        assert decision is not None
+        assert feed.last_decision == decision.as_dict()
+
+    def test_record_deploy_updates_the_picture(self):
+        feed = FeedState("app")
+        register(feed)
+        feed.record_deploy(20.0, {"m"}, reoptimized=True)
+        assert feed.project.deployed_percent == 20.0
+        assert feed.reoptimizations == 1
+        status = feed.status()
+        assert status["deployed_percent"] == 20.0
+        assert status["reoptimizations"] == 1
+
+
+class TestService:
+    def test_feeds_are_lazily_created_and_reused(self):
+        service = ProfileService()
+        first = service.feed("app")
+        assert service.feed("app") is first
+        assert len(service) == 1
+
+    def test_feed_name_validated(self):
+        service = ProfileService()
+        with pytest.raises(IngestError):
+            service.feed("")
+        with pytest.raises(IngestError):
+            service.feed(None)
+
+    def test_ingest_wire_end_to_end(self):
+        service = ProfileService()
+        stats = service.ingest_wire("app", [make_batch(1).to_wire()])
+        assert stats["accepted"] == 1
+        status = service.status()
+        assert status["total_batches"] == 1
+        assert "app" in status["feeds"]
+
+    def test_configuration_applies_on_creation_only(self):
+        from repro.profserve import SelectivityController
+
+        service = ProfileService()
+        controller = SelectivityController(initial_percent=40.0)
+        feed = service.feed("app", controller=controller)
+        assert feed.controller is controller
+        other = SelectivityController(initial_percent=2.0)
+        assert service.feed("app", controller=other).controller is controller
