@@ -80,6 +80,14 @@ def _ltrans_seconds(build, serial):
     return codegen
 
 
+def _wpa_seconds(build):
+    return sum(
+        value
+        for key, value in build.hlo_result.phase_seconds.items()
+        if key.startswith("wpa")
+    )
+
+
 def run_bench(quick=False):
     n_modules = 8 if quick else 28
     app = generate(
@@ -114,6 +122,12 @@ def run_bench(quick=False):
                 "ltrans_seconds": secs,
                 "speedup_vs_serial": speedup,
                 "prefetches": build.hlo_result.loader.stats.prefetches,
+                "wpa_seconds": _wpa_seconds(build),
+                "scalar_seconds":
+                    build.hlo_result.phase_seconds.get("scalar", 0.0),
+                "wpa_mode": build.hlo_result.wpa_mode,
+                "wpa_peak_bytes": build.hlo_result.wpa_peak_bytes,
+                "coordinator_peak_bytes": build.hlo_result.peak_bytes,
             }
             extra = ""
             if backend == "processes":
@@ -166,6 +180,10 @@ def run_bench(quick=False):
             serial.hlo_result.phase_seconds.get("scalar", 0.0),
         "serial_codegen_seconds":
             serial.timings.phases.get("codegen_cmo", 0.0),
+        "serial_wpa_seconds": _wpa_seconds(serial),
+        "serial_wpa_mode": serial.hlo_result.wpa_mode,
+        "serial_wpa_peak_bytes": serial.hlo_result.wpa_peak_bytes,
+        "serial_coordinator_peak_bytes": serial.hlo_result.peak_bytes,
         "partitioned": settings,
         "best_speedup_threads": best("threads"),
         "best_speedup_processes": best("processes"),

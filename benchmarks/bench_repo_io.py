@@ -86,10 +86,19 @@ def _run_build(app, profile_db, cache_pools, layout, prefetch_depth,
         repo = build.hlo_result.loader.repository
         stats = repo.io_stats()
         loader_stats = build.hlo_result.loader.stats
+        phase_seconds = build.hlo_result.phase_seconds
         return {
             "layout": layout,
             "seconds": seconds,
             "hlo_seconds": build.timings.phases.get("hlo", 0.0),
+            "wpa_seconds": sum(
+                value for key, value in phase_seconds.items()
+                if key.startswith("wpa")
+            ),
+            "scalar_seconds": phase_seconds.get("scalar", 0.0),
+            "wpa_mode": build.hlo_result.wpa_mode,
+            "wpa_peak_bytes": build.hlo_result.wpa_peak_bytes,
+            "coordinator_peak_bytes": build.hlo_result.peak_bytes,
             "image": encode_executable(build.executable),
             "stores": stats["stores"],
             "store_skips": stats.get("store_skips", 0),

@@ -554,6 +554,7 @@ class Compiler:
                 externally_callable=externally_callable,
                 externally_visible_globals=externally_visible_globals,
                 incr_session=incr_session,
+                wpa_mode=options.effective_wpa_mode,
             )
             selected: Optional[Set[str]] = None
             if result.plan is not None and (
@@ -567,6 +568,12 @@ class Compiler:
                 run_scalar=not partitioned,
             )
         result.hlo_result = hlo_result
+        if events is not None:
+            for event in hlo_result.events:
+                events.instant(
+                    str(event.get("event", "hlo")), category="wpa",
+                    args=dict(event),
+                )
 
         llo_options = LloOptions(2, use_profile=profile_db is not None)
         with _Timer(result.timings, "codegen_cmo"):
@@ -962,6 +969,12 @@ class CompileSession:
         stats.peak_bytes = result.accountant.peak
         stats.n_spans = len(self.events.spans())
         stats.phase_seconds = dict(result.timings.phases)
+        if result.hlo_result is not None:
+            # Per-pass WPA splits ("hlo.wpa.inline", ...) alongside the
+            # coarse build phases, so `build --profile-hot` and the
+            # bench harnesses can attribute thin-link time.
+            for key, value in result.hlo_result.phase_seconds.items():
+                stats.phase_seconds["hlo." + key] = value
 
     def compact_repositories(self) -> int:
         """Compact session-owned pack repositories; returns bytes freed.

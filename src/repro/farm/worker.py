@@ -199,11 +199,17 @@ class FarmWorker:
         try:
             shared = self._shared_context(str(job["ctx"]), store)
             # Prefetch every pool blob in one batch round-trip before
-            # the loader starts touching them one by one.
-            store.get_blobs([entry["pool"] for entry in job["routines"]])
+            # the loader starts touching them one by one.  Entries
+            # without a "pool" are thin-WPA clones (replay creates
+            # their bodies); "imports" are read-only replay inputs.
+            entries = (list(job["routines"])
+                       + list(job.get("imports") or []))
+            store.get_blobs([
+                entry["pool"] for entry in entries if "pool" in entry
+            ])
             repository = CasBackedRepository(store, {
                 (KIND_IR, entry["name"]): entry["pool"]
-                for entry in job["routines"]
+                for entry in entries if "pool" in entry
             })
             outcome = execute_partition_job(shared, job, repository)
             blob = json.dumps(

@@ -43,6 +43,9 @@ from .transforms.licm import LoopInvariantCodeMotion
 from .transforms.memopt import MemoryForwarding
 from .transforms.simplify import SimplifyCfg
 
+#: Accepted --wpa-mode values ("auto" resolves to "summary").
+VALID_WPA_MODES = ("auto", "materialize", "summary")
+
 
 def standard_pipeline() -> PassPipeline:
     """The scalar optimization pipeline run on each selected routine."""
@@ -169,8 +172,24 @@ class HloResult:
         self.reused_modules: Set[str] = set()
         #: Wall-clock seconds per driver phase ("wpa" = serial
         #: whole-program phases 0-4.5, "scalar" = phase 5 when run
-        #: serially by :meth:`HighLevelOptimizer.run_scalar_phase`).
+        #: serially by :meth:`HighLevelOptimizer.run_scalar_phase`),
+        #: plus per-pass WPA splits ("wpa.dfe", "wpa.callgraph",
+        #: "wpa.ipcp", "wpa.clone", "wpa.inline", ...).
         self.phase_seconds: Dict[str, float] = {}
+        #: Which WPA implementation ran ("materialize" or "summary").
+        self.wpa_mode = "materialize"
+        #: Peak modeled bytes at the end of the WPA phases (before any
+        #: scalar work): the number the summary-only mode keeps flat.
+        self.wpa_peak_bytes = 0
+        #: Summary-mode only -- the recorded body-mutation plan to
+        #: replay in phase 5 (serially or inside partition workers).
+        self.plan = None
+        #: Summary-mode only -- routine name -> RoutineFacts (final,
+        #: post-simulation state).
+        self.thin_facts: Optional[Dict[str, object]] = None
+        #: Structured events (e.g. summary-cache fallbacks).
+        self.events: List[Dict[str, object]] = []
+        self._plan_replayed = False
 
     def scalar_worklist(self) -> List[str]:
         """Routines phase 5 must process, in canonical unit order.
@@ -225,6 +244,7 @@ class HighLevelOptimizer:
         externally_callable: Optional[Set[str]] = None,
         externally_visible_globals: Optional[Set[str]] = None,
         incr_session=None,
+        wpa_mode: str = "summary",
     ) -> None:
         self.program = program
         self.options = options or HloOptions()
@@ -240,6 +260,13 @@ class HighLevelOptimizer:
         #: skips the scalar pipeline for modules whose post-inline
         #: reuse key matches a cached codegen blob.
         self.incr_session = incr_session
+        if wpa_mode not in VALID_WPA_MODES:
+            raise ValueError("unknown wpa_mode %r" % (wpa_mode,))
+        #: "summary" runs the thin whole-program phase (decisions from
+        #: facts, body mutations replayed in phase 5); "materialize"
+        #: runs the classic body-walking WPA.  Both produce
+        #: byte-identical images.
+        self.wpa_mode = "summary" if wpa_mode == "auto" else wpa_mode
 
     # -- Main entry ---------------------------------------------------------------
 
@@ -259,9 +286,29 @@ class HighLevelOptimizer:
         phase 5 -- either via :meth:`run_scalar_phase` or a partitioned
         parallel backend -- and ``materialize`` is deferred with it.
         """
+        if self.wpa_mode == "summary":
+            result = self._optimize_thin(selected_routines)
+        else:
+            result = self._optimize_materialized(selected_routines)
+        if run_scalar:
+            self.run_scalar_phase(result, materialize=materialize)
+        return result
+
+    @staticmethod
+    def _lap(timings: Dict[str, float], key: str, since: float) -> float:
+        now = time.perf_counter()
+        timings[key] = timings.get(key, 0.0) + (now - since)
+        return now
+
+    def _optimize_materialized(
+        self, selected_routines: Optional[Set[str]]
+    ) -> HloResult:
+        """The classic WPA: phases 0-4.5 over expanded bodies."""
         program = self.program
         options = self.options
         wpa_start = time.perf_counter()
+        timings: Dict[str, float] = {}
+        tick = wpa_start
 
         incr = self.incr_session
 
@@ -273,6 +320,7 @@ class HighLevelOptimizer:
                                                removal_log=removal_log)
             if incr is not None and removal_log:
                 incr.record_dfe(removal_log)
+        tick = self._lap(timings, "wpa.dfe", tick)
 
         symtab = program.symtab
         loader = Loader(
@@ -311,6 +359,7 @@ class HighLevelOptimizer:
         # often as its containing block, and views stay correct across
         # transforms (cloning, inlining) where raw database keys do not.
         self._attach_view_weights(callgraph, ctx)
+        tick = self._lap(timings, "wpa.callgraph", tick)
 
         all_names = unit.routine_names()
         if selected_routines is None:
@@ -334,6 +383,7 @@ class HighLevelOptimizer:
         if incr is not None and bound:
             incr.record_ipcp_edges(bound, callgraph, unit.routine_module)
         accountant.mark("ipcp")
+        tick = self._lap(timings, "wpa.ipcp", tick)
 
         # Phase 3: procedure cloning (selected callers only).
         clones = self._run_cloning(unit, ctx, program, callgraph, selected)
@@ -343,6 +393,7 @@ class HighLevelOptimizer:
             accountant.set_usage("global", "callgraph",
                                  callgraph_bytes(callgraph))
         accountant.mark("cloned")
+        tick = self._lap(timings, "wpa.clone", tick)
 
         # Phase 4: inlining over selected callers.
         def _pin(name: str) -> None:
@@ -368,6 +419,7 @@ class HighLevelOptimizer:
         inline_order = sorted(selected | set(clones))
         inline_stats = engine.run(inline_order)
         accountant.mark("inlined")
+        tick = self._lap(timings, "wpa.inline", tick)
 
         # Phase 4.5 (incremental only): fingerprint each module's exact
         # post-inline state -- bodies, views, consumed interprocedural
@@ -385,6 +437,7 @@ class HighLevelOptimizer:
             incr.record_consumption(consumed, unit.routine_module, symtab)
             reused_modules = incr.decide_reuse(keys)
             accountant.mark("summarized")
+            tick = self._lap(timings, "wpa.summarize", tick)
 
         result = HloResult(
             program=program,
@@ -395,17 +448,292 @@ class HighLevelOptimizer:
             removed_functions=removed,
             clones=clones,
         )
+        result.wpa_mode = "materialize"
         result.peak_bytes = accountant.peak
+        result.wpa_peak_bytes = accountant.peak
         result.reused_modules = reused_modules
+        result.phase_seconds.update(timings)
         result.phase_seconds["wpa"] = time.perf_counter() - wpa_start
-
-        # Phase 5: scalar pipeline over selected routines (fine-grained
-        # selectivity: everything else stays unloaded).  Modules being
-        # reused from the incremental cache skip it entirely -- their
-        # cached machine code already reflects this pipeline's output.
-        if run_scalar:
-            self.run_scalar_phase(result, materialize=materialize)
         return result
+
+    def _optimize_thin(
+        self, selected_routines: Optional[Set[str]]
+    ) -> HloResult:
+        """Summary-only WPA: phases 0-4.5 from routine facts alone.
+
+        Every cross-module decision is simulated against the enriched
+        summary graph with the exact acceptance tests and size
+        arithmetic of the materializing passes, so the decisions --
+        and therefore the final images -- are identical; the body
+        mutations they imply are recorded on a :class:`WpaPlan` and
+        replayed at phase-5 start (serially, or inside each partition
+        worker).  Bodies are retired to compact/offloaded state right
+        after the one extraction scan, so the whole-program peak is
+        bounded by summaries plus the loader working set, independent
+        of program size.
+        """
+        from ..incr.summary import (
+            SUMMARY_FORMAT,
+            RoutineFacts,
+            extract_routine_facts,
+        )
+        from ..naim.memory import routine_facts_bytes
+        from . import thin as thin_wpa
+        from .analysis.modref import ModRefInfo
+
+        program = self.program
+        options = self.options
+        wpa_start = time.perf_counter()
+        timings: Dict[str, float] = {}
+        tick = wpa_start
+        incr = self.incr_session
+        events: List[Dict[str, object]] = []
+
+        # Facts extraction -- the one body scan, standing in for the
+        # materializing phase-1 scan.  With an incremental session, an
+        # unchanged module's facts come from the cache after a
+        # fingerprint check against its current summary; any miss or
+        # mismatch falls back to scanning that module, with an event.
+        facts_by_name: Dict[str, RoutineFacts] = {}
+        use_cache = incr is not None and self.profile_db is None
+        changed = set(incr.changed_modules) if incr is not None else set()
+        for module in program.module_list():
+            routines = module.routine_list()
+            cached_by_name: Dict[str, RoutineFacts] = {}
+            if use_cache and not incr.first_build \
+                    and module.name not in changed:
+                loaded, reason = incr.load_facts(module.name)
+                if loaded is None:
+                    events.append({
+                        "event": "summary-fallback",
+                        "module": module.name,
+                        "reason": reason,
+                    })
+                else:
+                    for data in loaded:
+                        facts = RoutineFacts.from_dict(data)
+                        cached_by_name[facts.name] = facts
+            for routine in routines:
+                facts = cached_by_name.get(routine.name)
+                if facts is None:
+                    facts = extract_routine_facts(
+                        routine, view=self._initial_view(routine)
+                    )
+                facts_by_name[routine.name] = facts
+            if use_cache:
+                incr.record_facts(
+                    module.name,
+                    [facts_by_name[r.name].to_dict() for r in routines],
+                )
+        summary_cost = sum(
+            routine_facts_bytes(facts) for facts in facts_by_name.values()
+        )
+        tick = self._lap(timings, "wpa.scan", tick)
+
+        # Phase 0: DFE with the keep set computed on the facts graph.
+        removed: List[str] = []
+        if options.dead_function_elim_enabled and not self.externally_callable:
+            keep = thin_wpa.thin_reachable(facts_by_name)
+            if keep is not None:
+                removal_log: Dict[str, List[str]] = {}
+                removed = eliminate_dead_functions(
+                    program, removal_log=removal_log, keep=keep
+                )
+                for name in removed:
+                    facts_by_name.pop(name, None)
+                if incr is not None and removal_log:
+                    incr.record_dfe(removal_log)
+        tick = self._lap(timings, "wpa.dfe", tick)
+
+        symtab = program.symtab
+        loader = Loader(
+            self.naim_config, symtab, self.accountant, self.repository
+        )
+        unit = CmoUnit(loader)
+        ctx = OptContext(symtab, options)
+        accountant = loader.accountant
+        accountant.set_usage("global", "program_symtab",
+                             program_symtab_bytes(symtab))
+        accountant.set_usage("global", "summaries", summary_cost)
+
+        # Phase 1: register every pool, then retire it immediately --
+        # the facts already hold everything the thin phases read, so
+        # nothing keeps bodies expanded and the WPA working set stays
+        # flat in the number of routine bodies.
+        direct: Dict[str, object] = {}
+        callees: Dict[str, List[str]] = {}
+        for module in program.module_list():
+            unit.symtab_handles[module.name] = loader.register_symtab(
+                module.symtab
+            )
+            for routine in module.routine_list():
+                handle = unit.add_routine(routine)
+                facts = facts_by_name[routine.name]
+                info = ModRefInfo()
+                info.mod = set(facts.mod)
+                info.ref = set(facts.ref)
+                info.has_calls = facts.has_calls
+                direct[routine.name] = info
+                callees[routine.name] = facts.callees()
+                ctx.views[routine.name] = facts.view
+                loader.evict(handle)
+            unit.symtab_handles[module.name].request_unload()
+        ctx.modref = ModRefAnalysis.from_direct(direct, callees)
+        accountant.mark("scanned")
+
+        all_names = unit.routine_names()
+        callgraph = thin_wpa.build_thin_callgraph(all_names, facts_by_name)
+        accountant.set_usage("global", "callgraph", callgraph_bytes(callgraph))
+        self._attach_view_weights(callgraph, ctx)
+        tick = self._lap(timings, "wpa.callgraph", tick)
+
+        if selected_routines is None:
+            selected = set(all_names)
+        else:
+            selected = set(selected_routines) & set(all_names)
+
+        # Phase 2: interprocedural constant facts (plan records the
+        # entry bindings; the facts mutate the way the bodies would).
+        plan = thin_wpa.WpaPlan()
+        bound = thin_wpa.thin_publish_interprocedural_facts(
+            ctx,
+            all_names,
+            facts_by_name,
+            symtab.all_global_names(),
+            frozenset(self.externally_callable),
+            frozenset(self.externally_visible_globals),
+            plan,
+        )
+        if incr is not None and bound:
+            incr.record_ipcp_edges(bound, callgraph, unit.routine_module)
+        accountant.mark("ipcp")
+        tick = self._lap(timings, "wpa.ipcp", tick)
+
+        # Phase 3: cloning (plan + placeholder handles + retargets).
+        caller_order = [name for name in all_names if name in selected]
+        decisions = thin_wpa.thin_plan_clones(ctx, caller_order, facts_by_name)
+        clones = thin_wpa.thin_apply_clones(
+            ctx, unit, program, decisions, facts_by_name, plan
+        )
+        if clones:
+            callgraph = thin_wpa.build_thin_callgraph(
+                unit.routine_names(), facts_by_name
+            )
+            self._attach_view_weights(callgraph, ctx)
+            accountant.set_usage("global", "callgraph",
+                                 callgraph_bytes(callgraph))
+        accountant.mark("cloned")
+        tick = self._lap(timings, "wpa.clone", tick)
+
+        # Phase 4: the inline plan over thin bodies.
+        bodies: Dict[str, thin_wpa.ThinBody] = {}
+
+        def thin_resolve(name: str):
+            body = bodies.get(name)
+            if body is None:
+                facts = facts_by_name.get(name)
+                if facts is None:
+                    return None
+                body = thin_wpa.ThinBody(facts)
+                bodies[name] = body
+            return body
+
+        engine = thin_wpa.ThinInlineEngine(
+            ctx,
+            callgraph,
+            thin_resolve,
+            has_profiles=self.profile_db is not None,
+            plan=plan,
+        )
+        inline_order = sorted(selected | set(clones))
+        inline_stats = engine.run(inline_order)
+        accountant.mark("inlined")
+        tick = self._lap(timings, "wpa.inline", tick)
+
+        # Phase 4.5 (incremental only): thin reuse keys.  Evolution
+        # hashes over (original body hash, bindings, retargets, ordered
+        # splices) determine each post-replay body exactly; keys carry
+        # a "thin|" prefix so the two modes can never share cache
+        # entries across a --wpa-mode switch.
+        reused_modules: Set[str] = set()
+        if incr is not None:
+            incr.record_inline_edges(inline_stats, unit.routine_module)
+            orig_hashes: Dict[str, str] = {}
+            for summary in incr.summaries.values():
+                orig_hashes.update(summary.body_hashes)
+            keys, consumed = thin_wpa.compute_thin_module_keys(
+                unit,
+                ctx,
+                facts_by_name,
+                orig_hashes,
+                plan,
+                selected,
+                set(clones),
+                incr.options_fp,
+                SUMMARY_FORMAT,
+            )
+            incr.record_consumption(consumed, unit.routine_module, symtab)
+            reused_modules = incr.decide_reuse(keys)
+            accountant.mark("summarized")
+            tick = self._lap(timings, "wpa.summarize", tick)
+
+        result = HloResult(
+            program=program,
+            unit=unit,
+            ctx=ctx,
+            inline_stats=inline_stats,
+            selected=selected,
+            removed_functions=removed,
+            clones=clones,
+        )
+        result.wpa_mode = "summary"
+        result.plan = plan
+        result.thin_facts = facts_by_name
+        result.events = events
+        result.peak_bytes = accountant.peak
+        result.wpa_peak_bytes = accountant.peak
+        result.reused_modules = reused_modules
+        result.phase_seconds.update(timings)
+        result.phase_seconds["wpa"] = time.perf_counter() - wpa_start
+        return result
+
+    def _replay_thin(self, result: HloResult) -> None:
+        """Apply the recorded plan to real bodies (serial phase 5)."""
+        from .thin import replay_plan
+
+        unit = result.unit
+        loader = unit.loader
+
+        def resolve(name: str):
+            return unit.routine(name)
+
+        def adopt_clone(clone: Routine) -> None:
+            unit.add_routine(clone)
+
+        def pin(name: str) -> None:
+            handle = unit.handle(name)
+            if handle is not None:
+                loader.pin(handle)
+
+        def release(name: str) -> None:
+            handle = unit.handle(name)
+            if handle is not None:
+                loader.unpin(handle)
+                loader.reaccount(handle)
+                handle.request_unload()
+
+        replay_plan(
+            result.plan,
+            set(unit.routine_names()),
+            resolve,
+            result.ctx.views,
+            self.options,
+            adopt_clone,
+            pin=pin,
+            release=release,
+            unload=unit.unload,
+        )
+        result._plan_replayed = True
 
     def run_scalar_phase(
         self, result: HloResult, materialize: bool = True
@@ -417,6 +745,13 @@ class HighLevelOptimizer:
         byte for byte.
         """
         start = time.perf_counter()
+        if result.plan is not None and not result._plan_replayed:
+            # Summary-mode: materialize the WPA decisions onto the real
+            # bodies before any scalar work touches them.
+            self._replay_thin(result)
+            result.phase_seconds["scalar.replay"] = (
+                time.perf_counter() - start
+            )
         unit = result.unit
         ctx = result.ctx
         loader = unit.loader

@@ -30,17 +30,23 @@ def reachable_routines(program: Program, roots=None) -> Set[str]:
 
 
 def eliminate_dead_functions(
-    program: Program, roots=None, removal_log=None
+    program: Program, roots=None, removal_log=None, keep=None
 ) -> List[str]:
     """Delete unreachable routines; returns the removed names.
 
     ``removal_log`` (a dict) receives module -> removed names, which
     the incremental engine records as dead-import elisions.
+
+    ``keep`` short-circuits the reachability computation with a
+    pre-computed live set (the summary-only WPA phase derives it from
+    the facts graph without building a body-scanning call graph); the
+    caller is then responsible for the no-entry library guard.
     """
-    graph = program.callgraph()
-    if roots is None and ENTRY_NAME not in graph.nodes:
-        return []  # no entry: a library; keep everything
-    keep = reachable_routines(program, roots)
+    if keep is None:
+        graph = program.callgraph()
+        if roots is None and ENTRY_NAME not in graph.nodes:
+            return []  # no entry: a library; keep everything
+        keep = reachable_routines(program, roots)
     removed: List[str] = []
     for module in program.module_list():
         dead = [name for name in module.routines if name not in keep]

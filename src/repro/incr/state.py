@@ -39,6 +39,9 @@ from .summary import SUMMARY_FORMAT, ModuleSummary
 _INDEX_KIND = "incr"
 _INDEX_NAME = "index"
 _MACHINE_KIND = "mach"
+#: Per-module thin-WPA facts blobs (summary-only WPA reuses them for
+#: unchanged modules instead of re-scanning bodies).
+_FACTS_KIND = "summ"
 
 
 class IncrLinkReport:
@@ -94,6 +97,51 @@ class IncrLinkSession:
         #: module -> machine routines in unit order (fresh codegen).
         self.fresh_machines: Dict[str, List[object]] = {}
         self.dfe_removed: Dict[str, List[str]] = {}
+        #: module -> pristine extraction-time facts dicts (thin WPA);
+        #: committed as ``summ`` blobs keyed by the module's summary
+        #: fingerprint so the next build can skip body scans.
+        self.module_facts: Dict[str, List[dict]] = {}
+
+    # -- Thin-WPA facts cache -------------------------------------------------------
+
+    def record_facts(self, module_name: str, facts_dicts: List[dict]) -> None:
+        """Stash one module's pristine (pre-mutation) facts for commit."""
+        self.module_facts[module_name] = facts_dicts
+
+    def load_facts(self, module_name: str):
+        """Cached facts for a module, verified against its fingerprint.
+
+        Returns ``(facts_dicts, None)`` on a verified hit, or
+        ``(None, reason)`` -- reason in {"missing", "corrupt",
+        "fingerprint-mismatch"} -- when the thin phase must fall back to
+        scanning that module's bodies.  The check compares the recorded
+        fingerprint against the *current* module summary, so a stale
+        blob (pack-repo entry from an older body) can never feed wrong
+        sizes or call edges into the whole-program decisions.
+        """
+        summary = self.summaries.get(module_name)
+        state = self.state
+        if summary is None or not state.repository.contains(
+            _FACTS_KIND, module_name
+        ):
+            return None, "missing"
+        try:
+            data = json.loads(
+                bytes(
+                    state.repository.fetch(_FACTS_KIND, module_name)
+                ).decode("utf-8")
+            )
+            if data.get("format") != SUMMARY_FORMAT:
+                return None, "fingerprint-mismatch"
+            if data.get("fingerprint") != summary.fingerprint():
+                return None, "fingerprint-mismatch"
+            routines = data["routines"]
+            if not isinstance(routines, list):
+                raise ValueError("bad facts payload")
+        except Exception:
+            state.repository.discard(_FACTS_KIND, module_name)
+            return None, "corrupt"
+        return routines, None
 
     # -- Recording hooks (called from the HLO driver) ------------------------------
 
@@ -285,6 +333,22 @@ class IncrementalState:
             key = session.module_keys.get(module_name)
             if key is not None:
                 self.store_machines(key, machines)
+
+        for module_name, facts_dicts in session.module_facts.items():
+            summary = session.summaries.get(module_name)
+            if summary is None:
+                continue
+            self.repository.store(
+                _FACTS_KIND, module_name,
+                json.dumps({
+                    "format": SUMMARY_FORMAT,
+                    "fingerprint": summary.fingerprint(),
+                    "routines": facts_dicts,
+                }, sort_keys=True).encode("utf-8"),
+            )
+        for kind, name in list(self.repository._known):
+            if kind == _FACTS_KIND and name not in session.summaries:
+                self.repository.discard(kind, name)
 
         self.summaries = {
             name: summary.to_dict()

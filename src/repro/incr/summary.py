@@ -25,8 +25,9 @@ Two layers of fingerprinting drive the incremental engine:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..ir.instructions import Opcode
 from ..ir.module import Module
 from ..ir.routine import Routine
 from ..ir.symbols import ProgramSymbolTable
@@ -34,7 +35,7 @@ from ..naim.compaction import compact_routine
 from ..sched.artifacts import PIPELINE_EPOCH
 
 #: Bump when the summary/key wire format itself changes.
-SUMMARY_FORMAT = 1
+SUMMARY_FORMAT = 2
 
 
 def _hexdigest(data: bytes) -> str:
@@ -282,3 +283,300 @@ def compute_module_keys(
         keys[module_name] = digest.hexdigest()
         consumed[module_name] = facts
     return keys, consumed
+
+
+# -- Enriched per-routine facts (summary-only WPA) ------------------------------
+#
+# The thin whole-program phase (``--wpa-mode summary``) runs every
+# cross-module decision -- IPCP seeds, cloning, the inline plan, DFE --
+# against these facts instead of expanded routine bodies.  The facts
+# therefore record exactly what those passes can observe: sizes, call
+# edges with per-argument constness, return constness, direct mod/ref,
+# and the initial profile view.  Argument/return constness mirrors
+# ``ipcp._const_def_in_block``: the *latest* same-block definition of
+# the register before the site, constant only when it is a CONST.
+
+
+class SiteFacts:
+    """One call site's summary: position, callee, argument constness."""
+
+    __slots__ = ("block_label", "index", "callee", "in_entry", "has_dst",
+                 "args")
+
+    def __init__(self, block_label: str, index: int, callee: str,
+                 in_entry: bool, has_dst: bool,
+                 args: List[Tuple[int, Optional[int], bool]]) -> None:
+        self.block_label = block_label
+        self.index = index
+        self.callee = callee
+        #: Site lives in the routine's entry block (IPCP entry bindings
+        #: shift its index and can change its argument constness).
+        self.in_entry = in_entry
+        #: The call assigns a result register (inlining materializes the
+        #: callee's returns only in that case).
+        self.has_dst = has_dst
+        #: Per argument: (register, const value or None, has same-block
+        #: def before the site).
+        self.args = args
+
+    def to_list(self) -> list:
+        return [self.block_label, self.index, self.callee,
+                int(self.in_entry), int(self.has_dst),
+                [[reg, value, int(has_def)] for reg, value, has_def
+                 in self.args]]
+
+    @staticmethod
+    def from_list(data: list) -> "SiteFacts":
+        return SiteFacts(
+            data[0], int(data[1]), data[2], bool(data[3]), bool(data[4]),
+            [(int(reg), value if value is None else int(value),
+              bool(has_def)) for reg, value, has_def in data[5]],
+        )
+
+
+class RetFacts:
+    """One block-terminator RET's summary (constant-return analysis)."""
+
+    __slots__ = ("block_label", "in_entry", "reg", "value", "has_def")
+
+    def __init__(self, block_label: str, in_entry: bool,
+                 reg: Optional[int], value: Optional[int],
+                 has_def: bool) -> None:
+        self.block_label = block_label
+        self.in_entry = in_entry
+        #: Returned register (None: bare RET, the literal 0).
+        self.reg = reg
+        self.value = value
+        self.has_def = has_def
+
+    def to_list(self) -> list:
+        return [self.block_label, int(self.in_entry), self.reg, self.value,
+                int(self.has_def)]
+
+    @staticmethod
+    def from_list(data: list) -> "RetFacts":
+        return RetFacts(
+            data[0], bool(data[1]),
+            data[2] if data[2] is None else int(data[2]),
+            data[3] if data[3] is None else int(data[3]),
+            bool(data[4]),
+        )
+
+
+class RoutineFacts:
+    """Everything the whole-program phases need to know about a routine
+    without holding its body."""
+
+    __slots__ = ("name", "module", "n_params", "exported", "instr_count",
+                 "probe_count", "ret_count", "sites", "rets",
+                 "referenced_globals", "mod", "ref", "has_calls", "view")
+
+    def __init__(self, name: str, module: str, n_params: int,
+                 exported: bool) -> None:
+        self.name = name
+        self.module = module
+        self.n_params = n_params
+        #: Escape bit: an exported routine's address is visible outside
+        #: its module (the IL has no indirect calls, so this plus the
+        #: driver's ``externally_callable`` set covers address-taken).
+        self.exported = exported
+        self.instr_count = 0
+        #: PROBE / RET instruction counts.  Both are invariant under the
+        #: callee's own prior inlining (spliced-in bodies drop probes and
+        #: rewrite RETs to jumps), which is what makes the thin inline
+        #: size formula exact.
+        self.probe_count = 0
+        self.ret_count = 0
+        self.sites: List[SiteFacts] = []
+        self.rets: List[RetFacts] = []
+        self.referenced_globals: List[str] = []
+        #: Direct mod/ref (globals written / read by own instructions).
+        self.mod: Set[str] = set()
+        self.ref: Set[str] = set()
+        self.has_calls = False
+        #: Initial profile view (measured or static estimate); the thin
+        #: phases read it, they never evolve it -- view evolution happens
+        #: at plan replay.
+        self.view = None
+
+    def callees(self) -> List[str]:
+        """Distinct callees, first-occurrence order (mirrors Routine)."""
+        seen: Dict[str, None] = {}
+        for site in self.sites:
+            seen.setdefault(site.callee)
+        return list(seen)
+
+    def copy(self, new_name: Optional[str] = None) -> "RoutineFacts":
+        """Deep copy (cloning simulation)."""
+        dup = RoutineFacts(new_name or self.name, self.module,
+                           self.n_params, self.exported)
+        dup.instr_count = self.instr_count
+        dup.probe_count = self.probe_count
+        dup.ret_count = self.ret_count
+        dup.sites = [
+            SiteFacts(s.block_label, s.index, s.callee, s.in_entry,
+                      s.has_dst, list(s.args))
+            for s in self.sites
+        ]
+        dup.rets = [
+            RetFacts(r.block_label, r.in_entry, r.reg, r.value, r.has_def)
+            for r in self.rets
+        ]
+        dup.referenced_globals = list(self.referenced_globals)
+        dup.mod = set(self.mod)
+        dup.ref = set(self.ref)
+        dup.has_calls = self.has_calls
+        dup.view = self.view
+        return dup
+
+    # -- Serialization (facts cache blobs) ------------------------------------
+
+    def to_dict(self) -> dict:
+        view = self.view
+        return {
+            "name": self.name,
+            "module": self.module,
+            "n_params": self.n_params,
+            "exported": int(self.exported),
+            "instrs": self.instr_count,
+            "probes": self.probe_count,
+            "rets_n": self.ret_count,
+            "sites": [site.to_list() for site in self.sites],
+            "rets": [ret.to_list() for ret in self.rets],
+            "globals": list(self.referenced_globals),
+            "mod": sorted(self.mod),
+            "ref": sorted(self.ref),
+            "has_calls": int(self.has_calls),
+            "view": None if view is None else {
+                "static": int(view.is_static_estimate),
+                "blocks": dict(view.block_counts),
+                "edges": [[f, t, c] for (f, t), c in
+                          sorted(view.edge_counts.items())],
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RoutineFacts":
+        facts = RoutineFacts(data["name"], data["module"],
+                             int(data["n_params"]), bool(data["exported"]))
+        facts.instr_count = int(data["instrs"])
+        facts.probe_count = int(data["probes"])
+        facts.ret_count = int(data["rets_n"])
+        facts.sites = [SiteFacts.from_list(item) for item in data["sites"]]
+        facts.rets = [RetFacts.from_list(item) for item in data["rets"]]
+        facts.referenced_globals = list(data["globals"])
+        facts.mod = set(data["mod"])
+        facts.ref = set(data["ref"])
+        facts.has_calls = bool(data["has_calls"])
+        view = data.get("view")
+        if view is not None:
+            from ..hlo.profile_view import ProfileView
+
+            facts.view = ProfileView(
+                facts.name,
+                block_counts={label: int(count) for label, count
+                              in view["blocks"].items()},
+                edge_counts={(f, t): int(c) for f, t, c in view["edges"]},
+                is_static_estimate=bool(view["static"]),
+            )
+        return facts
+
+
+def extract_routine_facts(routine: Routine, view=None) -> RoutineFacts:
+    """Summarize one routine body in a single pass.
+
+    Constness tracking matches ``ipcp._const_def_in_block``: walking
+    each block, the running definition map holds the latest value each
+    register was assigned in-block (a literal for CONST, None for any
+    other producer); call/RET facts read the map *before* the
+    instruction's own definition lands.
+    """
+    facts = RoutineFacts(routine.name, routine.module_name,
+                         routine.n_params, bool(routine.exported))
+    facts.instr_count = routine.instr_count()
+    seen_globals: Dict[str, None] = {}
+    entry_label = routine.blocks[0].label if routine.blocks else ""
+    for block in routine.blocks:
+        defs: Dict[int, Optional[int]] = {}
+        in_entry = block.label == entry_label
+        last = len(block.instrs) - 1
+        for index, instr in enumerate(block.instrs):
+            op = instr.op
+            if op is Opcode.PROBE:
+                facts.probe_count += 1
+            elif op is Opcode.CALL:
+                facts.has_calls = True
+                facts.sites.append(SiteFacts(
+                    block.label, index, instr.sym, in_entry,
+                    instr.dst is not None,
+                    [(reg, defs.get(reg), reg in defs)
+                     for reg in instr.args],
+                ))
+            elif op is Opcode.RET:
+                facts.ret_count += 1
+                if index == last:
+                    reg = instr.a
+                    facts.rets.append(RetFacts(
+                        block.label, in_entry, reg,
+                        defs.get(reg) if reg is not None else None,
+                        (reg in defs) if reg is not None else False,
+                    ))
+            elif op in (Opcode.LOADG, Opcode.LOADE):
+                facts.ref.add(instr.sym)
+                seen_globals.setdefault(instr.sym)
+            elif op in (Opcode.STOREG, Opcode.STOREE):
+                facts.mod.add(instr.sym)
+                seen_globals.setdefault(instr.sym)
+            if instr.dst is not None:
+                defs[instr.dst] = (
+                    instr.imm if op is Opcode.CONST else None
+                )
+    facts.referenced_globals = list(seen_globals)
+    facts.view = view
+    return facts
+
+
+def apply_entry_bindings(facts: RoutineFacts, bindings) -> None:
+    """Mutate facts for CONSTs inserted at the routine entry.
+
+    ``bindings`` is the ordered [(dst_register, value), ...] list that
+    ``ipcp.apply_param_constants`` / ``clone.make_clone`` insert at
+    entry offsets 0..k-1.  Entry-block sites shift by k; an argument or
+    returned register with no own in-block definition now sees the
+    binding's CONST.
+    """
+    k = len(bindings)
+    if not k:
+        return
+    bound = dict(bindings)
+    facts.instr_count += k
+    for site in facts.sites:
+        if not site.in_entry:
+            continue
+        site.index += k
+        site.args = [
+            (reg, value if has_def else bound.get(reg),
+             has_def or reg in bound)
+            for reg, value, has_def in site.args
+        ]
+    for ret in facts.rets:
+        if not ret.in_entry or ret.reg is None or ret.has_def:
+            continue
+        ret.value = bound.get(ret.reg)
+        ret.has_def = ret.reg in bound
+
+
+def facts_constant_return(facts: RoutineFacts) -> Optional[int]:
+    """``ipcp.constant_return_value`` over facts instead of a body."""
+    result: Optional[int] = None
+    found_any = False
+    for ret in facts.rets:
+        found_any = True
+        value = 0 if ret.reg is None else ret.value
+        if value is None:
+            return None
+        if result is None:
+            result = value
+        elif result != value:
+            return None
+    return result if found_any else None

@@ -363,6 +363,26 @@ class Loader:
                     )
         self._enforce()
 
+    def evict(self, handle: Handle) -> None:
+        """Retire a pool immediately, honoring the thresholded level.
+
+        The summary-only WPA phase scans each body once at registration
+        and will not touch it again until plan replay, so parking it in
+        the LRU cache has no future hit to earn; compacting (and
+        offloading, level permitting) right away keeps the
+        whole-program peak bounded by summaries.  Below the compaction
+        threshold this degrades to a plain unload request -- small
+        builds keep paying nothing.
+        """
+        pool = handle.pool
+        if pool.state is not PoolState.EXPANDED or pool.pinned:
+            return
+        level = self.effective_level()
+        if level is NaimLevel.OFF:
+            self.request_unload(pool)
+            return
+        self._compact_pool(pool, offload=level >= NaimLevel.OFFLOAD)
+
     def pin(self, handle: Handle) -> None:
         """Exempt a pool from eviction (mutating clients must pin)."""
         pool = handle.pool

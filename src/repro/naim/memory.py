@@ -56,6 +56,13 @@ class CostTable:
     #: caption); cost = LLO_BASE + LLO_QUAD * n_instr^2 / 1024.
     LLO_BASE = 2048
     LLO_QUAD = 160
+    #: Summary-only WPA: per-routine facts record (fixed fields, view
+    #: reference) plus per-call-site and per-argument entries.  Sized so
+    #: the whole summary graph is ~1-2 orders of magnitude below the
+    #: expanded IR it stands in for.
+    SUMMARY_ROUTINE = 96
+    SUMMARY_SITE = 40
+    SUMMARY_ARG = 12
 
 
 def expanded_routine_bytes(routine: "Routine") -> int:
@@ -91,6 +98,22 @@ def callgraph_bytes(callgraph: "CallGraph") -> int:
     return (
         len(callgraph.nodes) * CostTable.CALLGRAPH_NODE
         + sites * CostTable.CALLGRAPH_SITE
+    )
+
+
+def routine_facts_bytes(facts) -> int:
+    """Modeled bytes of one routine's thin-WPA summary record.
+
+    This is what bounds the coordinator's peak under ``--wpa-mode
+    summary``: the whole-program phases keep only these (plus the
+    always-resident globals), never expanded bodies.
+    """
+    n_args = sum(len(site.args) for site in facts.sites)
+    return (
+        CostTable.SUMMARY_ROUTINE
+        + (len(facts.sites) + len(facts.rets)) * CostTable.SUMMARY_SITE
+        + n_args * CostTable.SUMMARY_ARG
+        + len(facts.referenced_globals) * CostTable.SUMMARY_ARG
     )
 
 

@@ -40,13 +40,20 @@ class Partition:
     """One LTRANS work unit: a set of modules and their routines."""
 
     def __init__(self, index: int, modules: List[str],
-                 routines: List[str], weight: int) -> None:
+                 routines: List[str], weight: int,
+                 imports: List[str] = None) -> None:
         self.index = index
         self.modules = modules
         #: Routine names in canonical unit order (the order downstream
         #: splicing preserves).
         self.routines = routines
         self.weight = weight
+        #: Summary-only WPA: non-local routine bodies this partition's
+        #: plan replay reads (splice callees and clone origins, closed
+        #: transitively).  Workers import exactly these -- read-only --
+        #: and nothing else; empty under materializing WPA and for
+        #: partitions whose replay is self-contained.
+        self.imports: List[str] = imports or []
 
     def __repr__(self) -> str:
         return "<Partition %d: %d modules, %d routines, weight=%d>" % (
@@ -173,4 +180,12 @@ def partition_unit(hlo_result: "HloResult",
                 bin_weight[index],
             )
         )
+
+    # Summary-only WPA: each partition lists the callee bodies its
+    # plan replay must read from outside the partition, so workers
+    # fetch exactly (locals + imports) and no more.
+    plan = getattr(hlo_result, "plan", None)
+    if plan is not None and not hlo_result._plan_replayed:
+        for partition in partitions:
+            partition.imports = plan.imports_for(partition.routines)
     return partitions

@@ -220,8 +220,12 @@ def run_partition_job(payload: Dict) -> Dict:
     store = _BlobStore(blob)
     job = payload["job"]
     shared = _shared_context(str(job["ctx"]), store)
+    # Entries without a "pool" are thin-WPA clones (the worker-side
+    # plan replay creates their bodies); imports are extra read-only
+    # callee bodies that replay reads.
+    entries = list(job["routines"]) + list(job.get("imports") or [])
     repository = CasBackedRepository(store, {
         (KIND_IR, entry["name"]): entry["pool"]
-        for entry in job["routines"]
+        for entry in entries if "pool" in entry
     })
     return execute_partition_job(shared, job, repository)

@@ -73,17 +73,31 @@ class RemotePartitionRunner(PartitionRunner):
             return result
 
         # Pull pools out of the link loader first, exactly like the
-        # local runner: after this the unit is empty until _fold
-        # re-adopts the workers' final payloads.
+        # local runner: imports are copied before locals are released
+        # (an import is usually another partition's local), and after
+        # this the unit is empty until _fold re-adopts the workers'
+        # final payloads.
+        import_batches = [
+            self._extract_imports(partition) for partition in partitions
+        ]
         transfers = [self._extract(partition) for partition in partitions]
 
         symtab = self.hlo_result.ctx.symtab
         link_repo = self.hlo_result.loader.repository
 
         jobs: List[Dict] = []
-        for partition, batch in zip(partitions, transfers):
+        for partition, batch, imports in zip(
+            partitions, transfers, import_batches
+        ):
+            local_by_name = {t.name: t for t in batch}
             routines = []
-            for transfer in batch:
+            for name in partition.routines:
+                transfer = local_by_name.get(name)
+                if transfer is None:
+                    # A thin-WPA clone: no body yet -- the worker's
+                    # plan replay creates it.
+                    routines.append({"name": name})
+                    continue
                 if transfer.expanded is not None:
                     data = compact_routine(transfer.expanded, symtab)
                 elif transfer.compact_bytes is not None:
@@ -94,11 +108,29 @@ class RemotePartitionRunner(PartitionRunner):
                     "name": transfer.name,
                     "pool": self.put_blob(data),
                 })
-            jobs.append({
+            job = {
                 "index": partition.index,
                 "weight": partition.weight,
                 "routines": routines,
-            })
+            }
+            if partition.imports:
+                import_by_name = {t.name: t for t in imports}
+                entries = []
+                for name in partition.imports:
+                    transfer = import_by_name.get(name)
+                    if transfer is None:
+                        entries.append({"name": name})  # imported clone
+                        continue
+                    if transfer.compact_bytes is not None:
+                        data = transfer.compact_bytes
+                    else:
+                        data = link_repo.fetch(KIND_IR, name)
+                    entries.append({
+                        "name": name,
+                        "pool": self.put_blob(data),
+                    })
+                job["imports"] = entries
+            jobs.append(job)
 
         # Encode the shared context only after every routine has been
         # compacted: compaction interns symbols on demand, and the
@@ -136,4 +168,8 @@ class RemotePartitionRunner(PartitionRunner):
                     "no outcome for partition %d" % partition.index
                 )
             self._fold(result, decode_outcome(partition, payload))
+        if self.plan is not None:
+            # Workers replayed their plan slices; the returned pools
+            # are final bodies, so phase 5 must not replay again.
+            self.hlo_result._plan_replayed = True
         return result

@@ -31,7 +31,9 @@ from typing import Dict, List, Optional
 
 from ..hlo.driver import HloResult, standard_pipeline
 from ..hlo.passes import OptContext
+from ..hlo.thin import replay_plan
 from ..llo.driver import LloOptions, LloStats, LowLevelOptimizer
+from ..naim.compaction import compact_routine
 from ..naim.config import NaimConfig
 from ..naim.loader import Loader
 from ..naim.memory import MemoryAccountant
@@ -105,6 +107,15 @@ class PartitionRunner:
         #: incremental reuse already applied); everything else in a
         #: partition is codegen-only.
         self.scalar_set = frozenset(hlo_result.scalar_worklist())
+        #: Summary-only WPA: the body-mutation plan each worker replays
+        #: over its locals + imports before the scalar loop (None once
+        #: bodies are already materialized).
+        self.plan = (
+            hlo_result.plan
+            if hlo_result.plan is not None
+            and not hlo_result._plan_replayed
+            else None
+        )
 
     # -- Entry point -------------------------------------------------------------
 
@@ -114,13 +125,21 @@ class PartitionRunner:
         if not partitions:
             return result
 
+        # Imports are copied out before locals are *released*: a body
+        # one partition imports is usually another partition's local.
+        import_batches = [
+            self._extract_imports(partition) for partition in partitions
+        ]
         transfers = [self._extract(partition) for partition in partitions]
 
         graph = TaskGraph()
-        for partition, batch in zip(partitions, transfers):
+        for partition, batch, imports in zip(
+            partitions, transfers, import_batches
+        ):
 
-            def run_partition(_inputs, partition=partition, batch=batch):
-                return self._run_partition(partition, batch)
+            def run_partition(_inputs, partition=partition, batch=batch,
+                              imports=imports):
+                return self._run_partition(partition, batch, imports)
 
             graph.add("ltrans:p%d" % partition.index, run_partition,
                       category="ltrans")
@@ -134,6 +153,8 @@ class PartitionRunner:
         # worker finished first.
         for partition in partitions:
             self._fold(result, outcome.results["ltrans:p%d" % partition.index])
+        if self.plan is not None:
+            self.hlo_result._plan_replayed = True
         return result
 
     # -- Link-thread side --------------------------------------------------------
@@ -162,6 +183,40 @@ class PartitionRunner:
             elif pool.state is PoolState.OFFLOADED:
                 transfer.offloaded = True
             loader.release(handle)
+            batch.append(transfer)
+        return batch
+
+    def _extract_imports(self, partition: Partition) -> List[_PoolTransfer]:
+        """Copy the partition's import payloads without releasing them.
+
+        Imports are read-only callee bodies for the worker's plan
+        replay; the link loader keeps ownership (several partitions may
+        import the same routine).  Payloads travel as compact bytes --
+        the codec round-trip gives every worker a private expanded
+        copy, so worker-side binding replay on an imported body never
+        touches a shared object.
+        """
+        if not partition.imports:
+            return []
+        unit = self.hlo_result.unit
+        symtab = self.hlo_result.ctx.symtab
+        batch: List[_PoolTransfer] = []
+        for name in partition.imports:
+            handle = unit.handle(name)
+            if handle is None:
+                continue  # a clone: the worker's replay creates it
+            pool = handle.pool
+            transfer = _PoolTransfer(name)
+            if pool.state is PoolState.EXPANDED:
+                if pool.expanded is None:
+                    continue
+                transfer.compact_bytes = compact_routine(
+                    pool.expanded, symtab
+                )
+            elif pool.state is PoolState.COMPACT:
+                transfer.compact_bytes = pool.compact_bytes
+            elif pool.state is PoolState.OFFLOADED:
+                transfer.offloaded = True
             batch.append(transfer)
         return batch
 
@@ -197,8 +252,10 @@ class PartitionRunner:
 
     # -- Worker side -------------------------------------------------------------
 
-    def _run_partition(self, partition: Partition,
-                       batch: List[_PoolTransfer]) -> _PartitionOutcome:
+    def _run_partition(
+        self, partition: Partition, batch: List[_PoolTransfer],
+        imports: List[_PoolTransfer] = (),
+    ) -> _PartitionOutcome:
         hlo_result = self.hlo_result
         shared_ctx = hlo_result.ctx
         worker_loader = Loader(
@@ -212,6 +269,12 @@ class PartitionRunner:
             handles[transfer.name] = worker_loader.adopt_routine(
                 transfer.name,
                 expanded=transfer.expanded,
+                compact_bytes=transfer.compact_bytes,
+                offloaded=transfer.offloaded,
+            )
+        for transfer in imports:
+            handles[transfer.name] = worker_loader.adopt_routine(
+                transfer.name,
                 compact_bytes=transfer.compact_bytes,
                 offloaded=transfer.offloaded,
             )
@@ -233,27 +296,42 @@ class PartitionRunner:
         ctx.readonly_globals = shared_ctx.readonly_globals
         ctx.const_returns = shared_ctx.const_returns
 
+        # Summary-only WPA: materialize this partition's slice of the
+        # plan (locals mutate; imports are read as splice callees and
+        # clone origins) before any scalar work.
+        names = [transfer.name for transfer in batch]
+        if self.plan is not None:
+            names = list(partition.routines)
+            self._replay_in_worker(partition, worker_loader, handles, ctx)
+            for transfer in imports:
+                handle = handles.pop(transfer.name, None)
+                if handle is not None:
+                    worker_loader.release(handle)
+
         llo = LowLevelOptimizer(self.llo_options, worker_loader.accountant)
         pipeline = standard_pipeline()
         outcome = _PartitionOutcome(partition)
 
-        for index, transfer in enumerate(batch):
+        for index, name in enumerate(names):
             if depth:
                 worker_loader.prefetch(
-                    handles[t.name]
-                    for t in batch[index + 1:index + 1 + depth]
+                    handles[other]
+                    for other in names[index + 1:index + 1 + depth]
+                    if other in handles
                 )
-            handle = handles[transfer.name]
+            handle = handles.get(name)
+            if handle is None:
+                continue
             routine = handle.get()
             if routine is None:
                 continue
-            if transfer.name in self.scalar_set:
+            if name in self.scalar_set:
                 worker_loader.pin(handle)
                 pipeline.run_routine(routine, ctx)
                 worker_loader.unpin(handle)
                 worker_loader.reaccount(handle)
-            outcome.machines[transfer.name] = llo.compile_routine(
-                routine, ctx.views.get(transfer.name)
+            outcome.machines[name] = llo.compile_routine(
+                routine, ctx.views.get(name)
             )
             handle.request_unload()
         worker_loader.stop_prefetch()
@@ -261,17 +339,19 @@ class PartitionRunner:
 
         # Package final pool payloads for re-adoption, then release so
         # the merged accountant doesn't double-count resident pools.
-        for transfer in batch:
-            handle = handles[transfer.name]
+        for name in names:
+            handle = handles.get(name)
+            if handle is None:
+                continue
             pool = handle.pool
-            returned = _PoolTransfer(transfer.name)
+            returned = _PoolTransfer(name)
             if pool.state is PoolState.EXPANDED:
                 returned.expanded = pool.expanded
             elif pool.state is PoolState.COMPACT:
                 returned.compact_bytes = pool.compact_bytes
             elif pool.state is PoolState.OFFLOADED:
                 returned.compact_bytes = worker_loader.repository.fetch(
-                    KIND_IR, transfer.name
+                    KIND_IR, name
                 )
             worker_loader.release(handle)
             outcome.returned.append(returned)
@@ -281,8 +361,44 @@ class PartitionRunner:
         outcome.llo_stats = llo.stats
         outcome.pass_stats = ctx.stats
         outcome.views = {
-            transfer.name: ctx.views[transfer.name]
-            for transfer in batch
-            if transfer.name in ctx.views
+            name: ctx.views[name]
+            for name in names
+            if name in ctx.views
         }
         return outcome
+
+    def _replay_in_worker(self, partition: Partition, worker_loader,
+                          handles, ctx) -> None:
+        """Replay the plan slice whose mutations land in this partition."""
+        scope = set(partition.routines) | set(partition.imports)
+
+        def resolve(name):
+            handle = handles.get(name)
+            return handle.get() if handle is not None else None
+
+        def adopt_clone(clone):
+            handles[clone.name] = worker_loader.adopt_routine(
+                clone.name, expanded=clone
+            )
+
+        def pin(name):
+            handle = handles.get(name)
+            if handle is not None:
+                worker_loader.pin(handle)
+
+        def release(name):
+            handle = handles.get(name)
+            if handle is not None:
+                worker_loader.unpin(handle)
+                worker_loader.reaccount(handle)
+                handle.request_unload()
+
+        def unload(name):
+            handle = handles.get(name)
+            if handle is not None:
+                handle.request_unload()
+
+        replay_plan(
+            self.plan, scope, resolve, ctx.views, ctx.options,
+            adopt_clone, pin=pin, release=release, unload=unload,
+        )

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from ..hlo.analysis.modref import ModRefAnalysis, ModRefInfo
 from ..hlo.driver import standard_pipeline
 from ..hlo.options import HloOptions
+from ..hlo.thin import WpaPlan, replay_plan
 from ..hlo.passes import OptContext, PassStats
 from ..hlo.profile_view import ProfileView
 from ..ir.symbols import GlobalVar, ProgramSymbolTable
@@ -52,7 +53,8 @@ from .runner import _PartitionOutcome, _PoolTransfer
 
 #: Version tag inside the shared-context blob; a worker rejects
 #: contexts it does not speak rather than miscompiling them.
-WIRE_VERSION = 1
+#: v2 added the optional thin-WPA replay plan and job import lists.
+WIRE_VERSION = 2
 
 
 class WireError(Exception):
@@ -193,6 +195,18 @@ def _decode_naim(payload: Dict) -> NaimConfig:
     )
 
 
+def _plan_payload(hlo_result) -> Optional[Dict]:
+    """The pending thin-WPA replay plan, or None.
+
+    A plan ships only while it is still pending: once the link side
+    has replayed it (or under materializing WPA, where none exists),
+    workers receive final bodies and must not re-apply mutations."""
+    plan = getattr(hlo_result, "plan", None)
+    if plan is None or getattr(hlo_result, "_plan_replayed", False):
+        return None
+    return plan.to_dict()
+
+
 def encode_shared_context(hlo_result, llo_options: LloOptions,
                           naim_config: NaimConfig,
                           scalar_names) -> bytes:
@@ -203,6 +217,7 @@ def encode_shared_context(hlo_result, llo_options: LloOptions,
     ctx = hlo_result.ctx
     payload = {
         "wire": WIRE_VERSION,
+        "plan": _plan_payload(hlo_result),
         "symtab": _symtab_payload(ctx.symtab),
         "hlo_options": dict(ctx.options.__dict__),
         "llo_options": {
@@ -259,6 +274,14 @@ def _context_fingerprint(hlo_result, llo_options: LloOptions,
     acc = mix(tuple(sorted(ctx.readonly_globals)))
     acc = mix(tuple(sorted(ctx.const_returns.items())))
     acc = mix(tuple(sorted(scalar_names)))
+    # Lockstep with the blob's "plan" field: a pending replay plan is
+    # part of the context, so its content must move the fingerprint.
+    plan_payload = _plan_payload(hlo_result)
+    if plan_payload is None:
+        acc = mix(None)
+    else:
+        acc = mix(json.dumps(plan_payload, sort_keys=True,
+                             separators=(",", ":")))
     return acc
 
 
@@ -325,6 +348,14 @@ class SharedJobContext:
         self.readonly_globals = set(payload.get("readonly_globals", ()))
         self.const_returns = dict(payload.get("const_returns", {}))
         self.scalar_set = frozenset(payload.get("scalar", ()))
+        plan_payload = payload.get("plan")
+        #: Pending thin-WPA replay plan (None under materializing WPA
+        #: or when the link side already replayed).  Read-only across
+        #: jobs: replay_plan never mutates the plan itself.
+        self.plan = (
+            WpaPlan.from_dict(plan_payload)
+            if plan_payload is not None else None
+        )
 
     def fresh_views(self) -> Dict[str, ProfileView]:
         return _decode_views(self._views_payload)
@@ -417,6 +448,47 @@ def decode_outcome(partition, payload: Dict) -> _PartitionOutcome:
 # -- Worker-side execution ---------------------------------------------------------
 
 
+def _replay_job_plan(shared: SharedJobContext, job: Dict,
+                     worker_loader: Loader, handles: Dict,
+                     ctx: OptContext) -> None:
+    """Worker-side mirror of ``PartitionRunner._replay_in_worker``:
+    apply the thin-WPA plan slice scoped to this job's locals plus
+    its import list, creating clone bodies as needed."""
+    scope = {entry["name"] for entry in job["routines"]}
+    scope.update(entry["name"] for entry in job.get("imports") or [])
+
+    def resolve(name):
+        handle = handles.get(name)
+        return handle.get() if handle is not None else None
+
+    def adopt_clone(clone):
+        handles[clone.name] = worker_loader.adopt_routine(
+            clone.name, expanded=clone
+        )
+
+    def pin(name):
+        handle = handles.get(name)
+        if handle is not None:
+            worker_loader.pin(handle)
+
+    def release(name):
+        handle = handles.get(name)
+        if handle is not None:
+            worker_loader.unpin(handle)
+            worker_loader.reaccount(handle)
+            handle.request_unload()
+
+    def unload(name):
+        handle = handles.get(name)
+        if handle is not None:
+            handle.request_unload()
+
+    replay_plan(
+        shared.plan, scope, resolve, ctx.views, shared.hlo_options,
+        adopt_clone, pin=pin, release=release, unload=unload,
+    )
+
+
 def execute_partition_job(shared: SharedJobContext, job: Dict,
                           repository) -> Dict:
     """Run one partition exactly the way the in-process runner does.
@@ -434,18 +506,38 @@ def execute_partition_job(shared: SharedJobContext, job: Dict,
         MemoryAccountant(),
         OverlayRepository(repository),
     )
+    # Entries without a "pool" are thin-WPA clones: no body exists yet,
+    # the plan replay below creates it.  Imports are read-only callee
+    # bodies the replay reads; they are released before compilation.
     handles = {
-        name: worker_loader.adopt_routine(name, offloaded=True)
-        for name in names
+        entry["name"]: worker_loader.adopt_routine(
+            entry["name"], offloaded=True
+        )
+        for entry in job["routines"] if "pool" in entry
     }
+    import_entries = job.get("imports") or []
+    for entry in import_entries:
+        if "pool" in entry and entry["name"] not in handles:
+            handles[entry["name"]] = worker_loader.adopt_routine(
+                entry["name"], offloaded=True
+            )
     depth = worker_loader.config.repo_prefetch_depth
     if depth:
-        worker_loader.prefetch(handles[name] for name in names[:depth])
+        worker_loader.prefetch(
+            handles[name] for name in names[:depth] if name in handles
+        )
 
     ctx = OptContext(shared.symtab, shared.hlo_options, shared.modref)
     ctx.views = shared.fresh_views()
     ctx.readonly_globals = shared.readonly_globals
     ctx.const_returns = shared.const_returns
+
+    if shared.plan is not None:
+        _replay_job_plan(shared, job, worker_loader, handles, ctx)
+        for entry in import_entries:
+            handle = handles.pop(entry["name"], None)
+            if handle is not None:
+                worker_loader.release(handle)
 
     llo = LowLevelOptimizer(shared.llo_options, worker_loader.accountant)
     pipeline = standard_pipeline()
@@ -456,8 +548,11 @@ def execute_partition_job(shared: SharedJobContext, job: Dict,
             worker_loader.prefetch(
                 handles[other]
                 for other in names[position + 1:position + 1 + depth]
+                if other in handles
             )
-        handle = handles[name]
+        handle = handles.get(name)
+        if handle is None:
+            continue
         routine = handle.get()
         if routine is None:
             continue
@@ -473,7 +568,9 @@ def execute_partition_job(shared: SharedJobContext, job: Dict,
 
     returned: List[Tuple[str, str]] = []
     for name in names:
-        handle = handles[name]
+        handle = handles.get(name)
+        if handle is None:
+            continue
         pool = handle.pool
         if pool.state is PoolState.EXPANDED:
             data = compact_routine(pool.expanded, shared.symtab)

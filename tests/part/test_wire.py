@@ -89,9 +89,11 @@ class LoopbackDispatcher:
             shared = decode_shared_context(
                 self.store.get_blob(job["ctx"])
             )
+            entries = (list(job["routines"])
+                       + list(job.get("imports") or []))
             repository = CasBackedRepository(self.store, {
                 (KIND_IR, entry["name"]): entry["pool"]
-                for entry in job["routines"]
+                for entry in entries if "pool" in entry
             })
             outcomes.append(
                 execute_partition_job(shared, job, repository)
